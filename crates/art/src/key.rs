@@ -1,0 +1,322 @@
+//! Binary-comparable, prefix-free key encodings.
+//!
+//! An [adaptive radix tree](crate::Art) stores keys as byte strings and
+//! compares them bytewise, so every key type must first be transformed into a
+//! *binary-comparable* encoding: one whose bytewise order equals the logical
+//! order of the original values. In addition, radix trees require the key set
+//! to be *prefix-free* — no key may be a strict prefix of another — because a
+//! key that ends in the middle of an inner node has no child slot to occupy.
+//!
+//! The constructors on [`Key`] produce encodings with both properties:
+//!
+//! * fixed-width big-endian integers ([`Key::from_u32`], [`Key::from_u64`])
+//!   are binary-comparable and, being fixed width, trivially prefix-free;
+//! * strings ([`Key::from_str_bytes`]) get a terminating `0` byte appended,
+//!   which makes any set of `0`-free strings prefix-free while preserving
+//!   lexicographic order.
+//!
+//! [`Key::from_raw`] performs no transformation and is for callers that
+//! guarantee the two properties themselves.
+
+use std::fmt;
+
+/// A byte-string key in binary-comparable, prefix-free form.
+///
+/// # Examples
+///
+/// ```
+/// use dcart_art::Key;
+///
+/// let a = Key::from_u64(1);
+/// let b = Key::from_u64(256);
+/// // Big-endian encoding preserves integer order under bytewise comparison.
+/// assert!(a.as_bytes() < b.as_bytes());
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Key(Box<[u8]>);
+
+impl Key {
+    /// Creates a key from raw bytes without any transformation.
+    ///
+    /// The caller is responsible for ensuring that the resulting key set is
+    /// prefix-free; inserting a key that is a strict prefix of an existing
+    /// key (or vice versa) makes [`Art::insert`](crate::Art::insert) return
+    /// [`ArtError::PrefixViolation`](crate::ArtError::PrefixViolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty: the empty key is a prefix of every key.
+    pub fn from_raw(bytes: impl Into<Box<[u8]>>) -> Self {
+        let bytes = bytes.into();
+        assert!(!bytes.is_empty(), "keys must be non-empty");
+        Key(bytes)
+    }
+
+    /// Encodes a `u32` as a 4-byte big-endian key.
+    pub fn from_u32(v: u32) -> Self {
+        Key(Box::new(v.to_be_bytes()))
+    }
+
+    /// Encodes a `u64` as an 8-byte big-endian key.
+    ///
+    /// This is the encoding used by the paper's synthetic workloads (50 M
+    /// dense/sparse 8-byte integer keys).
+    pub fn from_u64(v: u64) -> Self {
+        Key(Box::new(v.to_be_bytes()))
+    }
+
+    /// Encodes a `u128` as a 16-byte big-endian key.
+    pub fn from_u128(v: u128) -> Self {
+        Key(Box::new(v.to_be_bytes()))
+    }
+
+    /// Encodes an `i64` as an order-preserving 8-byte key: flipping the
+    /// sign bit maps the signed range onto the unsigned range
+    /// monotonically, so bytewise order equals numeric order.
+    pub fn from_i64(v: i64) -> Self {
+        Key(Box::new(((v as u64) ^ (1 << 63)).to_be_bytes()))
+    }
+
+    /// Encodes an `f64` as an order-preserving 8-byte key (IEEE-754 total
+    /// order): positive floats get their sign bit flipped, negative floats
+    /// are wholly inverted.
+    ///
+    /// `NaN` sorts above every number (sign-positive NaNs) or below
+    /// (sign-negative NaNs), matching `f64::total_cmp`.
+    pub fn from_f64(v: f64) -> Self {
+        let bits = v.to_bits();
+        let ordered = if bits >> 63 == 0 { bits ^ (1 << 63) } else { !bits };
+        Key(Box::new(ordered.to_be_bytes()))
+    }
+
+    /// Encodes an IPv4 address as a 4-byte key (network byte order).
+    pub fn from_ipv4(octets: [u8; 4]) -> Self {
+        Key(Box::new(octets))
+    }
+
+    /// Encodes a string as a NUL-terminated byte key.
+    ///
+    /// The appended terminator makes any set of NUL-free strings prefix-free
+    /// while preserving lexicographic order, exactly as recommended by the
+    /// original ART paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` contains an interior NUL byte, which would break the
+    /// prefix-free guarantee.
+    pub fn from_str_bytes(s: &str) -> Self {
+        assert!(
+            !s.as_bytes().contains(&0),
+            "string keys must not contain NUL bytes"
+        );
+        let mut v = Vec::with_capacity(s.len() + 1);
+        v.extend_from_slice(s.as_bytes());
+        v.push(0);
+        Key(v.into_boxed_slice())
+    }
+
+    /// Returns the encoded bytes of this key.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Returns the encoded length in bytes.
+    #[allow(clippy::len_without_is_empty)] // keys are never empty by construction
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Decodes a key produced by [`Key::from_u64`] back into the integer.
+    ///
+    /// Returns `None` if the key is not exactly 8 bytes long.
+    pub fn to_u64(&self) -> Option<u64> {
+        let bytes: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        Some(u64::from_be_bytes(bytes))
+    }
+
+    /// Returns the leading `bits` of the key as a prefix identifier,
+    /// zero-extended on the right if the key is shorter.
+    ///
+    /// DCART's Prefix-based Combining Unit buckets operations by such a
+    /// prefix (8 bits by default — the first byte).
+    pub fn prefix_bits(&self, bits: u32) -> u64 {
+        self.prefix_bits_at(0, bits)
+    }
+
+    /// Like [`Key::prefix_bits`], but starting `skip_bytes` into the key.
+    ///
+    /// Fixed-width integer key sets often share a constant high-byte run
+    /// (e.g. 8-byte big-endian keys below 2^56 all start with `0x00`), under
+    /// which a byte-0 prefix degenerates to a single combining bucket. The
+    /// host driver programs the skip to the key set's common-prefix length
+    /// so the combining prefix starts at the first discriminating byte.
+    pub fn prefix_bits_at(&self, skip_bytes: usize, bits: u32) -> u64 {
+        debug_assert!(bits <= 64 && bits.is_multiple_of(4), "prefix width must be <= 64 and nibble-aligned");
+        let nbytes = bits.div_ceil(8) as usize;
+        let mut acc: u64 = 0;
+        for i in 0..nbytes {
+            acc = (acc << 8) | u64::from(self.0.get(skip_bytes + i).copied().unwrap_or(0));
+        }
+        if !bits.is_multiple_of(8) {
+            acc >>= 8 - bits % 8;
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key(")?;
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl AsRef<[u8]> for Key {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Self {
+        Key::from_u64(v)
+    }
+}
+
+impl From<u32> for Key {
+    fn from(v: u32) -> Self {
+        Key::from_u32(v)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::from_str_bytes(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_keys_are_binary_comparable() {
+        let values = [0u64, 1, 2, 255, 256, 65535, 1 << 32, u64::MAX];
+        for w in values.windows(2) {
+            let (a, b) = (Key::from_u64(w[0]), Key::from_u64(w[1]));
+            assert!(a.as_bytes() < b.as_bytes(), "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 42, u64::MAX, 0x0123_4567_89ab_cdef] {
+            assert_eq!(Key::from_u64(v).to_u64(), Some(v));
+        }
+        assert_eq!(Key::from_u32(7).to_u64(), None);
+    }
+
+    #[test]
+    fn i64_keys_are_order_preserving() {
+        let values = [i64::MIN, -1_000_000, -1, 0, 1, 42, i64::MAX];
+        for w in values.windows(2) {
+            let (a, b) = (Key::from_i64(w[0]), Key::from_i64(w[1]));
+            assert!(a.as_bytes() < b.as_bytes(), "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn f64_keys_follow_total_order() {
+        let values = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in values.windows(2) {
+            let (a, b) = (Key::from_f64(w[0]), Key::from_f64(w[1]));
+            // -0.0 and 0.0 are distinct under total order.
+            assert!(a.as_bytes() < b.as_bytes(), "{} < {}", w[0], w[1]);
+        }
+        // NaN with a positive sign sorts above +inf (total order).
+        assert!(Key::from_f64(f64::NAN).as_bytes() > Key::from_f64(f64::INFINITY).as_bytes());
+    }
+
+    #[test]
+    fn u128_keys_are_binary_comparable() {
+        let a = Key::from_u128(u128::from(u64::MAX));
+        let b = Key::from_u128(u128::from(u64::MAX) + 1);
+        assert!(a.as_bytes() < b.as_bytes());
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn string_keys_are_prefix_free() {
+        let a = Key::from_str_bytes("abc");
+        let b = Key::from_str_bytes("abcd");
+        // The NUL terminator prevents `a` from being a prefix of `b`.
+        assert!(!b.as_bytes().starts_with(a.as_bytes()));
+        // ... while bytewise order still matches lexicographic order.
+        assert!(a.as_bytes() < b.as_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "NUL")]
+    fn interior_nul_rejected() {
+        let _ = Key::from_str_bytes("a\0b");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_raw_key_rejected() {
+        let _ = Key::from_raw(Vec::new());
+    }
+
+    #[test]
+    fn prefix_bits_extracts_leading_bits() {
+        let k = Key::from_raw(vec![0xab, 0xcd, 0xef]);
+        assert_eq!(k.prefix_bits(8), 0xab);
+        assert_eq!(k.prefix_bits(4), 0xa);
+        assert_eq!(k.prefix_bits(16), 0xabcd);
+        assert_eq!(k.prefix_bits(12), 0xabc);
+    }
+
+    #[test]
+    fn prefix_bits_at_skips_constant_head() {
+        let k = Key::from_u64(0x0000_0000_0012_3456);
+        assert_eq!(k.prefix_bits(8), 0, "high byte is constant zero");
+        assert_eq!(k.prefix_bits_at(5, 8), 0x12);
+        assert_eq!(k.prefix_bits_at(5, 16), 0x1234);
+    }
+
+    #[test]
+    fn prefix_bits_zero_extends_short_keys() {
+        let k = Key::from_raw(vec![0x12]);
+        assert_eq!(k.prefix_bits(16), 0x1200);
+    }
+
+    #[test]
+    fn debug_is_hex() {
+        let k = Key::from_raw(vec![0x01, 0xff]);
+        assert_eq!(format!("{k:?}"), "Key(01 ff)");
+    }
+
+    #[test]
+    fn ipv4_key_orders_by_address() {
+        let a = Key::from_ipv4([10, 0, 0, 1]);
+        let b = Key::from_ipv4([10, 0, 1, 0]);
+        assert!(a.as_bytes() < b.as_bytes());
+    }
+}

@@ -1,0 +1,53 @@
+//! # dcart-art — the Adaptive Radix Tree substrate
+//!
+//! A from-scratch implementation of the Adaptive Radix Tree (ART) of
+//! Leis et al. (ICDE'13), built as the substrate for the DCART (DAC 2025)
+//! reproduction. It provides:
+//!
+//! * [`Art`] — a single-writer ART with the four adaptive node layouts
+//!   (N4/N16/N48/N256), pessimistic path compression, and lazy expansion;
+//! * [`SyncArt`] — a thread-safe ART with ROWEX-style node-level write
+//!   exclusion and lock-contention counters;
+//! * [`Key`] — binary-comparable, prefix-free key encodings;
+//! * a [`Tracer`] instrumentation interface that reports node visits,
+//!   partial-key matches, and lock events, feeding the platform simulators
+//!   in the sibling crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcart_art::{Art, Key};
+//!
+//! let mut index = Art::new();
+//! index.insert(Key::from_str_bytes("art"), "adaptive radix tree")?;
+//! index.insert(Key::from_str_bytes("dcart"), "data-centric ART accelerator")?;
+//!
+//! assert_eq!(
+//!     index.get(&Key::from_str_bytes("dcart")),
+//!     Some(&"data-centric ART accelerator")
+//! );
+//!
+//! // Ordered range scans come for free with a radix tree.
+//! let all: Vec<&str> = index.iter().map(|(_, v)| *v).collect();
+//! assert_eq!(all, vec!["adaptive radix tree", "data-centric ART accelerator"]);
+//! # Ok::<(), dcart_art::ArtError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod arena;
+mod key;
+pub mod node;
+mod serde_impl;
+mod sync;
+mod trace;
+mod tree;
+mod validate;
+
+pub use key::Key;
+pub use node::{NodeId, NodeType};
+pub use sync::{LockStats, SyncArt};
+pub use trace::{NodeVisit, NoopTracer, OpTrace, RecordingTracer, Tracer, VisitKind};
+pub use tree::{Art, ArtError, Range, TypeHistogram};
+pub use validate::Violation;

@@ -1,0 +1,150 @@
+//! The 16-way node layout: sorted parallel key/child arrays.
+//!
+//! On real hardware the key search is a single SIMD compare; here a binary
+//! search over the sorted key array stands in, with identical semantics.
+
+use super::{Node4, Node48, NodeId};
+
+const NULL: NodeId = NodeId(u32::MAX);
+
+/// 16-way layout: up to 16 children in sorted parallel arrays.
+#[derive(Clone, Debug)]
+pub struct Node16 {
+    keys: [u8; 16],
+    children: [NodeId; 16],
+    len: u8,
+}
+
+impl Default for Node16 {
+    fn default() -> Self {
+        Node16 { keys: [0; 16], children: [NULL; 16], len: 0 }
+    }
+}
+
+impl Node16 {
+    /// Number of children stored.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Returns `true` if no children are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn position(&self, byte: u8) -> Result<usize, usize> {
+        self.keys[..self.len()].binary_search(&byte)
+    }
+
+    /// Looks up the child for `byte`.
+    pub fn find(&self, byte: u8) -> Option<NodeId> {
+        self.position(byte).ok().map(|i| self.children[i])
+    }
+
+    /// Inserts `(byte, child)` preserving sort order; `false` if full.
+    pub fn add(&mut self, byte: u8, child: NodeId) -> bool {
+        let len = self.len();
+        if len == 16 {
+            return false;
+        }
+        let pos = match self.position(byte) {
+            Ok(_) => unreachable!("duplicate partial key {byte:#04x}"),
+            Err(pos) => pos,
+        };
+        self.keys.copy_within(pos..len, pos + 1);
+        self.children.copy_within(pos..len, pos + 1);
+        self.keys[pos] = byte;
+        self.children[pos] = child;
+        self.len += 1;
+        true
+    }
+
+    /// Replaces the child for `byte`, returning the previous child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte` is absent.
+    pub fn replace(&mut self, byte: u8, child: NodeId) -> NodeId {
+        let i = self.position(byte).expect("replace of absent partial key");
+        std::mem::replace(&mut self.children[i], child)
+    }
+
+    /// Removes and returns the child for `byte`.
+    pub fn remove(&mut self, byte: u8) -> Option<NodeId> {
+        let i = self.position(byte).ok()?;
+        let removed = self.children[i];
+        let len = self.len();
+        self.keys.copy_within(i + 1..len, i);
+        self.children.copy_within(i + 1..len, i);
+        self.len -= 1;
+        Some(removed)
+    }
+
+    /// Copies the children into a fresh [`Node48`].
+    pub fn grow(&self) -> Node48 {
+        let mut n = Node48::default();
+        for i in 0..self.len() {
+            let ok = n.add(self.keys[i], self.children[i]);
+            debug_assert!(ok);
+        }
+        n
+    }
+
+    /// Copies the children into a fresh [`Node4`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if more than 4 children are stored.
+    pub fn shrink(&self) -> Node4 {
+        debug_assert!(self.len() <= 4);
+        let mut n = Node4::default();
+        for i in 0..self.len() {
+            let ok = n.add(self.keys[i], self.children[i]);
+            debug_assert!(ok);
+        }
+        n
+    }
+
+    /// Returns the `pos`-th child in ascending byte order.
+    pub(super) fn nth_in_order(&self, pos: usize) -> Option<(u8, NodeId)> {
+        (pos < self.len()).then(|| (self.keys[pos], self.children[pos]))
+    }
+
+    /// Returns the child with the largest partial key.
+    pub(super) fn max_child(&self) -> Option<(u8, NodeId)> {
+        let len = self.len();
+        (len > 0).then(|| (self.keys[len - 1], self.children[len - 1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_search_finds_all() {
+        let mut n = Node16::default();
+        let bytes: Vec<u8> = (0..16).map(|i| 255 - i * 16).collect();
+        for &b in &bytes {
+            assert!(n.add(b, NodeId(u32::from(b))));
+        }
+        assert!(!n.add(1, NodeId(0)));
+        for &b in &bytes {
+            assert_eq!(n.find(b), Some(NodeId(u32::from(b))));
+        }
+        assert_eq!(n.find(2), None);
+    }
+
+    #[test]
+    fn shrink_preserves_children() {
+        let mut n = Node16::default();
+        for b in [10u8, 20, 30] {
+            n.add(b, NodeId(u32::from(b)));
+        }
+        let small = n.shrink();
+        assert_eq!(small.len(), 3);
+        for b in [10u8, 20, 30] {
+            assert_eq!(small.find(b), Some(NodeId(u32::from(b))));
+        }
+    }
+}

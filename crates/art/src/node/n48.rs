@@ -1,0 +1,154 @@
+//! The 48-way node layout: a 256-entry index array into 48 child slots.
+
+use super::{Node16, Node256, NodeId};
+
+const NULL: NodeId = NodeId(u32::MAX);
+/// Sentinel in the index array marking "no child for this byte".
+const EMPTY: u8 = 0xFF;
+
+/// 48-way layout: a direct-mapped 256-byte index into a 48-slot child array.
+///
+/// Lookup is a two-step indirection (`index[byte]` then `children[slot]`),
+/// which is exactly the access pattern the hardware model charges for.
+#[derive(Clone, Debug)]
+pub struct Node48 {
+    index: [u8; 256],
+    children: [NodeId; 48],
+    /// Bitmask of occupied child slots (bit i = slot i in use).
+    occupied: u64,
+}
+
+impl Default for Node48 {
+    fn default() -> Self {
+        Node48 { index: [EMPTY; 256], children: [NULL; 48], occupied: 0 }
+    }
+}
+
+impl Node48 {
+    /// Number of children stored.
+    pub fn len(&self) -> usize {
+        self.occupied.count_ones() as usize
+    }
+
+    /// Returns `true` if no children are stored.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Looks up the child for `byte`.
+    pub fn find(&self, byte: u8) -> Option<NodeId> {
+        let slot = self.index[usize::from(byte)];
+        (slot != EMPTY).then(|| self.children[usize::from(slot)])
+    }
+
+    /// Inserts `(byte, child)`; `false` if all 48 slots are in use.
+    pub fn add(&mut self, byte: u8, child: NodeId) -> bool {
+        if self.len() == 48 {
+            return false;
+        }
+        let slot = (!self.occupied).trailing_zeros() as usize;
+        debug_assert!(slot < 48);
+        self.index[usize::from(byte)] = slot as u8;
+        self.children[slot] = child;
+        self.occupied |= 1 << slot;
+        true
+    }
+
+    /// Replaces the child for `byte`, returning the previous child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte` is absent.
+    pub fn replace(&mut self, byte: u8, child: NodeId) -> NodeId {
+        let slot = self.index[usize::from(byte)];
+        assert!(slot != EMPTY, "replace of absent partial key");
+        std::mem::replace(&mut self.children[usize::from(slot)], child)
+    }
+
+    /// Removes and returns the child for `byte`.
+    pub fn remove(&mut self, byte: u8) -> Option<NodeId> {
+        let slot = self.index[usize::from(byte)];
+        if slot == EMPTY {
+            return None;
+        }
+        self.index[usize::from(byte)] = EMPTY;
+        self.occupied &= !(1 << slot);
+        Some(std::mem::replace(&mut self.children[usize::from(slot)], NULL))
+    }
+
+    /// Copies the children into a fresh [`Node256`].
+    pub fn grow(&self) -> Node256 {
+        let mut n = Node256::default();
+        for byte in 0..=255u8 {
+            if let Some(child) = self.find(byte) {
+                let ok = n.add(byte, child);
+                debug_assert!(ok);
+            }
+        }
+        n
+    }
+
+    /// Copies the children into a fresh [`Node16`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if more than 16 children are stored.
+    pub fn shrink(&self) -> Node16 {
+        debug_assert!(self.len() <= 16);
+        let mut n = Node16::default();
+        for byte in 0..=255u8 {
+            if let Some(child) = self.find(byte) {
+                let ok = n.add(byte, child);
+                debug_assert!(ok);
+            }
+        }
+        n
+    }
+
+    /// Returns the `pos`-th child in ascending byte order.
+    ///
+    /// This scans the index array, which is O(256); acceptable because it is
+    /// only used by ordered iteration, never point lookups.
+    pub(super) fn nth_in_order(&self, pos: usize) -> Option<(u8, NodeId)> {
+        self.iter_ordered().nth(pos)
+    }
+
+    /// Returns the child with the largest partial key.
+    pub(super) fn max_child(&self) -> Option<(u8, NodeId)> {
+        self.iter_ordered().last()
+    }
+
+    fn iter_ordered(&self) -> impl Iterator<Item = (u8, NodeId)> + '_ {
+        (0..=255u8).filter_map(move |b| self.find(b).map(|c| (b, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut n = Node48::default();
+        for b in 0..48u8 {
+            assert!(n.add(b, NodeId(u32::from(b))));
+        }
+        assert!(!n.add(100, NodeId(100)), "48 slots exhausted");
+        assert_eq!(n.remove(7), Some(NodeId(7)));
+        assert!(n.add(100, NodeId(100)), "freed slot must be reusable");
+        assert_eq!(n.find(100), Some(NodeId(100)));
+        assert_eq!(n.find(7), None);
+        assert_eq!(n.len(), 48);
+    }
+
+    #[test]
+    fn ordered_iteration_skips_holes() {
+        let mut n = Node48::default();
+        for b in [200u8, 3, 150] {
+            n.add(b, NodeId(u32::from(b)));
+        }
+        let order: Vec<u8> = (0..3).map(|i| n.nth_in_order(i).unwrap().0).collect();
+        assert_eq!(order, vec![3, 150, 200]);
+        assert_eq!(n.max_child(), Some((200, NodeId(200))));
+    }
+}

@@ -1,0 +1,799 @@
+//! A thread-safe ART with node-level write exclusion.
+//!
+//! The paper's CPU baselines synchronize with the ROWEX protocol
+//! (Leis et al., DaMoN'16): node-level write locks, lock the parent too when
+//! a node changes type. [`SyncArt`] implements the same *locking granularity*
+//! — every structural change write-locks exactly the node(s) ROWEX would —
+//! using top-down lock coupling, which is simple to prove deadlock-free in
+//! safe Rust (locks are only ever acquired parent → child).
+//!
+//! Readers take node read locks hand-over-hand; writers take write locks and
+//! hold the parent's lock only across decisions that might replace the
+//! parent's child slot. [`LockStats`] counts every acquisition and every
+//! *contended* acquisition (a `try_lock` that failed before blocking), which
+//! is the statistic Fig. 7 of the paper reports.
+//!
+//! The child containers here are sorted arrays rather than the four adaptive
+//! layouts (adaptive compaction is a memory-layout optimization modelled
+//! precisely by [`Art`](crate::Art); it does not change locking behaviour).
+//! The adaptive *type tag* is still tracked so that layout transitions
+//! trigger the extra parent-lock event exactly as in ROWEX.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockWriteGuard};
+
+use crate::node::NodeType;
+use crate::tree::ArtError;
+use crate::Key;
+
+type Link<V> = Arc<RwLock<SyncNode<V>>>;
+
+/// Counters for lock activity, shared by all clones of a [`SyncArt`].
+#[derive(Debug, Default)]
+pub struct LockStats {
+    read_acquired: AtomicU64,
+    write_acquired: AtomicU64,
+    read_contended: AtomicU64,
+    write_contended: AtomicU64,
+    type_changes: AtomicU64,
+}
+
+impl LockStats {
+    /// Total read-lock acquisitions.
+    pub fn read_acquired(&self) -> u64 {
+        self.read_acquired.load(Ordering::Relaxed)
+    }
+
+    /// Total write-lock acquisitions.
+    pub fn write_acquired(&self) -> u64 {
+        self.write_acquired.load(Ordering::Relaxed)
+    }
+
+    /// Read-lock acquisitions that found the lock held (contended).
+    pub fn read_contended(&self) -> u64 {
+        self.read_contended.load(Ordering::Relaxed)
+    }
+
+    /// Write-lock acquisitions that found the lock held (contended).
+    pub fn write_contended(&self) -> u64 {
+        self.write_contended.load(Ordering::Relaxed)
+    }
+
+    /// Total contended acquisitions (read + write) — the paper's
+    /// "lock contentions" metric (Fig. 7).
+    pub fn contended(&self) -> u64 {
+        self.read_contended() + self.write_contended()
+    }
+
+    /// Node-layout transitions (each also implies a parent lock in ROWEX).
+    pub fn type_changes(&self) -> u64 {
+        self.type_changes.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+enum SyncNode<V> {
+    Leaf {
+        key: Key,
+        value: V,
+    },
+    Inner {
+        prefix: Vec<u8>,
+        /// Children sorted by edge byte.
+        children: Vec<(u8, Link<V>)>,
+        /// Adaptive layout the node would currently use.
+        node_type: NodeType,
+    },
+}
+
+impl<V> SyncNode<V> {
+    fn new_inner(prefix: Vec<u8>) -> Self {
+        SyncNode::Inner { prefix, children: Vec::with_capacity(4), node_type: NodeType::N4 }
+    }
+}
+
+/// Layout a node of `n` children would use.
+fn layout_for(n: usize) -> NodeType {
+    match n {
+        0..=4 => NodeType::N4,
+        5..=16 => NodeType::N16,
+        17..=48 => NodeType::N48,
+        _ => NodeType::N256,
+    }
+}
+
+/// A read guard held only so that it is released *after* the child's guard
+/// is acquired (hand-over-hand coupling for readers). The payloads are
+/// never read — they exist purely for their `Drop` timing.
+#[allow(dead_code)]
+enum GuardToDrop<'a, V> {
+    Root(parking_lot::RwLockReadGuard<'a, Option<Link<V>>>),
+    Node(parking_lot::RwLockReadGuard<'a, SyncNode<V>>),
+}
+
+/// Who owns the slot pointing at the current node: the tree's root pointer
+/// or an inner parent (with the edge byte of the slot).
+enum SlotOwner<'a, V> {
+    Root(RwLockWriteGuard<'a, Option<Link<V>>>),
+    Parent(RwLockWriteGuard<'a, SyncNode<V>>, u8),
+}
+
+impl<V> SlotOwner<'_, V> {
+    fn replace(mut self, new: Link<V>) {
+        match &mut self {
+            SlotOwner::Root(root) => **root = Some(new),
+            SlotOwner::Parent(guard, edge) => match &mut **guard {
+                SyncNode::Inner { children, .. } => {
+                    let i = children
+                        .binary_search_by_key(edge, |(b, _)| *b)
+                        .expect("edge byte vanished under lock");
+                    children[i].1 = new;
+                }
+                SyncNode::Leaf { .. } => unreachable!("parent slot owner is a leaf"),
+            },
+        }
+    }
+}
+
+/// A concurrent Adaptive Radix Tree with node-level write exclusion and
+/// lock-contention accounting.
+///
+/// Cloning a `SyncArt` is cheap and yields a handle to the *same* tree
+/// (like `Arc`), so handles can be moved into threads.
+///
+/// # Examples
+///
+/// ```
+/// use dcart_art::{Key, SyncArt};
+///
+/// let art = SyncArt::new();
+/// let handles: Vec<_> = (0..4u64)
+///     .map(|t| {
+///         let art = art.clone();
+///         std::thread::spawn(move || {
+///             for i in 0..100u64 {
+///                 art.insert(Key::from_u64(t * 1000 + i), i).unwrap();
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert_eq!(art.len(), 400);
+/// assert_eq!(art.get(&Key::from_u64(3042)), Some(42));
+/// ```
+#[derive(Debug)]
+pub struct SyncArt<V> {
+    root: Arc<RwLock<Option<Link<V>>>>,
+    len: Arc<AtomicUsize>,
+    stats: Arc<LockStats>,
+}
+
+impl<V> Clone for SyncArt<V> {
+    fn clone(&self) -> Self {
+        SyncArt { root: Arc::clone(&self.root), len: Arc::clone(&self.len), stats: Arc::clone(&self.stats) }
+    }
+}
+
+impl<V> Default for SyncArt<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl<V> SyncArt<V> {
+    /// Creates an empty concurrent tree.
+    pub fn new() -> Self {
+        SyncArt {
+            root: Arc::new(RwLock::new(None)),
+            len: Arc::new(AtomicUsize::new(0)),
+            stats: Arc::new(LockStats::default()),
+        }
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared lock-activity counters.
+    pub fn lock_stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    fn read_node<'a>(&self, link: &'a Link<V>) -> parking_lot::RwLockReadGuard<'a, SyncNode<V>> {
+        self.stats.read_acquired.fetch_add(1, Ordering::Relaxed);
+        match link.try_read() {
+            Some(g) => g,
+            None => {
+                self.stats.read_contended.fetch_add(1, Ordering::Relaxed);
+                link.read()
+            }
+        }
+    }
+
+    fn write_root(&self) -> RwLockWriteGuard<'_, Option<Link<V>>> {
+        self.stats.write_acquired.fetch_add(1, Ordering::Relaxed);
+        match self.root.try_write() {
+            Some(g) => g,
+            None => {
+                self.stats.write_contended.fetch_add(1, Ordering::Relaxed);
+                self.root.write()
+            }
+        }
+    }
+
+    fn write_node<'a>(&self, link: &'a Link<V>) -> RwLockWriteGuard<'a, SyncNode<V>> {
+        self.stats.write_acquired.fetch_add(1, Ordering::Relaxed);
+        match link.try_write() {
+            Some(g) => g,
+            None => {
+                self.stats.write_contended.fetch_add(1, Ordering::Relaxed);
+                link.write()
+            }
+        }
+    }
+
+    /// Looks up `key`, returning a clone of its value.
+    pub fn get(&self, key: &Key) -> Option<V>
+    where
+        V: Clone,
+    {
+        // Hand-over-hand read locking: each recursion level acquires the
+        // child's lock before the parent's guard (passed down as `parent`)
+        // is dropped, so no writer can restructure the edge in between.
+        let root_guard = self.root.read();
+        let first = root_guard.as_ref()?.clone();
+        self.get_rec(first, GuardToDrop::Root(root_guard), key.as_bytes(), 0)
+    }
+
+    fn get_rec(
+        &self,
+        link: Link<V>,
+        parent: GuardToDrop<'_, V>,
+        bytes: &[u8],
+        mut depth: usize,
+    ) -> Option<V>
+    where
+        V: Clone,
+    {
+        let g = self.read_node(&link);
+        drop(parent);
+        let child = match &*g {
+            SyncNode::Leaf { key: k, value } => {
+                return (k.as_bytes() == bytes).then(|| value.clone());
+            }
+            SyncNode::Inner { prefix, children, .. } => {
+                let rest = &bytes[depth..];
+                let m = common_prefix_len(prefix, rest);
+                if m < prefix.len() || depth + m >= bytes.len() {
+                    return None;
+                }
+                depth += prefix.len();
+                let i = children.binary_search_by_key(&bytes[depth], |(b, _)| *b).ok()?;
+                depth += 1;
+                children[i].1.clone()
+            }
+        };
+        self.get_rec(child, GuardToDrop::Node(g), bytes, depth)
+    }
+
+    /// Inserts `key` → `value`, returning the previous value if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtError::PrefixViolation`] if `key` is a strict prefix of
+    /// an existing key or vice versa (the tree is left unchanged).
+    pub fn insert(&self, key: Key, value: V) -> Result<Option<V>, ArtError> {
+        let mut root = self.write_root();
+        let Some(first) = root.as_ref().cloned() else {
+            *root = Some(Arc::new(RwLock::new(SyncNode::Leaf { key, value })));
+            self.len.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        };
+        let result = self.insert_rec(first, SlotOwner::Root(root), key, value, 0);
+        if let Ok(None) = result {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn insert_rec(
+        &self,
+        link: Link<V>,
+        owner: SlotOwner<'_, V>,
+        key: Key,
+        value: V,
+        depth: usize,
+    ) -> Result<Option<V>, ArtError> {
+        let mut g = self.write_node(&link);
+        enum Case<V> {
+            ReplaceValue,
+            SplitLeaf { common: usize, old_byte: u8 },
+            SplitPrefix { m: usize },
+            AddChild,
+            Descend { child: Link<V>, edge: u8 },
+            Violation,
+        }
+        let bytes = key.as_bytes().to_vec();
+        let case = match &*g {
+            SyncNode::Leaf { key: k, .. } => {
+                if k.as_bytes() == bytes.as_slice() {
+                    Case::ReplaceValue
+                } else {
+                    let lk = k.as_bytes();
+                    let common = common_prefix_len(&lk[depth..], &bytes[depth..]);
+                    if depth + common == lk.len() || depth + common == bytes.len() {
+                        Case::Violation
+                    } else {
+                        Case::SplitLeaf { common, old_byte: lk[depth + common] }
+                    }
+                }
+            }
+            SyncNode::Inner { prefix, children, .. } => {
+                let rest = &bytes[depth..];
+                let m = common_prefix_len(prefix, rest);
+                if m < prefix.len() {
+                    if depth + m == bytes.len() {
+                        Case::Violation
+                    } else {
+                        Case::SplitPrefix { m }
+                    }
+                } else if depth + m == bytes.len() {
+                    Case::Violation
+                } else {
+                    let b = bytes[depth + prefix.len()];
+                    match children.binary_search_by_key(&b, |(e, _)| *e) {
+                        Ok(i) => Case::Descend { child: children[i].1.clone(), edge: b },
+                        Err(_) => Case::AddChild,
+                    }
+                }
+            }
+        };
+        match case {
+            Case::Violation => Err(ArtError::PrefixViolation),
+            Case::ReplaceValue => {
+                drop(owner);
+                match &mut *g {
+                    SyncNode::Leaf { value: v, .. } => Ok(Some(std::mem::replace(v, value))),
+                    SyncNode::Inner { .. } => unreachable!(),
+                }
+            }
+            Case::SplitLeaf { common, old_byte } => {
+                let new_byte = bytes[depth + common];
+                let new_leaf = Arc::new(RwLock::new(SyncNode::Leaf { key, value }));
+                let mut inner = SyncNode::new_inner(bytes[depth..depth + common].to_vec());
+                if let SyncNode::Inner { children, .. } = &mut inner {
+                    children.push((old_byte, Arc::clone(&link)));
+                    children.push((new_byte, new_leaf));
+                    children.sort_by_key(|(b, _)| *b);
+                }
+                drop(g);
+                owner.replace(Arc::new(RwLock::new(inner)));
+                Ok(None)
+            }
+            Case::SplitPrefix { m } => {
+                let (head, edge_old) = match &mut *g {
+                    SyncNode::Inner { prefix, .. } => {
+                        let head: Vec<u8> = prefix[..m].to_vec();
+                        let edge_old = prefix[m];
+                        prefix.drain(..=m);
+                        (head, edge_old)
+                    }
+                    SyncNode::Leaf { .. } => unreachable!(),
+                };
+                let edge_new = bytes[depth + m];
+                let new_leaf = Arc::new(RwLock::new(SyncNode::Leaf { key, value }));
+                let mut split = SyncNode::new_inner(head);
+                if let SyncNode::Inner { children, .. } = &mut split {
+                    children.push((edge_old, Arc::clone(&link)));
+                    children.push((edge_new, new_leaf));
+                    children.sort_by_key(|(b, _)| *b);
+                }
+                drop(g);
+                owner.replace(Arc::new(RwLock::new(split)));
+                Ok(None)
+            }
+            Case::AddChild => {
+                // The parent slot is not touched; release it before the
+                // (possibly type-changing) local mutation.
+                drop(owner);
+                match &mut *g {
+                    SyncNode::Inner { prefix, children, node_type } => {
+                        let b = bytes[depth + prefix.len()];
+                        let i = children
+                            .binary_search_by_key(&b, |(e, _)| *e)
+                            .expect_err("descend case handles existing edges");
+                        children.insert(
+                            i,
+                            (b, Arc::new(RwLock::new(SyncNode::Leaf { key, value }))),
+                        );
+                        let new_type = layout_for(children.len());
+                        if new_type != *node_type {
+                            *node_type = new_type;
+                            self.stats.type_changes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(None)
+                    }
+                    SyncNode::Leaf { .. } => unreachable!(),
+                }
+            }
+            Case::Descend { child, edge } => {
+                drop(owner);
+                let new_depth = depth
+                    + match &*g {
+                        SyncNode::Inner { prefix, .. } => prefix.len() + 1,
+                        SyncNode::Leaf { .. } => unreachable!(),
+                    };
+                self.insert_rec(child, SlotOwner::Parent(g, edge), key, value, new_depth)
+            }
+        }
+    }
+
+    /// Visits every `(key, value)` pair in ascending key order, calling
+    /// `f` on clones taken under per-node read locks.
+    ///
+    /// Concurrent writers may interleave between nodes, so the visit is a
+    /// *weakly consistent* snapshot (every key present for the whole call
+    /// is visited; keys inserted or removed during it may or may not be).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcart_art::{Key, SyncArt};
+    ///
+    /// let art = SyncArt::new();
+    /// for v in [3u64, 1, 2] {
+    ///     art.insert(Key::from_u64(v), v).unwrap();
+    /// }
+    /// let mut seen = Vec::new();
+    /// art.for_each(|_, v| seen.push(*v));
+    /// assert_eq!(seen, vec![1, 2, 3]);
+    /// ```
+    pub fn for_each<F: FnMut(&Key, &V)>(&self, mut f: F) {
+        let root = {
+            let g = self.root.read();
+            g.clone()
+        };
+        if let Some(link) = root {
+            self.for_each_rec(&link, &mut f);
+        }
+    }
+
+    fn for_each_rec<F: FnMut(&Key, &V)>(&self, link: &Link<V>, f: &mut F) {
+        // Children are collected under the node's read lock, then visited
+        // after it is released (holding locks across the recursion would
+        // block writers for the whole scan).
+        let children: Vec<Link<V>> = {
+            let g = self.read_node(link);
+            match &*g {
+                SyncNode::Leaf { key, value } => {
+                    f(key, value);
+                    return;
+                }
+                SyncNode::Inner { children, .. } => {
+                    children.iter().map(|(_, c)| Arc::clone(c)).collect()
+                }
+            }
+        };
+        for child in children {
+            self.for_each_rec(&child, f);
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&self, key: &Key) -> Option<V> {
+        let mut root = self.write_root();
+        let first = root.as_ref().cloned()?;
+        let g = self.write_node(&first);
+        let removed = match &*g {
+            SyncNode::Leaf { key: k, .. } => {
+                if k.as_bytes() == key.as_bytes() {
+                    *root = None;
+                    drop(g);
+                    let node = Arc::try_unwrap(first).ok().map(RwLock::into_inner);
+                    match node {
+                        Some(SyncNode::Leaf { value, .. }) => Some(value),
+                        // Another handle still references the old root;
+                        // it observes the detached leaf harmlessly.
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            }
+            SyncNode::Inner { .. } => {
+                drop(g);
+                self.remove_rec(first, SlotOwner::Root(root), key, 0)
+            }
+        };
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Removal where `link` is known to be an inner node. Holds `owner`
+    /// across the child inspection so merges can rewrite the owner's slot.
+    fn remove_rec(
+        &self,
+        link: Link<V>,
+        owner: SlotOwner<'_, V>,
+        key: &Key,
+        mut depth: usize,
+    ) -> Option<V> {
+        let mut g = self.write_node(&link);
+        let bytes = key.as_bytes();
+        let (edge, child) = match &*g {
+            SyncNode::Inner { prefix, children, .. } => {
+                let rest = &bytes[depth..];
+                let m = common_prefix_len(prefix, rest);
+                if m < prefix.len() || depth + m >= bytes.len() {
+                    return None;
+                }
+                depth += prefix.len();
+                let b = bytes[depth];
+                let i = children.binary_search_by_key(&b, |(e, _)| *e).ok()?;
+                depth += 1;
+                (b, children[i].1.clone())
+            }
+            SyncNode::Leaf { .. } => unreachable!("remove_rec called on leaf"),
+        };
+
+        let child_guard = self.write_node(&child);
+        match &*child_guard {
+            SyncNode::Leaf { key: k, .. } => {
+                if k.as_bytes() != bytes {
+                    return None;
+                }
+                drop(child_guard);
+                // `child` is our local clone of the leaf's Arc; drop it so
+                // the unwrap below sees the last reference.
+                drop(child);
+                let SyncNode::Inner { prefix, children, node_type } = &mut *g else {
+                    unreachable!()
+                };
+                let i = children
+                    .binary_search_by_key(&edge, |(e, _)| *e)
+                    .expect("edge vanished under lock");
+                let (_, removed_link) = children.remove(i);
+                let value = match Arc::try_unwrap(removed_link).ok().map(RwLock::into_inner) {
+                    Some(SyncNode::Leaf { value, .. }) => value,
+                    _ => unreachable!("leaf had outstanding references while parent locked"),
+                };
+                if children.len() == 1 {
+                    // Merge this node into its single remaining child.
+                    let (only_edge, only_child) = children.pop().expect("one child remains");
+                    let mut merged_prefix = std::mem::take(prefix);
+                    merged_prefix.push(only_edge);
+                    let mut cg = self.write_node(&only_child);
+                    if let SyncNode::Inner { prefix: cp, .. } = &mut *cg {
+                        merged_prefix.append(cp);
+                        *cp = merged_prefix;
+                    }
+                    drop(cg);
+                    drop(g);
+                    owner.replace(only_child);
+                } else {
+                    let new_type = layout_for(children.len());
+                    if new_type != *node_type {
+                        *node_type = new_type;
+                        self.stats.type_changes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Some(value)
+            }
+            SyncNode::Inner { .. } => {
+                drop(child_guard);
+                // The action is deeper; this node's slot in `owner` is safe.
+                drop(owner);
+                self.remove_rec(child, SlotOwner::Parent(g, edge), key, depth)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> Key {
+        Key::from_u64(v)
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let art = SyncArt::new();
+        for v in 0..1000u64 {
+            assert_eq!(art.insert(k(v * 7), v).unwrap(), None);
+        }
+        assert_eq!(art.len(), 1000);
+        for v in 0..1000u64 {
+            assert_eq!(art.get(&k(v * 7)), Some(v));
+        }
+        assert_eq!(art.get(&k(1)), None);
+        assert_eq!(art.insert(k(0), 99).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn remove_single_thread() {
+        let art = SyncArt::new();
+        for v in 0..300u64 {
+            art.insert(k(v), v).unwrap();
+        }
+        for v in (0..300u64).step_by(3) {
+            assert_eq!(art.remove(&k(v)), Some(v));
+        }
+        assert_eq!(art.len(), 200);
+        for v in 0..300u64 {
+            let expect = (v % 3 != 0).then_some(v);
+            assert_eq!(art.get(&k(v)), expect);
+        }
+    }
+
+    #[test]
+    fn remove_last_key_clears_root() {
+        let art = SyncArt::new();
+        art.insert(k(9), 9).unwrap();
+        assert_eq!(art.remove(&k(9)), Some(9));
+        assert!(art.is_empty());
+        assert_eq!(art.get(&k(9)), None);
+        // Reusable after emptying.
+        art.insert(k(1), 1).unwrap();
+        assert_eq!(art.get(&k(1)), Some(1));
+    }
+
+    #[test]
+    fn prefix_violation_propagates() {
+        let art = SyncArt::new();
+        art.insert(Key::from_raw(vec![1, 2, 3]), 0).unwrap();
+        assert_eq!(
+            art.insert(Key::from_raw(vec![1, 2]), 1),
+            Err(ArtError::PrefixViolation)
+        );
+        assert_eq!(art.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let art = SyncArt::new();
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let art = art.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        art.insert(k(t * 100_000 + i), t * 100_000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(art.len(), 4000);
+        for t in 0..8u64 {
+            for i in (0..500u64).step_by(37) {
+                assert_eq!(art.get(&k(t * 100_000 + i)), Some(t * 100_000 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_same_hot_keys() {
+        // All threads hammer the same small key set: exercises contention
+        // paths and value replacement under write locks.
+        let art = SyncArt::new();
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let art = art.clone();
+                std::thread::spawn(move || {
+                    for round in 0..200u64 {
+                        for key in 0..16u64 {
+                            art.insert(k(key), t * 1000 + round).unwrap();
+                            let _ = art.get(&k(key));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(art.len(), 16);
+        for key in 0..16u64 {
+            assert!(art.get(&k(key)).is_some());
+        }
+        let stats = art.lock_stats();
+        assert!(stats.write_acquired() > 0);
+        assert!(stats.read_acquired() > 0);
+    }
+
+    #[test]
+    fn concurrent_insert_and_remove() {
+        let art = SyncArt::new();
+        for v in 0..2000u64 {
+            art.insert(k(v), v).unwrap();
+        }
+        let inserter = {
+            let art = art.clone();
+            std::thread::spawn(move || {
+                for v in 2000..4000u64 {
+                    art.insert(k(v), v).unwrap();
+                }
+            })
+        };
+        let remover = {
+            let art = art.clone();
+            std::thread::spawn(move || {
+                for v in 0..2000u64 {
+                    assert_eq!(art.remove(&k(v)), Some(v));
+                }
+            })
+        };
+        inserter.join().unwrap();
+        remover.join().unwrap();
+        assert_eq!(art.len(), 2000);
+        for v in 2000..4000u64 {
+            assert_eq!(art.get(&k(v)), Some(v));
+        }
+        for v in 0..2000u64 {
+            assert_eq!(art.get(&k(v)), None);
+        }
+    }
+
+    #[test]
+    fn type_changes_counted() {
+        let art = SyncArt::new();
+        // 300 children under one root span N4→N16→N48→N256: 3 transitions.
+        for b in 0..=255u8 {
+            art.insert(Key::from_raw(vec![b, 1]), u64::from(b)).unwrap();
+        }
+        assert_eq!(art.lock_stats().type_changes(), 3);
+    }
+
+    #[test]
+    fn for_each_visits_in_order_and_survives_concurrency() {
+        let art = SyncArt::new();
+        for v in 0..500u64 {
+            art.insert(k(v), v).unwrap();
+        }
+        let writer = {
+            let art = art.clone();
+            std::thread::spawn(move || {
+                for v in 500..1000u64 {
+                    art.insert(k(v), v).unwrap();
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        art.for_each(|_, v| seen.push(*v));
+        writer.join().unwrap();
+        // The pre-existing keys are all visited, in order.
+        assert!(seen.len() >= 500);
+        let pre: Vec<u64> = seen.iter().copied().filter(|&v| v < 500).collect();
+        assert_eq!(pre, (0..500).collect::<Vec<u64>>());
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "ascending order");
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let a = SyncArt::new();
+        let b = a.clone();
+        a.insert(k(1), 10).unwrap();
+        assert_eq!(b.get(&k(1)), Some(10));
+        b.remove(&k(1));
+        assert_eq!(a.len(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Deep structural validation of an [`Art`].
+//!
+//! The checker walks the whole tree and verifies every invariant the
+//! algorithms rely on. It is used by the property-based tests after random
+//! operation sequences, and is available to users as
+//! [`Art::check_invariants`].
+
+use crate::node::{Node, NodeId};
+use crate::tree::Art;
+
+/// A violated structural invariant, as reported by
+/// [`Art::check_invariants`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum Violation {
+    /// An inner node has fewer than 2 children (it should have been merged
+    /// into its single child, or removed).
+    UnderfullInner {
+        /// The offending node.
+        node: NodeId,
+        /// Its child count.
+        children: usize,
+    },
+    /// A leaf's key does not start with the path bytes leading to it.
+    LeafOffPath {
+        /// The offending leaf.
+        node: NodeId,
+        /// Depth at which the mismatch occurred.
+        depth: usize,
+    },
+    /// A leaf's key is shorter than its path (would have to end inside an
+    /// inner node).
+    LeafTooShort {
+        /// The offending leaf.
+        node: NodeId,
+    },
+    /// The number of reachable leaves disagrees with [`Art::len`].
+    LenMismatch {
+        /// Leaves reachable from the root.
+        reachable_leaves: usize,
+        /// What `len()` claims.
+        len: usize,
+    },
+    /// Allocated node count disagrees with reachable node count (leak or
+    /// dangling reference).
+    NodeCountMismatch {
+        /// Nodes reachable from the root.
+        reachable: usize,
+        /// Nodes allocated in the arena.
+        allocated: usize,
+    },
+    /// A node is referenced by more than one parent slot.
+    SharedNode {
+        /// The multiply-referenced node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UnderfullInner { node, children } => {
+                write!(f, "inner node {node:?} has only {children} children")
+            }
+            Violation::LeafOffPath { node, depth } => {
+                write!(f, "leaf {node:?} key diverges from its path at depth {depth}")
+            }
+            Violation::LeafTooShort { node } => {
+                write!(f, "leaf {node:?} key is shorter than its path")
+            }
+            Violation::LenMismatch { reachable_leaves, len } => {
+                write!(f, "{reachable_leaves} reachable leaves but len() = {len}")
+            }
+            Violation::NodeCountMismatch { reachable, allocated } => {
+                write!(f, "{reachable} reachable nodes but {allocated} allocated")
+            }
+            Violation::SharedNode { node } => write!(f, "node {node:?} has two parents"),
+        }
+    }
+}
+
+impl<V> Art<V> {
+    /// Walks the entire tree and returns every violated structural
+    /// invariant (empty = healthy):
+    ///
+    /// * every inner node has ≥ 2 children (path compression invariant);
+    /// * every leaf's key extends the byte path leading to it;
+    /// * each node has exactly one parent;
+    /// * reachable leaves equal [`Art::len`]; reachable nodes equal the
+    ///   arena's live-node count.
+    pub fn check_invariants(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut reachable = 0usize;
+        let mut leaves = 0usize;
+        let mut seen = std::collections::HashSet::new();
+
+        let mut stack: Vec<(NodeId, Vec<u8>)> = Vec::new();
+        if let Some(root) = self.root() {
+            stack.push((root, Vec::new()));
+        }
+        while let Some((id, path)) = stack.pop() {
+            if !seen.insert(id) {
+                violations.push(Violation::SharedNode { node: id });
+                continue;
+            }
+            reachable += 1;
+            match self.node(id).expect("reachable ids are live") {
+                Node::Leaf { key, .. } => {
+                    leaves += 1;
+                    let kb = key.as_bytes();
+                    if kb.len() < path.len() {
+                        violations.push(Violation::LeafTooShort { node: id });
+                    } else if kb[..path.len()] != path[..] {
+                        let depth = kb
+                            .iter()
+                            .zip(&path)
+                            .take_while(|(a, b)| a == b)
+                            .count();
+                        violations.push(Violation::LeafOffPath { node: id, depth });
+                    }
+                }
+                Node::Inner(inner) => {
+                    let n = inner.children.len();
+                    if n < 2 {
+                        violations.push(Violation::UnderfullInner { node: id, children: n });
+                    }
+                    let mut base = path.clone();
+                    base.extend_from_slice(&inner.prefix);
+                    for (edge, child) in inner.children.iter() {
+                        let mut child_path = base.clone();
+                        child_path.push(edge);
+                        stack.push((child, child_path));
+                    }
+                }
+            }
+        }
+
+        if leaves != self.len() {
+            violations.push(Violation::LenMismatch { reachable_leaves: leaves, len: self.len() });
+        }
+        if reachable != self.node_count() {
+            violations.push(Violation::NodeCountMismatch {
+                reachable,
+                allocated: self.node_count(),
+            });
+        }
+        violations
+    }
+
+    /// Asserts the tree is structurally sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the list of violations if any invariant is broken.
+    pub fn assert_invariants(&self) {
+        let v = self.check_invariants();
+        assert!(v.is_empty(), "ART invariant violations: {v:?}");
+    }
+
+    /// Histogram of leaf depths (nodes on the path from the root,
+    /// inclusive): index `d` counts leaves at depth `d`. The paper's
+    /// traversal costs are directly proportional to these depths.
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut hist = Vec::new();
+        let mut stack: Vec<(NodeId, usize)> = self.root().map(|r| (r, 1)).into_iter().collect();
+        while let Some((id, depth)) = stack.pop() {
+            match self.node(id).expect("reachable ids are live") {
+                Node::Leaf { .. } => {
+                    if hist.len() <= depth {
+                        hist.resize(depth + 1, 0);
+                    }
+                    hist[depth] += 1;
+                }
+                Node::Inner(inner) => {
+                    stack.extend(inner.children.iter().map(|(_, c)| (c, depth + 1)));
+                }
+            }
+        }
+        hist
+    }
+
+    /// Mean leaf depth; `0.0` for an empty tree.
+    pub fn mean_depth(&self) -> f64 {
+        let hist = self.depth_histogram();
+        let (mut total, mut weighted) = (0usize, 0usize);
+        for (d, &count) in hist.iter().enumerate() {
+            total += count;
+            weighted += d * count;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            weighted as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Key;
+
+    #[test]
+    fn healthy_tree_has_no_violations() {
+        let mut art = Art::new();
+        for v in 0..5_000u64 {
+            art.insert(Key::from_u64(v.wrapping_mul(0x9E37_79B9_7F4A_7C15)), v).unwrap();
+        }
+        art.assert_invariants();
+    }
+
+    #[test]
+    fn invariants_hold_through_churn() {
+        let mut art = Art::new();
+        for round in 0..5u64 {
+            for v in 0..2_000u64 {
+                art.insert(Key::from_u64(v * 3 + round), v).unwrap();
+            }
+            for v in (0..2_000u64).step_by(2) {
+                art.remove(&Key::from_u64(v * 3 + round));
+            }
+            art.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_healthy() {
+        let art: Art<u8> = Art::new();
+        assert!(art.check_invariants().is_empty());
+        assert_eq!(art.depth_histogram(), Vec::<usize>::new());
+        assert_eq!(art.mean_depth(), 0.0);
+    }
+
+    #[test]
+    fn depth_histogram_counts_all_leaves() {
+        let mut art = Art::new();
+        for v in 0..10_000u64 {
+            art.insert(Key::from_u64(v), v).unwrap();
+        }
+        let hist = art.depth_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), 10_000);
+        // Dense 8-byte keys with path compression: shallow tree.
+        assert!(art.mean_depth() < 6.0, "mean depth {}", art.mean_depth());
+        assert!(art.mean_depth() >= 2.0);
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = Violation::UnderfullInner { node: crate::NodeId::from_index(3), children: 1 };
+        assert!(v.to_string().contains("only 1 children"));
+        let v = Violation::LenMismatch { reachable_leaves: 2, len: 3 };
+        assert!(v.to_string().contains("len() = 3"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Functional trace execution: run an operation stream over a real ART
+//! once, streaming each operation's exact [`OpTrace`] to a consumer.
+//!
+//! Every engine model (baseline or DCART) consumes the same functional
+//! execution — they differ only in how they *cost* the events (which
+//! visits are skipped by caches/shortcuts, what locks cost, how much
+//! parallel hardware divides the work). This guarantees the comparisons
+//! are apples-to-apples: identical tree, identical operations.
+
+use dcart_art::{Art, Key, OpTrace, RecordingTracer};
+use dcart_workloads::{KeySet, Op, OpKind};
+
+/// One executed operation, handed to the consumer with its trace.
+#[derive(Debug)]
+pub struct ExecutedOp<'a> {
+    /// Position in the operation stream.
+    pub index: usize,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// The key operated on.
+    pub key: &'a Key,
+    /// The exact node-visit / lock / match trace.
+    pub trace: &'a OpTrace,
+}
+
+/// Loads `keys` into a fresh ART and executes `ops` over it, calling
+/// `consumer` with every operation's trace.
+///
+/// Returns the tree in its final state (for structural inspection).
+///
+/// # Examples
+///
+/// ```
+/// use dcart_baselines::execute_with_traces;
+/// use dcart_workloads::{generate_ops, synth, OpStreamConfig};
+///
+/// let keys = synth::dense(100, 1);
+/// let ops = generate_ops(&keys, &OpStreamConfig { count: 500, ..Default::default() });
+/// let mut visits = 0u64;
+/// execute_with_traces(&keys, &ops, |op| visits += op.trace.visits.len() as u64);
+/// assert!(visits >= 500, "every op fetches at least one node");
+/// ```
+///
+/// # Panics
+///
+/// Panics if the key set is not prefix-free (workload generators guarantee
+/// it is).
+pub fn execute_with_traces<F>(keys: &KeySet, ops: &[Op], mut consumer: F) -> Art<u64>
+where
+    F: FnMut(ExecutedOp<'_>),
+{
+    let mut art: Art<u64> = Art::new();
+    for (i, key) in keys.keys.iter().enumerate() {
+        art.insert(key.clone(), i as u64).expect("workload keys are prefix-free");
+    }
+    let mut tracer = RecordingTracer::new();
+    for (index, op) in ops.iter().enumerate() {
+        tracer.clear();
+        match op.kind {
+            OpKind::Read => {
+                let _ = art.get_traced(&op.key, &mut tracer);
+            }
+            OpKind::Update | OpKind::Insert => {
+                art.insert_traced(op.key.clone(), op.value, &mut tracer)
+                    .expect("workload keys are prefix-free");
+            }
+            OpKind::Remove => {
+                let _ = art.remove_traced(&op.key, &mut tracer);
+            }
+            OpKind::Scan => {
+                let _ = art.scan_traced(op.key.as_bytes(), op.value as usize, &mut tracer);
+            }
+        }
+        consumer(ExecutedOp { index, kind: op.kind, key: &op.key, trace: &tracer.trace });
+    }
+    art
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcart_workloads::{generate_ops, synth, Mix, OpStreamConfig};
+
+    #[test]
+    fn every_op_produces_a_trace() {
+        let keys = synth::dense(1_000, 1);
+        let ops = generate_ops(&keys, &OpStreamConfig { count: 2_000, ..Default::default() });
+        let mut seen = 0usize;
+        let mut visits = 0u64;
+        execute_with_traces(&keys, &ops, |op| {
+            seen += 1;
+            visits += op.trace.visits.len() as u64;
+            assert!(!op.trace.visits.is_empty(), "every op touches at least the root");
+        });
+        assert_eq!(seen, 2_000);
+        assert!(visits >= 2_000);
+    }
+
+    #[test]
+    fn reads_do_not_lock_inserts_do() {
+        let keys = synth::dense(500, 2);
+        let reads = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 500, mix: Mix::A, ..Default::default() },
+        );
+        let mut lock_events = 0u64;
+        execute_with_traces(&keys, &reads, |op| {
+            lock_events += op.trace.locks.len() as u64;
+        });
+        assert_eq!(lock_events, 0, "pure reads acquire no write locks");
+
+        let writes = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 500, mix: Mix::E, ..Default::default() },
+        );
+        let mut lock_events = 0u64;
+        execute_with_traces(&keys, &writes, |op| {
+            lock_events += op.trace.locks.len() as u64;
+        });
+        assert!(lock_events >= 500, "every write locks at least one node");
+    }
+
+    #[test]
+    fn final_tree_reflects_inserts() {
+        let keys = synth::dense(100, 3);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 1_000, mix: Mix::E, ..Default::default() },
+        );
+        let inserts: std::collections::BTreeSet<&[u8]> = ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Insert)
+            .map(|o| o.key.as_bytes())
+            .collect();
+        let art = execute_with_traces(&keys, &ops, |_| {});
+        assert_eq!(art.len(), 100 + inserts.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! # dcart-baselines — baseline engines for the DCART evaluation
+//!
+//! The comparison systems of the paper (§IV-A), implemented over the shared
+//! functional trace executor so every engine costs the *identical* tree and
+//! operation stream:
+//!
+//! * [`CpuBaseline::art`] — ART with ROWEX node locks (Leis et al. '16);
+//! * [`CpuBaseline::heart`] — Heart's CAS-based concurrency control;
+//! * [`CpuBaseline::smart`] — SMART ported to shared memory: CAS plus a
+//!   path cache (as the paper itself re-implements it);
+//! * [`CuArt`] — the CuART GPU engine on an A100 model.
+//!
+//! The [`IndexEngine`] trait and [`RunReport`] are shared with the `dcart`
+//! crate, which adds the DCART-C and DCART engines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cpu;
+mod cpu_engines;
+mod cuart;
+mod engine;
+mod exec;
+mod path_cache;
+mod report;
+mod windows;
+
+pub use cpu::{time_cpu_run, CpuActivity, CpuConfig, CpuTiming};
+pub use cpu_engines::CpuBaseline;
+pub use cuart::{CuArt, GpuConfig};
+pub use engine::{IndexEngine, RunConfig};
+pub use exec::{execute_with_traces, ExecutedOp};
+pub use path_cache::PathCache;
+pub use report::{Counters, RunReport, TimeBreakdown};
+pub use windows::{ContentionTotals, ContentionWindow, RedundancyWindow};

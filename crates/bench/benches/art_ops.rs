@@ -1,0 +1,142 @@
+//! Criterion benchmarks of the ART substrate itself — the real data
+//! structure's wall-clock costs (not the platform models).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use dcart_art::{Art, Key, SyncArt};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+fn keys_dense(n: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut v: Vec<Key> = (0..n).map(Key::from_u64).collect();
+    v.shuffle(&mut rng);
+    v
+}
+
+fn keys_sparse(n: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(2);
+    (0..n).map(|_| Key::from_u64(rng.gen())).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("art/insert");
+    for (name, keys) in [("dense", keys_dense(100_000)), ("sparse", keys_sparse(100_000))] {
+        g.throughput(Throughput::Elements(keys.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &keys, |b, keys| {
+            b.iter_batched(
+                || keys.clone(),
+                |keys| {
+                    let mut art = Art::new();
+                    for k in keys {
+                        art.insert(k, 0u64).unwrap();
+                    }
+                    art
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("art/get");
+    for (name, keys) in [("dense", keys_dense(100_000)), ("sparse", keys_sparse(100_000))] {
+        let mut art = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k.clone(), i as u64).unwrap();
+        }
+        g.throughput(Throughput::Elements(keys.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &keys, |b, keys| {
+            b.iter(|| {
+                let mut found = 0u64;
+                for k in keys {
+                    if art.get(k).is_some() {
+                        found += 1;
+                    }
+                }
+                found
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_range_scan(c: &mut Criterion) {
+    let mut art = Art::new();
+    for k in 0..100_000u64 {
+        art.insert(Key::from_u64(k), k).unwrap();
+    }
+    let mut g = c.benchmark_group("art/range");
+    for width in [100u64, 10_000] {
+        g.throughput(Throughput::Elements(width));
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            let start = Key::from_u64(50_000);
+            let end = Key::from_u64(50_000 + width);
+            b.iter(|| {
+                art.range(start.as_bytes(), Some(end.as_bytes()))
+                    .map(|(_, v)| *v)
+                    .sum::<u64>()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_remove(c: &mut Criterion) {
+    let keys = keys_dense(50_000);
+    c.benchmark_group("art/remove")
+        .throughput(Throughput::Elements(keys.len() as u64))
+        .bench_function("dense", |b| {
+            b.iter_batched(
+                || {
+                    let mut art = Art::new();
+                    for (i, k) in keys.iter().enumerate() {
+                        art.insert(k.clone(), i as u64).unwrap();
+                    }
+                    art
+                },
+                |mut art| {
+                    for k in &keys {
+                        art.remove(k);
+                    }
+                    art
+                },
+                BatchSize::LargeInput,
+            );
+        });
+}
+
+fn bench_sync_art_contended(c: &mut Criterion) {
+    // The cost the paper's Fig. 7 is about: concurrent writers on hot keys.
+    let mut g = c.benchmark_group("sync_art/hot_writes");
+    for threads in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let art: SyncArt<u64> = SyncArt::new();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let art = art.clone();
+                        s.spawn(move || {
+                            for i in 0..5_000u64 {
+                                art.insert(Key::from_u64(i % 64), t as u64).unwrap();
+                            }
+                        });
+                    }
+                });
+                art.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_get,
+    bench_range_scan,
+    bench_remove,
+    bench_sync_art_contended
+);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Criterion benchmarks of DCART's hardware-model components: the PCU
+//! combiner, the shortcut table, and the on-chip buffer policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcart::{DcartConfig, ShortcutTable};
+use dcart_art::{Art, Key, NoopTracer};
+use dcart_indexes::{BPlusTree, HashIndex};
+use dcart_mem::{BufferPolicy, HbmSim, HbmSimConfig, ObjectBuffer};
+use dcart_workloads::{generate_ops, OpStreamConfig, Workload, Zipfian};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_pcu_combine(c: &mut Criterion) {
+    let keys = Workload::Ipgeo.generate(20_000, 1);
+    let ops = generate_ops(&keys, &OpStreamConfig { count: 65_536, ..Default::default() });
+    let cfg = DcartConfig::default().with_auto_prefix_skip(&keys);
+    c.benchmark_group("pcu/combine")
+        .throughput(Throughput::Elements(ops.len() as u64))
+        .bench_function("batch-64k", |b| {
+            b.iter(|| dcart::pcu::combine_batch(&cfg, &ops));
+        });
+}
+
+fn bench_shortcut_table(c: &mut Criterion) {
+    let mut art = Art::new();
+    let keys: Vec<Key> = (0..50_000u64).map(Key::from_u64).collect();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k.clone(), i as u64).unwrap();
+    }
+    let mut table = ShortcutTable::new();
+    for k in &keys {
+        let (leaf, parent) = art.locate_leaf(k, &mut NoopTracer).unwrap();
+        table.generate(k.clone(), leaf, parent);
+    }
+    let zipf = Zipfian::new(keys.len() as u64, 0.99);
+    let mut rng = StdRng::seed_from_u64(3);
+    let probes: Vec<&Key> = (0..100_000).map(|_| &keys[zipf.sample(&mut rng) as usize]).collect();
+
+    let mut g = c.benchmark_group("shortcut");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("probe-hot", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for k in &probes {
+                if table.probe(k, &art).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    g.bench_function("traverse-equivalent", |b| {
+        // What each probe replaces: a full traversal.
+        b.iter(|| {
+            let mut hits = 0u64;
+            for k in &probes {
+                if art.get(k).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    g.finish();
+}
+
+fn bench_buffer_policies(c: &mut Criterion) {
+    // The Tree-buffer access stream: Zipf-hot node ids with varying values.
+    let zipf = Zipfian::new(100_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(4);
+    let stream: Vec<(u64, u64)> = (0..200_000)
+        .map(|_| {
+            let id = zipf.sample(&mut rng);
+            (id, 1_000 - (id.min(999))) // hotter ids carry higher value
+        })
+        .collect();
+    let mut g = c.benchmark_group("tree_buffer");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for policy in [BufferPolicy::Lru, BufferPolicy::Fifo, BufferPolicy::ValueAware] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut buf = ObjectBuffer::new(256 * 1024, policy);
+                    let mut hits = 0u64;
+                    for &(id, value) in &stream {
+                        if !buf.request(id, 128, value).is_miss() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads/generate");
+    for w in [Workload::Ipgeo, Workload::Dict, Workload::Email] {
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, &w| {
+            b.iter(|| w.generate(10_000, 1).len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_families(c: &mut Criterion) {
+    // The section-V comparison as a wall-clock microbench: load plus
+    // point-probe each index family with the same keys.
+    let keys: Vec<Key> = {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..50_000).map(|_| Key::from_u64(rng.gen())).collect()
+    };
+    let mut g = c.benchmark_group("indexes/load+probe");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("art", |b| {
+        b.iter(|| {
+            let mut art: Art<u64> = Art::new();
+            for (i, k) in keys.iter().enumerate() {
+                art.insert(k.clone(), i as u64).unwrap();
+            }
+            keys.iter().filter(|k| art.get(k).is_some()).count()
+        });
+    });
+    g.bench_function("bptree", |b| {
+        b.iter(|| {
+            let mut t: BPlusTree<u64> = BPlusTree::new(32);
+            for (i, k) in keys.iter().enumerate() {
+                t.insert(k.clone(), i as u64);
+            }
+            keys.iter().filter(|k| t.get(k).is_some()).count()
+        });
+    });
+    g.bench_function("hash", |b| {
+        b.iter(|| {
+            let mut h: HashIndex<u64> = HashIndex::new();
+            for (i, k) in keys.iter().enumerate() {
+                h.insert(k.clone(), i as u64);
+            }
+            keys.iter().filter(|k| h.get(k).is_some()).count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_hbm_sim(c: &mut Criterion) {
+    // Event-driven memory simulation throughput (requests simulated/s).
+    let mut g = c.benchmark_group("hbm_sim");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("open-loop-100k", |b| {
+        b.iter(|| {
+            let mut hbm = HbmSim::new(HbmSimConfig::u280());
+            for i in 0..100_000u64 {
+                hbm.request(0.0, i.wrapping_mul(0x9E37) * 64, 64);
+            }
+            hbm.drain_ns()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pcu_combine,
+    bench_shortcut_table,
+    bench_buffer_policies,
+    bench_workload_generation,
+    bench_index_families,
+    bench_hbm_sim
+);
+criterion_main!(benches);

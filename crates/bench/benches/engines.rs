@@ -1,0 +1,75 @@
+//! End-to-end criterion benchmarks: one group per paper exhibit family,
+//! running each engine model over a reduced IPGEO workload. Criterion
+//! measures the *simulator's* wall-clock here; the modelled times the paper
+//! reports come from `repro` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcart::{DcartAccel, DcartConfig, DcartSoftware};
+use dcart_baselines::{CpuBaseline, CpuConfig, CuArt, GpuConfig, IndexEngine, RunConfig};
+use dcart_workloads::{generate_ops, KeySet, Mix, Op, OpStreamConfig, Workload};
+
+const KEYS: usize = 10_000;
+const OPS: usize = 50_000;
+
+fn setup() -> (KeySet, Vec<Op>, RunConfig) {
+    let keys = Workload::Ipgeo.generate(KEYS, 42);
+    let ops = generate_ops(
+        &keys,
+        &OpStreamConfig { count: OPS, mix: Mix::C, theta: 0.99, seed: 42 },
+    );
+    (keys, ops, RunConfig { concurrency: 8_192 })
+}
+
+fn engine(name: &str, keys: &KeySet) -> Box<dyn IndexEngine> {
+    let cpu = CpuConfig::xeon_8468().scaled_for_keys(keys.len());
+    let cfg = DcartConfig::default().scaled_for_keys(keys.len()).with_auto_prefix_skip(keys);
+    match name {
+        "ART" => Box::new(CpuBaseline::art(cpu)),
+        "Heart" => Box::new(CpuBaseline::heart(cpu)),
+        "SMART" => Box::new(CpuBaseline::smart(cpu)),
+        "CuART" => Box::new(CuArt::new(GpuConfig::a100().scaled_for_keys(keys.len()))),
+        "DCART-C" => Box::new(DcartSoftware::new(cfg, cpu)),
+        "DCART" => Box::new(DcartAccel::new(cfg)),
+        _ => unreachable!(),
+    }
+}
+
+/// Fig. 9's matrix, as a criterion group (simulator throughput per engine).
+fn bench_fig9_engines(c: &mut Criterion) {
+    let (keys, ops, run) = setup();
+    let mut g = c.benchmark_group("fig9/engine-sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ops.len() as u64));
+    for name in ["ART", "Heart", "SMART", "CuART", "DCART-C", "DCART"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| {
+                let mut e = engine(name, &keys);
+                e.run(&keys, &ops, &run).time_s
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 12(b): the DCART engine across write ratios.
+fn bench_fig12_mixes(c: &mut Criterion) {
+    let keys = Workload::Ipgeo.generate(KEYS, 42);
+    let mut g = c.benchmark_group("fig12/dcart-by-mix");
+    g.sample_size(10);
+    for (label, mix) in Mix::named() {
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: OPS, mix, theta: 0.99, seed: 42 },
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(label), &ops, |b, ops| {
+            b.iter(|| {
+                let mut e = engine("DCART", &keys);
+                e.run(&keys, ops, &RunConfig { concurrency: 8_192 }).time_s
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9_engines, bench_fig12_mixes);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! `replay` — run a saved operation trace through one engine.
+//!
+//! ```text
+//! replay <engine> <workload> <keys> <trace-file | -->
+//!
+//!   engine:    ART | Heart | SMART | CuART | DCART-C | DCART
+//!   workload:  which key set to load (must match the trace's generator)
+//!   keys:      key count for the load phase
+//!   trace:     JSON-lines file from dcart_workloads::write_trace,
+//!              or "--" to generate and dump the default stream instead
+//! ```
+//!
+//! Traces make runs byte-reproducible outside this harness — e.g. replaying
+//! the exact same operation stream against a future RTL testbench.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use dcart::{DcartAccel, DcartConfig, DcartSoftware};
+use dcart_baselines::{CpuBaseline, CpuConfig, CuArt, GpuConfig, IndexEngine, RunConfig};
+use dcart_workloads::{generate_ops, read_trace, write_trace, OpStreamConfig, Workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [engine, workload, n_keys, trace] = args.as_slice() else {
+        eprintln!("usage: replay <engine> <workload> <keys> <trace-file | -->");
+        return ExitCode::FAILURE;
+    };
+    let Some(workload) = Workload::from_name(workload) else {
+        eprintln!("unknown workload {workload}");
+        return ExitCode::FAILURE;
+    };
+    let Ok(n_keys) = n_keys.parse::<usize>() else {
+        eprintln!("bad key count {n_keys}");
+        return ExitCode::FAILURE;
+    };
+    let keys = workload.generate(n_keys, 42);
+
+    let ops = if trace == "--" {
+        let ops = generate_ops(&keys, &OpStreamConfig::default());
+        let path = format!("{}-default.trace", workload.name().to_lowercase());
+        let file = std::fs::File::create(&path).expect("create trace file");
+        write_trace(std::io::BufWriter::new(file), &ops).expect("write trace");
+        println!("wrote default stream to {path}");
+        ops
+    } else {
+        let file = match std::fs::File::open(trace) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {trace}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match read_trace(BufReader::new(file)) {
+            Ok(ops) => ops,
+            Err(e) => {
+                eprintln!("cannot parse {trace}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let cpu = CpuConfig::xeon_8468().scaled_for_keys(n_keys);
+    let dcfg = DcartConfig::default().scaled_for_keys(n_keys).with_auto_prefix_skip(&keys);
+    let mut e: Box<dyn IndexEngine> = match engine.as_str() {
+        "ART" => Box::new(CpuBaseline::art(cpu)),
+        "Heart" => Box::new(CpuBaseline::heart(cpu)),
+        "SMART" => Box::new(CpuBaseline::smart(cpu)),
+        "CuART" => Box::new(CuArt::new(GpuConfig::a100().scaled_for_keys(n_keys))),
+        "DCART-C" => Box::new(DcartSoftware::new(dcfg, cpu)),
+        "DCART" => Box::new(DcartAccel::new(dcfg)),
+        other => {
+            eprintln!("unknown engine {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let r = e.run(&keys, &ops, &RunConfig::default());
+    println!(
+        "{} on {} x {} ops: {:.6} s ({:.2} Mops/s), {:.4} J",
+        r.engine,
+        r.workload,
+        r.counters.ops,
+        r.time_s,
+        r.throughput_mops(),
+        r.energy_j
+    );
+    println!(
+        "  visits {}  matches {}  contentions {}  shortcut hits {}",
+        r.counters.nodes_traversed,
+        r.counters.partial_key_matches,
+        r.counters.lock_contentions,
+        r.counters.shortcut_hits
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,119 @@
+//! `repro` — regenerate every table and figure of the DCART paper.
+//!
+//! ```text
+//! repro <exhibit> [--scale smoke|default|full] [--out DIR]
+//!
+//! exhibits:
+//!   table1   Table I   — DCART configuration
+//!   fig2     Fig. 2    — motivation: baseline inefficiencies (a–e)
+//!   fig3     Fig. 3    — operation distribution & node skew
+//!   overall  Figs. 7/8/9/11 — contentions, matches, time, energy
+//!   fig10    Fig. 10   — throughput vs P99 latency curves
+//!   fig12    Fig. 12   — sensitivity to concurrency & write ratio
+//!   ablate             — design-choice ablations (not in the paper)
+//!   all                — everything above, in order
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcart_bench::{experiments, Scale};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <table1|fig2|fig3|overall|fig7|fig8|fig9|fig11|fig10|fig12|ablate|scans|indexes|fig6|skew|all> \
+         [--scale smoke|default|full] [--out DIR]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(exhibit) = args.first().cloned() else {
+        return usage();
+    };
+    let mut scale = Scale::default_scale();
+    let mut out_dir = PathBuf::from("reports");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(name) = args.get(i + 1) else { return usage() };
+                let Some(s) = Scale::from_name(name) else {
+                    eprintln!("unknown scale: {name}");
+                    return usage();
+                };
+                scale = s;
+                i += 2;
+            }
+            "--out" => {
+                let Some(dir) = args.get(i + 1) else { return usage() };
+                out_dir = PathBuf::from(dir);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                return usage();
+            }
+        }
+    }
+
+    println!(
+        "DCART reproduction | scale: {} keys, {} ops, {} in flight | reports: {}\n",
+        scale.keys,
+        scale.ops,
+        scale.concurrency,
+        out_dir.display()
+    );
+
+    match exhibit.as_str() {
+        "table1" => {
+            experiments::table1::run(&out_dir);
+        }
+        "fig2" | "fig2a" | "fig2b" | "fig2c" | "fig2d" | "fig2e" => {
+            experiments::fig2::run(&scale, &out_dir);
+        }
+        "fig3" => {
+            experiments::fig3::run(&scale, &out_dir);
+        }
+        "overall" | "fig7" | "fig8" | "fig9" | "fig11" => {
+            experiments::overall::run(&scale, &out_dir);
+        }
+        "fig10" => {
+            experiments::fig10::run(&scale, &out_dir);
+        }
+        "fig12" | "fig12a" | "fig12b" => {
+            experiments::fig12::run(&scale, &out_dir);
+        }
+        "ablate" | "ablations" => {
+            experiments::ablate::run(&scale, &out_dir);
+        }
+        "scans" => {
+            experiments::scans::run(&scale, &out_dir);
+        }
+        "indexes" => {
+            experiments::indexes::run(&scale, &out_dir);
+        }
+        "timeline" | "fig6" => {
+            experiments::timeline::run(&scale, &out_dir);
+        }
+        "skew" => {
+            experiments::skew::run(&scale, &out_dir);
+        }
+        "all" => {
+            experiments::table1::run(&out_dir);
+            experiments::fig2::run(&scale, &out_dir);
+            experiments::fig3::run(&scale, &out_dir);
+            experiments::overall::run(&scale, &out_dir);
+            experiments::fig10::run(&scale, &out_dir);
+            experiments::fig12::run(&scale, &out_dir);
+            experiments::ablate::run(&scale, &out_dir);
+            experiments::scans::run(&scale, &out_dir);
+            experiments::indexes::run(&scale, &out_dir);
+            experiments::timeline::run(&scale, &out_dir);
+            experiments::skew::run(&scale, &out_dir);
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

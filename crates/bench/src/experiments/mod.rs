@@ -1,0 +1,27 @@
+//! One module per paper exhibit.
+//!
+//! | module | exhibits |
+//! |--------|----------|
+//! | [`fig2`] | Fig. 2(a)–(e): motivation measurements on the CPU baselines |
+//! | [`fig3`] | Fig. 3: operation distribution and node-access skew |
+//! | [`table1`] | Table I: DCART configuration |
+//! | [`overall`] | Figs. 7, 8, 9, 11: contentions, matches, time, energy |
+//! | [`fig10`] | Fig. 10: throughput–latency curves |
+//! | [`fig12`] | Fig. 12(a)(b): sensitivity to concurrency and write ratio |
+//! | [`ablate`] | design-choice ablations (§III-B/C/D/E knobs) |
+//! | [`scans`] | range-scan extension (beyond the paper) |
+//! | [`indexes`] | §V related-work claims, measured (ART vs B+tree vs hash) |
+//! | [`timeline`] | Fig. 6: the PCU/SOU batch-overlap schedule, rendered |
+//! | [`skew`] | extension: sensitivity to operation skew (the §II-C premise) |
+
+pub mod ablate;
+pub mod fig10;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod indexes;
+pub mod overall;
+pub mod scans;
+pub mod skew;
+pub mod table1;
+pub mod timeline;

@@ -1,0 +1,40 @@
+//! Table I — DCART parameter details (paper §IV-A).
+
+use std::path::Path;
+
+use dcart::DcartConfig;
+
+use crate::{write_report, Table};
+
+/// Prints Table I and writes `table1.json`.
+pub fn run(out_dir: &Path) -> DcartConfig {
+    println!("== Table I: parameter details of DCART ==");
+    let c = DcartConfig::table_i();
+    let mut t = Table::new(&["parameter", "value"]);
+    t.row(&["Processing units", &format!("{}x PCU, {}x Dispatcher, {}x SOUs", c.pcus, c.dispatchers, c.sous)]);
+    t.row(&["Scan_buffer", &format!("{} KB", c.scan_buffer_bytes / 1024)]);
+    t.row(&["Bucket_buffer", &format!("{} MB", c.bucket_buffer_bytes / 1024 / 1024)]);
+    t.row(&["Shortcut_buffer", &format!("{} KB", c.shortcut_buffer_bytes / 1024)]);
+    t.row(&["Tree_buffer", &format!("{} MB", c.tree_buffer_bytes / 1024 / 1024)]);
+    t.row(&["Clock", &format!("{} MHz (conservative, Vivado-reported)", c.clock_mhz)]);
+    t.row(&["Combining prefix", &format!("{} bits", c.prefix_bits)]);
+    t.row(&["Tree_buffer policy", &format!("{:?}", c.tree_buffer_policy)]);
+    t.print();
+    println!("paper: 1x PCU, 1x Dispatcher, 16x SOUs; 512 KB / 2 MB / 128 KB / 4 MB; 230 MHz\n");
+    write_report(out_dir, "table1", &c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        let tmp = std::env::temp_dir().join("dcart-table1-test");
+        let c = run(&tmp);
+        assert_eq!(c.sous, 16);
+        assert_eq!(c.tree_buffer_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.clock_mhz, 230.0);
+    }
+}

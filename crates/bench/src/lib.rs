@@ -1,0 +1,34 @@
+//! # dcart-bench — the experiment harness of the DCART reproduction
+//!
+//! One module per paper exhibit; the `repro` binary exposes each as a
+//! subcommand (`repro fig9`, `repro all`, ...). Every experiment prints a
+//! table mirroring the paper's figure and writes a JSON report for
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+mod matrix;
+mod scale;
+mod table;
+
+pub use matrix::{engine_names, run_engine, run_matrix, MatrixEntry};
+pub use scale::Scale;
+pub use table::Table;
+
+use std::path::Path;
+
+/// Writes a serializable report as pretty JSON under `out_dir`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file cannot be
+/// written — the harness treats an unwritable report directory as fatal.
+pub fn write_report<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) {
+    std::fs::create_dir_all(out_dir).expect("create report directory");
+    let path = out_dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize report");
+    std::fs::write(&path, json).expect("write report file");
+    println!("  -> wrote {}", path.display());
+}

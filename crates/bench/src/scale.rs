@@ -1,0 +1,68 @@
+//! Experiment scale presets.
+
+use serde::{Deserialize, Serialize};
+
+/// The size of a reproduction run.
+///
+/// The paper loads 50 M keys and issues up to 50 M operations per run; the
+/// `default` preset shrinks both by 50× (with caches/buffers shrunk in
+/// proportion by the platform models) so the complete exhibit suite runs in
+/// minutes. Reported *ratios* are stable across scales; see EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Scale {
+    /// Keys loaded before the measured stream.
+    pub keys: usize,
+    /// Operations in the measured stream.
+    pub ops: usize,
+    /// In-flight (concurrent) operations — the combining batch size.
+    pub concurrency: usize,
+    /// Seed for all generators.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Tiny runs for CI and smoke testing (~seconds).
+    pub fn smoke() -> Self {
+        Scale { keys: 10_000, ops: 60_000, concurrency: 8_192, seed: 42 }
+    }
+
+    /// The default reproduction scale (~minutes for the full suite).
+    pub fn default_scale() -> Self {
+        Scale { keys: 200_000, ops: 2_000_000, concurrency: 65_536, seed: 42 }
+    }
+
+    /// Paper scale: 50 M keys, 50 M operations. Hours of runtime and
+    /// ~10 GB of memory; use on a large machine only.
+    pub fn paper() -> Self {
+        Scale { keys: 50_000_000, ops: 50_000_000, concurrency: 1 << 20, seed: 42 }
+    }
+
+    /// Parses `smoke` / `default` / `full`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "default" => Some(Self::default_scale()),
+            "full" | "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(Scale::from_name("smoke").unwrap().keys, 10_000);
+        assert_eq!(Scale::from_name("default").unwrap().keys, 200_000);
+        assert_eq!(Scale::from_name("full").unwrap().keys, 50_000_000);
+        assert!(Scale::from_name("bogus").is_none());
+    }
+}

@@ -1,0 +1,470 @@
+//! DCART: the cycle-level accelerator model (paper §III, Figs. 4–6).
+//!
+//! The model executes the CTT functional stream and charges hardware
+//! timing:
+//!
+//! * the **PCU** combines one operation per cycle through its 3-stage
+//!   pipeline (Scan_Operation → Get_Prefix → Combine_Operation);
+//! * the **Dispatcher** hands each bucket table to its SOU;
+//! * each **SOU** runs its bucket through the 4-stage pipeline
+//!   (Index_Shortcut → Traverse_Tree → Trigger_Operation →
+//!   Generate_Shortcut), with stage latencies determined by where the data
+//!   lives: on-chip buffer hits cost pipeline cycles, misses cost HBM
+//!   round-trips;
+//! * the **Tree buffer** uses value-aware replacement with node values set
+//!   to the per-batch bucket operation counts (§III-E), the Shortcut
+//!   buffer uses LRU;
+//! * PCU combining of batch *i+1* **overlaps** SOU operating of batch *i*
+//!   (§III-D, Fig. 6).
+
+use dcart_baselines::{
+    ContentionWindow, Counters, IndexEngine, RedundancyWindow, RunConfig, RunReport,
+    TimeBreakdown,
+};
+use dcart_engine::{Clock, LatencyRecorder};
+use dcart_mem::{BufferOutcome, BufferPolicy, EnergyModel, MemoryConfig, ObjectBuffer};
+use dcart_workloads::{KeySet, Op, OpKind};
+use serde::{Deserialize, Serialize};
+
+use crate::config::DcartConfig;
+use crate::ctt::{execute_ctt, BatchEvent, CttConsumer, CttOpEvent, LockGroup};
+
+/// Per-batch timing record of the accelerator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BatchTiming {
+    /// PCU combining cycles for this batch.
+    pub pcu_cycles: u64,
+    /// SOU operating cycles (max over the 16 SOUs) for this batch.
+    pub sou_cycles: u64,
+    /// Operations in the batch.
+    pub ops: u64,
+}
+
+/// Utilization and traffic details of an accelerator run, beyond the
+/// common [`RunReport`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AccelDetails {
+    /// Per-batch timings.
+    pub batches: Vec<BatchTiming>,
+    /// Average SOU load imbalance: max bucket size / mean bucket size.
+    pub bucket_imbalance: f64,
+    /// Tree-buffer hit ratio.
+    pub tree_buffer_hit_ratio: f64,
+    /// Shortcut-buffer hit ratio.
+    pub shortcut_buffer_hit_ratio: f64,
+    /// Total cycles including overlap.
+    pub total_cycles: u64,
+}
+
+/// The DCART accelerator engine.
+#[derive(Debug)]
+pub struct DcartAccel {
+    config: DcartConfig,
+    hbm: MemoryConfig,
+    details: AccelDetails,
+}
+
+impl DcartAccel {
+    /// Creates the accelerator model over a configuration.
+    pub fn new(config: DcartConfig) -> Self {
+        DcartAccel { config, hbm: MemoryConfig::hbm_u280(), details: AccelDetails::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DcartConfig {
+        &self.config
+    }
+
+    /// Details of the most recent run.
+    pub fn last_details(&self) -> &AccelDetails {
+        &self.details
+    }
+}
+
+/// Bytes of one operation descriptor streamed through the Scan buffer and
+/// one bucket-table entry (key id, op kind, value pointer).
+const OP_STREAM_BYTES: u64 = 48;
+
+/// Outstanding memory requests each SOU sustains (non-blocking MSHRs):
+/// misses of different in-flight operations overlap up to this depth, so a
+/// long HBM latency costs issue occupancy, not a full stall. 16 SOUs × 16
+/// requests = 8 in flight per HBM pseudo-channel — a typical operating
+/// point for U280 designs.
+const SOU_OUTSTANDING: u64 = 16;
+
+/// Pipeline fill/drain cycles of one SOU per batch.
+const SOU_FILL_CYCLES: u64 = 16;
+
+struct AccelConsumer {
+    cfg: DcartConfig,
+    clock: Clock,
+    hbm_latency_cycles: u64,
+    tree_buffer: ObjectBuffer,
+    shortcut_buffer: ObjectBuffer,
+    /// Per-SOU issue-occupancy cycles in the current batch.
+    sou_occupancy: Vec<u64>,
+    /// Per-SOU summed request latency in the current batch.
+    sou_latency: Vec<u64>,
+    counters: Counters,
+    redundancy: RedundancyWindow,
+    contention: ContentionWindow,
+    batches: Vec<BatchTiming>,
+    current_batch_ops: u64,
+    imbalance_sum: f64,
+    onchip_accesses: u64,
+}
+
+impl AccelConsumer {
+    /// Fetches a node through the Tree buffer, returning the cycles the
+    /// Traverse_Tree stage spends on it.
+    fn fetch_node(&mut self, id: u64, footprint: u32, lines: u32, value: u64) -> u64 {
+        match self.tree_buffer.request(id, footprint, value) {
+            BufferOutcome::Hit => {
+                self.counters.cache_hits += 1;
+                self.onchip_accesses += 1;
+                2
+            }
+            BufferOutcome::MissFilled | BufferOutcome::MissBypassed => {
+                self.counters.cache_misses += 1;
+                self.counters.offchip_accesses += 1;
+                self.counters.offchip_bytes += u64::from(lines) * 64;
+                self.hbm_latency_cycles + u64::from(lines.saturating_sub(1))
+            }
+        }
+    }
+}
+
+impl CttConsumer for AccelConsumer {
+    fn batch_start(&mut self, ev: &BatchEvent) {
+        self.sou_occupancy = vec![0; self.cfg.sous];
+        self.sou_latency = vec![0; self.cfg.sous];
+        self.current_batch_ops = 0;
+        let total: u32 = ev.bucket_sizes.iter().sum();
+        let max = ev.bucket_sizes.iter().copied().max().unwrap_or(0);
+        if total > 0 {
+            let mean = f64::from(total) / ev.bucket_sizes.len() as f64;
+            self.imbalance_sum += f64::from(max) / mean.max(1e-9);
+        }
+    }
+
+    fn op(&mut self, ev: &CttOpEvent<'_>) {
+        self.counters.ops += 1;
+        self.current_batch_ops += 1;
+        if ev.kind.is_write() {
+            self.counters.writes += 1;
+        } else {
+            self.counters.reads += 1;
+        }
+        let value = u64::from(ev.bucket_ops);
+
+        // Stage 1 — Index_Shortcut: probe the shortcut buffer for
+        // reads/updates; other ops pass through in a cycle.
+        let s1 = if self.cfg.shortcuts_enabled && matches!(ev.kind, OpKind::Read | OpKind::Update)
+        {
+            if ev.shortcut_hit {
+                // The buffer caches shortcut entries by key identity; a
+                // probe that misses on chip fetches the entry from the
+                // off-chip hash table.
+                match self.shortcut_buffer.request(ev.key_id, crate::shortcut::ENTRY_BYTES, value)
+                {
+                    BufferOutcome::Hit => {
+                        self.onchip_accesses += 1;
+                        1
+                    }
+                    _ => {
+                        self.counters.offchip_accesses += 1;
+                        self.counters.offchip_bytes += 64;
+                        self.hbm_latency_cycles
+                    }
+                }
+            } else {
+                // Negative probe: an on-chip presence filter over Key_IDs
+                // rejects keys with no shortcut entry without an off-chip
+                // access, so absent-key probes cost pipeline cycles only.
+                self.onchip_accesses += 1;
+                2
+            }
+        } else {
+            1
+        };
+
+        // Stage 2 — Traverse_Tree: every effective visit goes through the
+        // value-aware Tree buffer.
+        let mut s2 = 0u64;
+        for v in ev.visits {
+            self.counters.nodes_traversed += 1;
+            self.counters.useful_bytes += u64::from(v.useful_bytes);
+            self.counters.fetched_bytes += u64::from(v.lines) * 64;
+            s2 += self.fetch_node(u64::from(v.node.index()), v.footprint, v.lines, value);
+        }
+        self.redundancy.record_op(ev.visits.iter().map(|v| v.node));
+        if ev.shortcut_hit {
+            self.counters.shortcut_hits += 1;
+        } else {
+            self.counters.shortcut_misses += 1;
+        }
+        self.counters.partial_key_matches += ev.matches;
+
+        // Stage 3 — Trigger_Operation; Stage 4 — Generate_Shortcut.
+        let s3 = 2;
+        let s4 = if ev.generated_shortcut { 2 } else { 1 };
+
+        // Non-blocking SOU: each node fetch occupies an issue slot for a
+        // cycle (plus the pipeline's own work), while full fetch latency is
+        // overlapped across up to SOU_OUTSTANDING in-flight operations.
+        let sou = ev.bucket % self.cfg.sous;
+        let occupancy = (ev.visits.len() as u64).max(1);
+        let latency = s1 + s2.max(1) + s3 + s4;
+        self.sou_occupancy[sou] += occupancy;
+        self.sou_latency[sou] += latency;
+        self.onchip_accesses += 2; // scan + bucket buffer streams
+    }
+
+    fn lock_group(&mut self, group: &LockGroup) {
+        self.counters.lock_acquisitions += 1;
+        self.contention.record_unit([group.node]);
+    }
+
+    fn batch_end(&mut self, _index: usize) {
+        self.contention.end_window();
+        let sou_cycles = self
+            .sou_occupancy
+            .iter()
+            .zip(&self.sou_latency)
+            .map(|(&occ, &lat)| occ.max(lat / SOU_OUTSTANDING) + SOU_FILL_CYCLES)
+            .max()
+            .unwrap_or(0);
+        // PCU: one op per cycle through 3 stages, floored by the byte
+        // stream the Scan/Bucket buffers move per cycle.
+        let clock_hz = self.clock.freq_hz();
+        let bytes_per_cycle = 460.0e9 / clock_hz; // HBM bytes per cycle
+        let stream_cycles =
+            (self.current_batch_ops * OP_STREAM_BYTES) as f64 / bytes_per_cycle;
+        // Multiple PCUs scan the arriving batch in parallel stripes (an
+        // extension knob; Table I uses 1).
+        let pcu_throughput = self.cfg.pcus.max(1) as u64;
+        let pcu_cycles =
+            (self.current_batch_ops / pcu_throughput + 2).max(stream_cycles.ceil() as u64);
+        self.counters.offchip_bytes += self.current_batch_ops * OP_STREAM_BYTES;
+        self.batches.push(BatchTiming {
+            pcu_cycles,
+            sou_cycles,
+            ops: self.current_batch_ops,
+        });
+    }
+}
+
+impl IndexEngine for DcartAccel {
+    fn name(&self) -> &'static str {
+        "DCART"
+    }
+
+    fn run(&mut self, keys: &KeySet, ops: &[Op], run: &RunConfig) -> RunReport {
+        let clock = Clock::mhz(self.config.clock_mhz);
+        let hbm_latency_cycles = clock.ns_to_cycles(self.hbm.latency_ns);
+        let mut consumer = AccelConsumer {
+            cfg: self.config,
+            clock,
+            hbm_latency_cycles,
+            tree_buffer: ObjectBuffer::new(
+                self.config.tree_buffer_bytes,
+                self.config.tree_buffer_policy,
+            ),
+            shortcut_buffer: ObjectBuffer::new(
+                self.config.shortcut_buffer_bytes,
+                BufferPolicy::Lru,
+            ),
+            sou_occupancy: Vec::new(),
+            sou_latency: Vec::new(),
+            counters: Counters::default(),
+            redundancy: RedundancyWindow::new(run.concurrency),
+            contention: ContentionWindow::new(usize::MAX >> 1),
+            batches: Vec::new(),
+            current_batch_ops: 0,
+            imbalance_sum: 0.0,
+            onchip_accesses: 0,
+        };
+
+        let (_tree, stats) = execute_ctt(keys, ops, &self.config, run.concurrency, &mut consumer);
+
+        // Assemble cycle timeline with (or without) PCU/SOU overlap.
+        let mut pcu_done: u64 = 0;
+        let mut sou_end: u64 = 0;
+        let mut latency = LatencyRecorder::new();
+        let mut sou_busy: u64 = 0;
+        for b in &consumer.batches {
+            if self.config.overlap_enabled {
+                pcu_done += b.pcu_cycles;
+                let sou_start = pcu_done.max(sou_end);
+                sou_end = sou_start + b.sou_cycles;
+            } else {
+                let sou_start = sou_end + b.pcu_cycles;
+                sou_end = sou_start + b.sou_cycles;
+                pcu_done = sou_start;
+            }
+            sou_busy += b.sou_cycles;
+            // An op waits for its batch to combine and operate.
+            latency.record(clock.cycles_to_ns(b.pcu_cycles + b.sou_cycles) / 1e3);
+        }
+        // Cross-SOU conflicts serialize briefly at trigger time; shared
+        // Shortcut_Table hash-bucket collisions synchronize the writers.
+        let (totals, _history) = consumer.contention.finish();
+        let contentions = totals.contentions + stats.shortcut_hash_collisions;
+        let conflict_cycles = contentions * 8;
+        let total_cycles = sou_end + conflict_cycles;
+        let time_s = clock.cycles_to_seconds(total_cycles);
+
+        let mut counters = consumer.counters;
+        counters.redundant_node_visits = consumer.redundancy.redundant_visits;
+        counters.lock_contentions = contentions;
+        counters.lock_acquisitions += stats.shortcut_hash_collisions;
+
+        let energy = EnergyModel::fpga_u280();
+        let energy_j = energy.energy_joules(
+            time_s,
+            counters.offchip_bytes,
+            consumer.onchip_accesses,
+        );
+
+        // Time breakdown: PCU work that the overlap hides is not on the
+        // critical path; attribute the visible cycles.
+        let pcu_total: u64 = consumer.batches.iter().map(|b| b.pcu_cycles).sum();
+        let visible_pcu = if self.config.overlap_enabled {
+            total_cycles.saturating_sub(sou_busy + conflict_cycles)
+        } else {
+            pcu_total
+        };
+        let breakdown = TimeBreakdown {
+            traversal_s: clock.cycles_to_seconds(sou_busy),
+            sync_s: clock.cycles_to_seconds(conflict_cycles),
+            combine_s: clock.cycles_to_seconds(visible_pcu),
+            other_s: 0.0,
+        };
+
+        let batches = consumer.batches.len().max(1) as f64;
+        self.details = AccelDetails {
+            bucket_imbalance: consumer.imbalance_sum / batches,
+            tree_buffer_hit_ratio: consumer.tree_buffer.stats().hit_ratio(),
+            shortcut_buffer_hit_ratio: consumer.shortcut_buffer.stats().hit_ratio(),
+            batches: consumer.batches,
+            total_cycles,
+        };
+        debug_assert_eq!(stats.ops, counters.ops);
+
+        let p99 = latency.percentile(0.99);
+        RunReport {
+            engine: self.name().to_string(),
+            workload: keys.name.clone(),
+            counters,
+            time_s,
+            breakdown,
+            energy_j,
+            latency_mean_us: latency.mean(),
+            latency_p99_us: p99,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcart_baselines::{CpuBaseline, CpuConfig};
+    use dcart_workloads::{generate_ops, Mix, OpStreamConfig, Workload};
+
+    fn setup(n_keys: usize, n_ops: usize) -> (KeySet, Vec<Op>, RunConfig) {
+        let keys = Workload::Ipgeo.generate(n_keys, 1);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: n_ops, mix: Mix::C, ..Default::default() },
+        );
+        (keys, ops, RunConfig { concurrency: 8192 })
+    }
+
+    #[test]
+    fn dcart_crushes_smart() {
+        let (keys, ops, run) = setup(20_000, 60_000);
+        let mut dcart = DcartAccel::new(DcartConfig::default().scaled_for_keys(20_000));
+        let d = dcart.run(&keys, &ops, &run);
+        let smart = CpuBaseline::smart(CpuConfig::xeon_8468().scaled_for_keys(20_000))
+            .run(&keys, &ops, &run);
+        let speedup = smart.time_s / d.time_s;
+        assert!(speedup > 5.0, "DCART vs SMART speedup only {speedup}");
+    }
+
+    #[test]
+    fn overlap_hides_combining() {
+        let (keys, ops, run) = setup(10_000, 40_000);
+        let mut with = DcartAccel::new(DcartConfig::default().scaled_for_keys(10_000));
+        let with_t = with.run(&keys, &ops, &run).time_s;
+        let mut cfg = DcartConfig::default().scaled_for_keys(10_000);
+        cfg.overlap_enabled = false;
+        let mut without = DcartAccel::new(cfg);
+        let without_t = without.run(&keys, &ops, &run).time_s;
+        assert!(with_t < without_t, "{with_t} vs {without_t}");
+    }
+
+    #[test]
+    fn shortcuts_reduce_traversed_nodes() {
+        let (keys, ops, run) = setup(10_000, 40_000);
+        let mut on = DcartAccel::new(DcartConfig::default().scaled_for_keys(10_000));
+        let r_on = on.run(&keys, &ops, &run);
+        let mut cfg = DcartConfig::default().scaled_for_keys(10_000);
+        cfg.shortcuts_enabled = false;
+        let mut off = DcartAccel::new(cfg);
+        let r_off = off.run(&keys, &ops, &run);
+        assert!(r_on.counters.nodes_traversed < r_off.counters.nodes_traversed);
+        assert!(
+            r_on.time_s <= r_off.time_s * 1.1,
+            "shortcuts must not cost time: {} vs {}",
+            r_on.time_s,
+            r_off.time_s
+        );
+        assert!(r_on.counters.shortcut_hits > 0);
+        assert_eq!(r_off.counters.shortcut_hits, 0);
+    }
+
+    #[test]
+    fn value_aware_beats_lru_under_coalesced_streams() {
+        // §III-E's claim, end to end: under the coalesced access stream
+        // (each node fetched once per bucket-batch), LRU has no recency
+        // signal left and thrashes, while node values persist across
+        // batches and keep the hot set resident. Both policies
+        // produce identical functional results, and value-aware retains
+        // high-value nodes across batches where LRU (whose recency signal
+        // the once-per-batch coalesced access stream destroys) thrashes.
+        let (keys, ops, run) = setup(30_000, 60_000);
+        // Shrink the tree buffer hard so replacement policy matters.
+        let mut cfg = DcartConfig {
+            tree_buffer_bytes: 64 * 1024,
+            shortcut_buffer_bytes: 8 * 1024,
+            ..Default::default()
+        };
+        let mut va = DcartAccel::new(cfg);
+        let r_va = va.run(&keys, &ops, &run);
+        let va_hits = va.last_details().tree_buffer_hit_ratio;
+        cfg.tree_buffer_policy = BufferPolicy::Lru;
+        let mut lru = DcartAccel::new(cfg);
+        let r_lru = lru.run(&keys, &ops, &run);
+        let lru_hits = lru.last_details().tree_buffer_hit_ratio;
+        assert!(
+            va_hits > lru_hits,
+            "value-aware {va_hits} must beat LRU {lru_hits} under coalesced streams"
+        );
+        // Same functional results regardless of policy.
+        assert_eq!(r_va.counters.ops, r_lru.counters.ops);
+        assert_eq!(r_va.counters.nodes_traversed, r_lru.counters.nodes_traversed);
+    }
+
+    #[test]
+    fn details_populated() {
+        let (keys, ops, run) = setup(5_000, 20_000);
+        let mut dcart = DcartAccel::new(DcartConfig::default().scaled_for_keys(5_000));
+        let r = dcart.run(&keys, &ops, &run);
+        let d = dcart.last_details();
+        assert!(!d.batches.is_empty());
+        assert!(d.bucket_imbalance >= 1.0);
+        assert!(d.total_cycles > 0);
+        assert!(r.latency_p99_us >= r.latency_mean_us);
+        assert!(r.energy_j > 0.0);
+    }
+}

@@ -1,0 +1,478 @@
+//! The data-centric Combine–Traverse–Trigger execution model (paper §II-C,
+//! §III).
+//!
+//! This is the functional heart of DCART, shared by the software engine
+//! (DCART-C) and the accelerator model (DCART):
+//!
+//! 1. **Combine** — each batch of concurrent operations is partitioned into
+//!    disjoint prefix buckets by the [PCU](crate::pcu);
+//! 2. **Traverse** — each bucket's operations resolve their target nodes,
+//!    through the [shortcut table](crate::ShortcutTable) when possible and
+//!    by (coalesced) tree traversal otherwise;
+//! 3. **Trigger** — operations targeting the same node execute together
+//!    under a single lock: the per-bucket *lock group* replaces per-op
+//!    locking, which is where the Fig. 7 contention reduction comes from.
+//!
+//! Consumers receive every resolved operation (with its *effective* node
+//! visits — one direct fetch on a shortcut hit, the full path otherwise)
+//! and every lock group, and attach platform-specific costs.
+
+use std::collections::HashMap;
+
+use dcart_art::{Art, NodeId, NodeVisit, RecordingTracer};
+use dcart_workloads::{KeySet, Op, OpKind};
+use serde::{Deserialize, Serialize};
+
+use crate::config::DcartConfig;
+use crate::pcu::combine_batch;
+
+/// Hash buckets of the off-chip Shortcut_Table (for collision accounting).
+const SHORTCUT_HASH_BUCKETS: u64 = 1 << 16;
+
+/// FNV-1a over the key bytes: the hardware's Key_ID.
+pub fn key_id(key: &dcart_art::Key) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+use crate::shortcut::{ShortcutStats, ShortcutTable};
+
+/// One resolved operation, as seen by a CTT consumer.
+#[derive(Debug)]
+pub struct CttOpEvent<'a> {
+    /// Batch index.
+    pub batch: usize,
+    /// Bucket (= SOU) index within the batch.
+    pub bucket: usize,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// A stable hash of the operation's key (the hardware's Key_ID), used
+    /// by the accelerator model to index the shortcut buffer.
+    pub key_id: u64,
+    /// Whether the target was resolved through the shortcut table.
+    pub shortcut_hit: bool,
+    /// The node fetches this operation actually performs: a single direct
+    /// fetch on a shortcut hit, the traversal path otherwise.
+    pub visits: &'a [NodeVisit],
+    /// Partial-key comparisons performed (1 validation compare on a
+    /// shortcut hit).
+    pub matches: u64,
+    /// Total operations of this bucket in this batch — the *value* of the
+    /// bucket's nodes for the value-aware Tree buffer (§III-E).
+    pub bucket_ops: u32,
+    /// Whether a shortcut entry was generated/updated after a traversal.
+    pub generated_shortcut: bool,
+}
+
+/// A coalesced lock: `size` operations of one bucket targeting one node
+/// acquire a single lock and trigger together.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LockGroup {
+    /// Batch index.
+    pub batch: usize,
+    /// Bucket index.
+    pub bucket: usize,
+    /// The locked node.
+    pub node: NodeId,
+    /// Operations sharing the lock.
+    pub size: u32,
+}
+
+/// Per-batch combining summary.
+#[derive(Clone, Debug)]
+pub struct BatchEvent {
+    /// Batch index.
+    pub index: usize,
+    /// Operations per bucket.
+    pub bucket_sizes: Vec<u32>,
+}
+
+/// Observer of a CTT execution. All methods default to no-ops.
+pub trait CttConsumer {
+    /// A batch was combined and is about to be operated on.
+    fn batch_start(&mut self, ev: &BatchEvent) {
+        let _ = ev;
+    }
+
+    /// One operation resolved and triggered.
+    fn op(&mut self, ev: &CttOpEvent<'_>) {
+        let _ = ev;
+    }
+
+    /// One coalesced lock acquired by a bucket.
+    fn lock_group(&mut self, group: &LockGroup) {
+        let _ = group;
+    }
+
+    /// All buckets of batch `index` finished.
+    fn batch_end(&mut self, index: usize) {
+        let _ = index;
+    }
+}
+
+/// Aggregate statistics of a CTT execution.
+#[derive(Clone, Copy, Default, Debug, Serialize, Deserialize)]
+pub struct CttStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Shortcut-table statistics.
+    pub shortcut: ShortcutStats,
+    /// Coalesced locks acquired.
+    pub lock_groups: u64,
+    /// Locks an operation-centric protocol would have acquired instead
+    /// (the saving is `per_op_locks − lock_groups`).
+    pub per_op_locks: u64,
+    /// Cross-SOU collisions on the shared Shortcut_Table's hash buckets:
+    /// two SOUs generating entries into the same bucket within a batch must
+    /// synchronize. This is DCART's residual contention source — the paper
+    /// still reports 3.2–19.7 % of the baselines' contentions (Fig. 7).
+    pub shortcut_hash_collisions: u64,
+}
+
+/// Executes `ops` over a tree loaded with `keys` under the CTT model,
+/// streaming events to `consumer`.
+///
+/// Returns the final tree and the aggregate statistics.
+///
+/// Shortcuts accelerate reads and updates (the operations of the paper's
+/// workloads); inserts and removes always traverse, and removes invalidate
+/// their key's shortcut.
+///
+/// # Examples
+///
+/// ```
+/// use dcart::{execute_ctt, CttConsumer, DcartConfig};
+/// use dcart_workloads::{generate_ops, synth, OpStreamConfig};
+///
+/// struct Sink;
+/// impl CttConsumer for Sink {}
+///
+/// let keys = synth::dense(500, 1);
+/// let ops = generate_ops(&keys, &OpStreamConfig { count: 2_000, ..Default::default() });
+/// let cfg = DcartConfig::default().with_auto_prefix_skip(&keys);
+/// let (tree, stats) = execute_ctt(&keys, &ops, &cfg, 512, &mut Sink);
+/// assert_eq!(stats.ops, 2_000);
+/// assert!(stats.lock_groups < stats.per_op_locks, "coalescing saves locks");
+/// assert!(tree.len() >= 500);
+/// ```
+pub fn execute_ctt<C: CttConsumer>(
+    keys: &KeySet,
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    consumer: &mut C,
+) -> (Art<u64>, CttStats) {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut art: Art<u64> = Art::new();
+    for (i, key) in keys.keys.iter().enumerate() {
+        art.insert(key.clone(), i as u64).expect("workload keys are prefix-free");
+    }
+
+    let mut shortcuts = ShortcutTable::new();
+    let mut stats = CttStats::default();
+    let mut tracer = RecordingTracer::new();
+
+    for (batch_idx, batch) in ops.chunks(batch_size).enumerate() {
+        let combined = combine_batch(config, batch);
+        let bucket_sizes: Vec<u32> = combined.buckets.iter().map(|b| b.len() as u32).collect();
+        consumer.batch_start(&BatchEvent { index: batch_idx, bucket_sizes: bucket_sizes.clone() });
+        stats.batches += 1;
+
+        // The SOUs process their buckets in parallel; we interleave the
+        // buckets round-robin so shared resources (the Tree buffer above
+        // all) see the same mixed access stream the hardware does. This is
+        // what makes value-aware replacement earn its keep: under a pure
+        // bucket-sequential order, recency alone would look artificially
+        // good (no cross-SOU interference).
+        let mut write_targets: Vec<HashMap<NodeId, u32>> =
+            (0..combined.buckets.len()).map(|_| HashMap::new()).collect();
+        // Traversal coalescing (Observation 1): within a bucket-batch, each
+        // tree node is traversed once and drives *all* combined operations
+        // that pass through it — later operations ride the shared
+        // traversal. `visited` tracks the nodes this bucket has already
+        // fetched in this batch.
+        let mut visited: Vec<std::collections::HashSet<NodeId>> =
+            (0..combined.buckets.len()).map(|_| std::collections::HashSet::new()).collect();
+        let mut fresh_visits: Vec<NodeVisit> = Vec::new();
+        // hash bucket of the Shortcut_Table -> combining bucket that last
+        // wrote it this batch (for cross-SOU collision counting).
+        let mut shortcut_writers: HashMap<u64, usize> = HashMap::new();
+        let mut cursors = vec![0usize; combined.buckets.len()];
+        let mut remaining: u64 = u64::from(combined.scanned);
+        while remaining > 0 {
+            for (bucket_idx, bucket) in combined.buckets.iter().enumerate() {
+                let Some(&op_i) = bucket.get(cursors[bucket_idx]) else { continue };
+                cursors[bucket_idx] += 1;
+                remaining -= 1;
+                let bucket_ops = bucket_sizes[bucket_idx];
+                let write_targets = &mut write_targets[bucket_idx];
+                let op = &batch[op_i as usize];
+                stats.ops += 1;
+                if op.kind.is_write() {
+                    stats.writes += 1;
+                } else {
+                    stats.reads += 1;
+                }
+
+                // Index_Shortcut: probe for reads/updates.
+                let entry = if config.shortcuts_enabled
+                    && matches!(op.kind, OpKind::Read | OpKind::Update)
+                {
+                    shortcuts.probe(&op.key, &art)
+                } else {
+                    None
+                };
+
+                let ev = if let Some(entry) = entry {
+                    // Shortcut hit: direct target fetch, one validation
+                    // compare, no traversal. If a combined operation of
+                    // this bucket already fetched the target this batch,
+                    // the access is free (it is triggered together).
+                    fresh_visits.clear();
+                    if visited[bucket_idx].insert(entry.target) {
+                        fresh_visits.push(
+                            art.visit_for(entry.target)
+                                .expect("probe validated the target as live"),
+                        );
+                    }
+                    match op.kind {
+                        OpKind::Read => {
+                            let _ = art.read_leaf(entry.target, &op.key);
+                        }
+                        OpKind::Update => {
+                            art.update_leaf(entry.target, &op.key, op.value)
+                                .expect("probe validated the target key");
+                            *write_targets.entry(entry.target).or_insert(0) += 1;
+                            stats.per_op_locks += 1;
+                        }
+                        _ => unreachable!("shortcuts only serve reads/updates"),
+                    }
+                    CttOpEvent {
+                        batch: batch_idx,
+                        bucket: bucket_idx,
+                        kind: op.kind,
+                        key_id: key_id(&op.key),
+                        shortcut_hit: true,
+                        visits: &fresh_visits,
+                        matches: fresh_visits.len() as u64,
+                        bucket_ops,
+                        generated_shortcut: false,
+                    }
+                } else {
+                    // Traverse_Tree: full (but coalesced-by-bucket) search.
+                    tracer.clear();
+                    match op.kind {
+                        OpKind::Read => {
+                            let _ = art.get_traced(&op.key, &mut tracer);
+                        }
+                        OpKind::Update | OpKind::Insert => {
+                            art.insert_traced(op.key.clone(), op.value, &mut tracer)
+                                .expect("workload keys are prefix-free");
+                        }
+                        OpKind::Remove => {
+                            let _ = art.remove_traced(&op.key, &mut tracer);
+                            shortcuts.invalidate(&op.key);
+                        }
+                        OpKind::Scan => {
+                            // Range scans always walk the tree from the
+                            // start position; the bucket's coalescing
+                            // below still dedups nodes shared with other
+                            // combined operations.
+                            let _ = art.scan_traced(
+                                op.key.as_bytes(),
+                                op.value as usize,
+                                &mut tracer,
+                            );
+                        }
+                    }
+                    let mut generated = false;
+                    if config.shortcuts_enabled && !matches!(op.kind, OpKind::Remove | OpKind::Scan) {
+                        if let Some(target) = tracer.trace.target {
+                            // Generate_Shortcut: only leaves are reusable
+                            // point-op targets.
+                            if art.read_leaf(target, &op.key).is_some() {
+                                shortcuts.generate(op.key.clone(), target, tracer.trace.parent);
+                                generated = true;
+                                let hb = key_id(&op.key) % SHORTCUT_HASH_BUCKETS;
+                                if let Some(&writer) = shortcut_writers.get(&hb) {
+                                    if writer != bucket_idx {
+                                        stats.shortcut_hash_collisions += 1;
+                                    }
+                                }
+                                shortcut_writers.insert(hb, bucket_idx);
+                            }
+                        }
+                    }
+                    if op.kind.is_write() {
+                        // Every node the write locks joins a coalesced
+                        // group — including structural locks on upper
+                        // nodes, which are the only nodes two buckets can
+                        // share (and hence DCART's only residual
+                        // contention source, Fig. 7).
+                        if tracer.trace.locks.is_empty() {
+                            if let Some(target) = tracer.trace.target {
+                                *write_targets.entry(target).or_insert(0) += 1;
+                            }
+                        } else {
+                            for &node in &tracer.trace.locks {
+                                *write_targets.entry(node).or_insert(0) += 1;
+                            }
+                        }
+                        stats.per_op_locks += tracer.trace.locks.len().max(1) as u64;
+                    }
+                    // Coalesce the traversal: only first-touch nodes cost a
+                    // fetch and their share of the partial-key matching;
+                    // path segments another combined op already walked are
+                    // shared (paper: "each node ... traversed only once").
+                    fresh_visits.clear();
+                    for v in &tracer.trace.visits {
+                        if visited[bucket_idx].insert(v.node) {
+                            fresh_visits.push(*v);
+                        }
+                    }
+                    let total_visits = tracer.trace.visits.len().max(1) as u64;
+                    let matches = tracer.trace.partial_key_matches * fresh_visits.len() as u64
+                        / total_visits;
+                    CttOpEvent {
+                        batch: batch_idx,
+                        bucket: bucket_idx,
+                        kind: op.kind,
+                        key_id: key_id(&op.key),
+                        shortcut_hit: false,
+                        visits: &fresh_visits,
+                        matches,
+                        bucket_ops,
+                        generated_shortcut: generated,
+                    }
+                };
+                consumer.op(&ev);
+            }
+        }
+
+        // Trigger_Operation: one lock per (bucket, target) group.
+        for (bucket_idx, targets) in write_targets.into_iter().enumerate() {
+            for (node, size) in targets {
+                stats.lock_groups += 1;
+                consumer.lock_group(&LockGroup { batch: batch_idx, bucket: bucket_idx, node, size });
+            }
+        }
+        consumer.batch_end(batch_idx);
+    }
+
+    stats.shortcut = shortcuts.stats();
+    (art, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcart_workloads::{generate_ops, Mix, OpStreamConfig, Workload};
+
+    #[derive(Default)]
+    struct Collector {
+        ops: u64,
+        hits: u64,
+        visits: u64,
+        groups: u64,
+        group_ops: u64,
+        batches: Vec<usize>,
+    }
+
+    impl CttConsumer for Collector {
+        fn op(&mut self, ev: &CttOpEvent<'_>) {
+            self.ops += 1;
+            self.visits += ev.visits.len() as u64;
+            if ev.shortcut_hit {
+                self.hits += 1;
+                assert!(
+                    ev.visits.len() <= 1,
+                    "shortcut hit fetches at most the target (0 if a combined op already did)"
+                );
+                assert_eq!(ev.matches, ev.visits.len() as u64);
+            }
+        }
+
+        fn lock_group(&mut self, group: &LockGroup) {
+            self.groups += 1;
+            self.group_ops += u64::from(group.size);
+        }
+
+        fn batch_end(&mut self, index: usize) {
+            self.batches.push(index);
+        }
+    }
+
+    fn run(mix: Mix, shortcuts: bool) -> (CttStats, Collector) {
+        let keys = Workload::Ipgeo.generate(5_000, 1);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 20_000, mix, ..Default::default() },
+        );
+        let cfg = DcartConfig { shortcuts_enabled: shortcuts, ..Default::default() };
+        let mut c = Collector::default();
+        let (_, stats) = execute_ctt(&keys, &ops, &cfg, 4096, &mut c);
+        (stats, c)
+    }
+
+    #[test]
+    fn shortcuts_absorb_hot_reads() {
+        let (stats, c) = run(Mix::A, true);
+        assert_eq!(stats.ops, 20_000);
+        let hit_ratio = stats.shortcut.hits as f64 / stats.ops as f64;
+        assert!(hit_ratio > 0.5, "hot Zipfian reads should mostly hit: {hit_ratio}");
+        assert_eq!(c.hits, stats.shortcut.hits);
+    }
+
+    #[test]
+    fn disabling_shortcuts_forces_traversals() {
+        let (with, cw) = run(Mix::C, true);
+        let (without, co) = run(Mix::C, false);
+        assert_eq!(without.shortcut.hits, 0);
+        assert!(with.shortcut.hits > 0);
+        assert!(cw.visits < co.visits, "shortcuts must cut node fetches");
+    }
+
+    #[test]
+    fn coalescing_reduces_lock_count() {
+        let (stats, c) = run(Mix::E, true);
+        assert!(stats.lock_groups < stats.per_op_locks,
+            "groups {} must be fewer than per-op locks {}", stats.lock_groups, stats.per_op_locks);
+        // Every write is covered by at least one group membership (writes
+        // with structural locks join one group per locked node).
+        assert!(c.group_ops >= stats.writes);
+    }
+
+    #[test]
+    fn results_match_operation_centric_execution() {
+        // The CTT-executed tree must end in the same state as a plain
+        // sequential execution (coalescing is an execution strategy, not a
+        // semantic change).
+        let keys = Workload::DenseInt.generate(2_000, 2);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 10_000, mix: Mix::C, ..Default::default() },
+        );
+        let mut c = Collector::default();
+        let (ctt_tree, _) = execute_ctt(&keys, &ops, &DcartConfig::default(), 1024, &mut c);
+        let plain = dcart_baselines::execute_with_traces(&keys, &ops, |_| {});
+        assert_eq!(ctt_tree.len(), plain.len());
+        let a: Vec<_> = ctt_tree.iter().map(|(k, _)| k.clone()).collect();
+        let b: Vec<_> = plain.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(a, b, "same keys in same order");
+    }
+
+    #[test]
+    fn batches_are_sequential() {
+        let (_, c) = run(Mix::C, true);
+        assert_eq!(c.batches, (0..5).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,66 @@
+//! The Dispatcher (paper §III-A): assigns combined buckets to SOUs.
+//!
+//! With the default configuration there are exactly as many bucket tables
+//! as SOUs, so the assignment is the identity; with fewer SOUs than
+//! buckets, buckets are dealt round-robin. The invariant the design rests
+//! on — *operations targeting the same node are handled by a single SOU* —
+//! holds either way, because a bucket is never split.
+
+use serde::{Deserialize, Serialize};
+
+/// A bucket → SOU assignment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dispatch {
+    /// `sou_of[b]` is the SOU index handling bucket `b`.
+    pub sou_of: Vec<usize>,
+    /// Number of SOUs.
+    pub sous: usize,
+}
+
+impl Dispatch {
+    /// Computes the assignment of `buckets` bucket tables onto `sous` SOUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sous` is zero.
+    pub fn new(buckets: usize, sous: usize) -> Self {
+        assert!(sous > 0, "at least one SOU required");
+        Dispatch { sou_of: (0..buckets).map(|b| b % sous).collect(), sous }
+    }
+
+    /// Buckets assigned to SOU `s`.
+    pub fn buckets_of(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
+        self.sou_of
+            .iter()
+            .enumerate()
+            .filter(move |(_, &sou)| sou == s)
+            .map(|(b, _)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_counts_match() {
+        let d = Dispatch::new(16, 16);
+        assert_eq!(d.sou_of, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_robin_when_fewer_sous() {
+        let d = Dispatch::new(16, 4);
+        assert_eq!(d.sou_of[0], 0);
+        assert_eq!(d.sou_of[5], 1);
+        let of_2: Vec<usize> = d.buckets_of(2).collect();
+        assert_eq!(of_2, vec![2, 6, 10, 14]);
+    }
+
+    #[test]
+    fn every_bucket_has_exactly_one_sou() {
+        let d = Dispatch::new(16, 5);
+        let covered: usize = (0..5).map(|s| d.buckets_of(s).count()).sum();
+        assert_eq!(covered, 16);
+    }
+}

@@ -1,0 +1,228 @@
+//! The shortcut table (paper §III-C).
+//!
+//! A hash table mapping a key to the addresses of its target node and the
+//! target's parent: `<Key_ID, Address_Target_Node, Address_Parent_Node>`.
+//! Frequently traversed keys resolve through the table in one probe,
+//! skipping the top-down traversal entirely.
+//!
+//! Entries are validated against the live tree on use: our arena keeps node
+//! ids stable across in-place layout changes (N4 → N16), so — exactly as
+//! the paper requires — an entry only becomes stale when the target node is
+//! *replaced* (path split, merge, removal), which validation detects by
+//! checking that the cached address still holds a leaf with the expected
+//! key.
+
+use std::collections::HashMap;
+
+use dcart_art::{Art, Key, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One shortcut entry: the resolved target and its parent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ShortcutEntry {
+    /// Address (arena id) of the target node — the leaf for point ops.
+    pub target: NodeId,
+    /// Address of the target's parent inner node, if any.
+    pub parent: Option<NodeId>,
+}
+
+/// Approximate size of one entry in the off-chip table, for buffer and
+/// bandwidth modelling: key id + two 8-byte addresses.
+pub const ENTRY_BYTES: u32 = 24;
+
+/// Hit/miss statistics of a [`ShortcutTable`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ShortcutStats {
+    /// Probes that returned a valid entry.
+    pub hits: u64,
+    /// Probes that found nothing (or a stale entry).
+    pub misses: u64,
+    /// Entries invalidated because validation found them stale.
+    pub stale_invalidations: u64,
+    /// Entries written (generated after traversals).
+    pub generated: u64,
+    /// Entries updated in place after a node change.
+    pub updated: u64,
+}
+
+/// The shortcut hash table.
+///
+/// Lives in off-chip memory in the hardware design (with hot entries cached
+/// in the 128 KB Shortcut buffer); this structure is the functional table,
+/// while the accelerator model charges the buffer/memory costs.
+///
+/// # Examples
+///
+/// ```
+/// use dcart::ShortcutTable;
+/// use dcart_art::{Art, Key, NoopTracer};
+///
+/// let mut art = Art::new();
+/// art.insert(Key::from_u64(7), "seven")?;
+/// let (leaf, parent) = art.locate_leaf(&Key::from_u64(7), &mut NoopTracer).unwrap();
+///
+/// let mut table = ShortcutTable::new();
+/// table.generate(Key::from_u64(7), leaf, parent);
+/// let entry = table.probe(&Key::from_u64(7), &art).expect("valid shortcut");
+/// assert_eq!(art.read_leaf(entry.target, &Key::from_u64(7)), Some(&"seven"));
+/// # Ok::<(), dcart_art::ArtError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ShortcutTable {
+    entries: HashMap<Key, ShortcutEntry>,
+    stats: ShortcutStats,
+}
+
+impl ShortcutTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> ShortcutStats {
+        self.stats
+    }
+
+    /// Probes for `key`, validating the cached target against `tree`.
+    ///
+    /// A stale entry (the target address no longer holds a leaf with this
+    /// key) is removed and reported as a miss — exactly what the hardware's
+    /// validation step does.
+    pub fn probe<V>(&mut self, key: &Key, tree: &Art<V>) -> Option<ShortcutEntry> {
+        match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+            Some(&entry) => {
+                if tree.read_leaf(entry.target, key).is_some() {
+                    self.stats.hits += 1;
+                    Some(entry)
+                } else {
+                    self.entries.remove(key);
+                    self.stats.stale_invalidations += 1;
+                    self.stats.misses += 1;
+                    None
+                }
+            }
+        }
+    }
+
+    /// Records the result of a traversal as a new shortcut
+    /// (the Generate_Shortcut stage).
+    pub fn generate(&mut self, key: Key, target: NodeId, parent: Option<NodeId>) {
+        let prev = self.entries.insert(key, ShortcutEntry { target, parent });
+        if prev.is_some() {
+            self.stats.updated += 1;
+        } else {
+            self.stats.generated += 1;
+        }
+    }
+
+    /// Drops the entry for `key`, if any (e.g. after a remove).
+    pub fn invalidate(&mut self, key: &Key) {
+        self.entries.remove(key);
+    }
+
+    /// Total off-chip footprint of the table in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.entries.len() as u64 * u64::from(ENTRY_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(keys: &[u64]) -> Art<u64> {
+        let mut art = Art::new();
+        for &k in keys {
+            art.insert(Key::from_u64(k), k).unwrap();
+        }
+        art
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let art = tree_with(&[1, 2, 3]);
+        let key = Key::from_u64(2);
+        let mut table = ShortcutTable::new();
+        assert_eq!(table.probe(&key, &art), None);
+        let (leaf, parent) = art.locate_leaf(&key, &mut dcart_art::NoopTracer).unwrap();
+        table.generate(key.clone(), leaf, parent);
+        let entry = table.probe(&key, &art).expect("hit after generate");
+        assert_eq!(entry.target, leaf);
+        assert_eq!(table.stats().hits, 1);
+        assert_eq!(table.stats().misses, 1);
+    }
+
+    #[test]
+    fn stale_entry_detected_after_removal() {
+        let mut art = tree_with(&[10, 11]);
+        let key = Key::from_u64(10);
+        let (leaf, parent) = art.locate_leaf(&key, &mut dcart_art::NoopTracer).unwrap();
+        let mut table = ShortcutTable::new();
+        table.generate(key.clone(), leaf, parent);
+        art.remove(&key);
+        assert_eq!(table.probe(&key, &art), None, "stale shortcut must miss");
+        assert_eq!(table.stats().stale_invalidations, 1);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn reused_arena_slot_fails_validation() {
+        let mut art = tree_with(&[20, 21]);
+        let key = Key::from_u64(20);
+        let (leaf, parent) = art.locate_leaf(&key, &mut dcart_art::NoopTracer).unwrap();
+        let mut table = ShortcutTable::new();
+        table.generate(key.clone(), leaf, parent);
+        art.remove(&key);
+        // The freed slot is reused by a different key's leaf.
+        art.insert(Key::from_u64(999), 999).unwrap();
+        assert_eq!(table.probe(&key, &art), None, "reused slot holds the wrong key");
+    }
+
+    #[test]
+    fn entry_survives_parent_type_change() {
+        // Growing the parent N4 → N16 keeps ids stable in the arena, so
+        // the shortcut stays valid — the paper's update-on-type-change is
+        // structurally unnecessary here (documented behaviour).
+        let mut art = Art::new();
+        for b in 0..4u64 {
+            art.insert(Key::from_u64(b << 8 | 1), b).unwrap();
+        }
+        let key = Key::from_u64(1 << 8 | 1);
+        let (leaf, parent) = art.locate_leaf(&key, &mut dcart_art::NoopTracer).unwrap();
+        let mut table = ShortcutTable::new();
+        table.generate(key.clone(), leaf, parent);
+        for b in 4..20u64 {
+            art.insert(Key::from_u64(b << 8 | 1), b).unwrap(); // grows the node
+        }
+        assert!(table.probe(&key, &art).is_some());
+    }
+
+    #[test]
+    fn generate_twice_counts_update() {
+        let art = tree_with(&[5]);
+        let key = Key::from_u64(5);
+        let (leaf, parent) = art.locate_leaf(&key, &mut dcart_art::NoopTracer).unwrap();
+        let mut table = ShortcutTable::new();
+        table.generate(key.clone(), leaf, parent);
+        table.generate(key.clone(), leaf, parent);
+        assert_eq!(table.stats().generated, 1);
+        assert_eq!(table.stats().updated, 1);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.footprint_bytes(), 24);
+    }
+}

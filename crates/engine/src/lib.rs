@@ -1,0 +1,25 @@
+//! # dcart-engine — pipeline and queueing models for the DCART reproduction
+//!
+//! Small, deterministic timing primitives shared by the platform
+//! simulators:
+//!
+//! * [`Clock`] — cycle/time conversions (DCART runs at 230 MHz);
+//! * [`Pipeline`] — in-order pipeline timing with per-item stage latencies,
+//!   used for the PCU's 3-stage and the SOUs' 4-stage pipelines;
+//! * [`LatencyRecorder`] / [`mdc_wait`] — latency percentiles and open-loop
+//!   queueing for throughput–latency curves (paper Fig. 10);
+//! * [`EventQueue`] / [`NonBlockingUnit`] — discrete-event primitives that
+//!   validate the accelerator's closed-form SOU timing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clock;
+mod event;
+mod pipeline;
+mod queueing;
+
+pub use clock::Clock;
+pub use event::{EventQueue, NonBlockingUnit};
+pub use pipeline::{Pipeline, PipelineRun};
+pub use queueing::{mdc_wait, LatencyRecorder};

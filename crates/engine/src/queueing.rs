@@ -1,0 +1,152 @@
+//! Latency percentiles and open-loop queueing, for the throughput–latency
+//! curves of the paper's Fig. 10.
+
+use serde::{Deserialize, Serialize};
+
+/// Records per-operation latencies and reports percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use dcart_engine::LatencyRecorder;
+///
+/// let mut rec = LatencyRecorder::new();
+/// for l in 1..=100u64 {
+///     rec.record(l as f64);
+/// }
+/// assert_eq!(rec.percentile(0.99), 99.0);
+/// assert_eq!(rec.percentile(0.50), 50.0);
+/// ```
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample (any consistent unit).
+    pub fn record(&mut self, latency: f64) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `p`-th percentile (`p` in `(0, 1]`), by nearest-rank.
+    ///
+    /// Returns `0.0` for an empty recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let rank = ((p * self.samples.len() as f64).ceil() as usize).max(1);
+        self.samples[rank - 1]
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+/// Open-loop M/D/c queueing estimate of waiting time.
+///
+/// For the Fig. 10 throughput–latency sweep we treat each engine as `c`
+/// deterministic servers with mean service time `service`: as the offered
+/// rate approaches capacity, queueing delay grows without bound. Uses the
+/// standard M/D/1 waiting-time formula per server after splitting arrivals.
+///
+/// Returns `None` when the system is saturated (`rate >= c / service`).
+pub fn mdc_wait(rate: f64, service: f64, servers: f64) -> Option<f64> {
+    assert!(rate >= 0.0 && service > 0.0 && servers >= 1.0);
+    let per_server_rate = rate / servers;
+    let rho = per_server_rate * service;
+    if rho >= 1.0 {
+        return None;
+    }
+    // M/D/1: Wq = ρ · s / (2(1 − ρ)).
+    Some(rho * service / (2.0 * (1.0 - rho)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            r.record(v);
+        }
+        assert_eq!(r.percentile(0.2), 1.0);
+        assert_eq!(r.percentile(0.5), 3.0);
+        assert_eq!(r.percentile(1.0), 5.0);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.percentile(0.99), 0.0);
+        assert_eq!(r.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_arithmetic() {
+        let mut r = LatencyRecorder::new();
+        r.record(2.0);
+        r.record(4.0);
+        assert_eq!(r.mean(), 3.0);
+    }
+
+    #[test]
+    fn recording_after_percentile_stays_correct() {
+        let mut r = LatencyRecorder::new();
+        r.record(10.0);
+        assert_eq!(r.percentile(1.0), 10.0);
+        r.record(1.0);
+        assert_eq!(r.percentile(0.5), 1.0);
+    }
+
+    #[test]
+    fn wait_grows_toward_saturation() {
+        let s = 1.0;
+        let low = mdc_wait(0.1, s, 1.0).unwrap();
+        let high = mdc_wait(0.9, s, 1.0).unwrap();
+        assert!(high > 10.0 * low);
+        assert_eq!(mdc_wait(1.0, s, 1.0), None, "saturated");
+    }
+
+    #[test]
+    fn more_servers_reduce_wait() {
+        let one = mdc_wait(0.8, 1.0, 1.0).unwrap();
+        let many = mdc_wait(0.8, 1.0, 16.0).unwrap();
+        assert!(many < one);
+    }
+}

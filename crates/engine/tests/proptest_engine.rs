@@ -1,0 +1,125 @@
+//! Property-based tests for the timing primitives.
+
+use dcart_engine::{mdc_wait, Clock, LatencyRecorder, NonBlockingUnit, Pipeline};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// A pipeline can never finish faster than its busiest stage, nor than
+    /// the longest single item, and items complete in order.
+    #[test]
+    fn pipeline_lower_bounds(
+        items in proptest::collection::vec(
+            proptest::array::uniform3(1u64..20),
+            1..100,
+        ),
+    ) {
+        let mut p = Pipeline::new(3).record_completions();
+        for lat in &items {
+            p.push(lat);
+        }
+        let run = p.finish();
+        // Lower bound 1: the busiest stage's total work.
+        let max_stage: u64 = (0..3)
+            .map(|s| items.iter().map(|l| l[s]).sum())
+            .max()
+            .unwrap();
+        prop_assert!(run.total_cycles >= max_stage);
+        // Lower bound 2: any single item's end-to-end latency.
+        let longest: u64 = items.iter().map(|l| l.iter().sum()).max().unwrap();
+        prop_assert!(run.total_cycles >= longest);
+        // Upper bound: fully serialized execution.
+        let serial: u64 = items.iter().map(|l| l.iter().sum::<u64>()).sum();
+        prop_assert!(run.total_cycles <= serial);
+        // Completions are monotone (in-order pipeline).
+        for w in run.completions.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(run.items, items.len() as u64);
+    }
+
+    /// Stage utilization is in [0, 1] for every stage.
+    #[test]
+    fn utilization_bounded(
+        items in proptest::collection::vec(proptest::array::uniform2(1u64..10), 1..50),
+    ) {
+        let mut p = Pipeline::new(2);
+        for lat in &items {
+            p.push(lat);
+        }
+        let run = p.finish();
+        for s in 0..2 {
+            let u = run.stage_utilization(s);
+            prop_assert!((0.0..=1.0).contains(&u), "stage {s}: {u}");
+        }
+    }
+
+    /// Clock conversions round-trip within one cycle.
+    #[test]
+    fn clock_roundtrip(mhz in 1.0f64..3000.0, cycles in 0u64..1 << 40) {
+        let clk = Clock::mhz(mhz);
+        let ns = clk.cycles_to_ns(cycles);
+        let back = clk.ns_to_cycles(ns);
+        prop_assert!(back >= cycles && back <= cycles + 1, "{cycles} -> {back}");
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max of the samples.
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(0.0f64..1e6, 1..300)) {
+        let mut r = LatencyRecorder::new();
+        for &s in &samples {
+            r.record(s);
+        }
+        let p50 = r.percentile(0.5);
+        let p90 = r.percentile(0.9);
+        let p99 = r.percentile(0.99);
+        let max = r.percentile(1.0);
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p50 >= lo && max <= hi);
+        prop_assert!(r.mean() >= lo && r.mean() <= hi);
+    }
+
+    /// The non-blocking unit's drain respects both analytic lower bounds
+    /// (issue occupancy; per-op latency) and the serial upper bound.
+    #[test]
+    fn non_blocking_unit_bounds(
+        ops in proptest::collection::vec((1u64..8, 1u64..100), 1..200),
+        outstanding in 1usize..32,
+    ) {
+        let mut u = NonBlockingUnit::new(outstanding);
+        let mut prev_done = 0u64;
+        for &(occ, lat) in &ops {
+            let done = u.issue(occ, lat);
+            prop_assert!(done >= lat, "completion at least its own latency");
+            // Completions of a min-heap window never regress past drain.
+            prev_done = prev_done.max(done);
+        }
+        let drain = u.drain_cycle();
+        prop_assert_eq!(drain, prev_done);
+        let occ_sum: u64 = ops.iter().map(|&(o, _)| o).sum();
+        let serial: u64 = ops.iter().map(|&(o, l)| o.max(l)).sum();
+        prop_assert!(drain >= occ_sum, "issue port is serial");
+        prop_assert!(drain <= serial, "never slower than fully blocking");
+    }
+
+    /// Queueing wait is nonnegative, increasing in load, and None at or
+    /// beyond saturation.
+    #[test]
+    fn mdc_wait_behaves(rate in 0.01f64..10.0, service in 0.01f64..10.0, servers in 1.0f64..32.0) {
+        let cap = servers / service;
+        match mdc_wait(rate, service, servers) {
+            Some(w) => {
+                prop_assert!(rate < cap);
+                prop_assert!(w >= 0.0);
+                // More load → more waiting.
+                if let Some(w2) = mdc_wait(rate * 0.5, service, servers) {
+                    prop_assert!(w2 <= w + 1e-12);
+                }
+            }
+            None => prop_assert!(rate >= cap),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # dcart-indexes — related-work index structures
+//!
+//! The paper's related-work section (§V) positions ART against the two
+//! dominant index families: B+-trees ("most previous databases typically
+//! apply the variants of B+tree", suffering write amplification) and hash
+//! indexes (O(1) point access, "unable to support range queries
+//! efficiently"). This crate implements both, instrumented with the same
+//! write-amplification and access counters, so those claims can be
+//! measured rather than cited — see `repro indexes`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bptree;
+mod hash;
+mod stats;
+
+pub use bptree::BPlusTree;
+pub use hash::HashIndex;
+pub use stats::WriteStats;

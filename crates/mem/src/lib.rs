@@ -1,0 +1,30 @@
+//! # dcart-mem — memory-hierarchy simulation for the DCART reproduction
+//!
+//! Models the parts of the memory system the paper's analysis and design
+//! rest on:
+//!
+//! * [`SetAssocCache`] — CPU cache with LRU replacement, replayed with the
+//!   exact access streams of instrumented ART traversals;
+//! * [`ObjectBuffer`] — on-chip BRAM scratchpads with LRU, FIFO, and the
+//!   paper's **value-aware** replacement (§III-E);
+//! * [`MemoryModel`] — off-chip DDR/HBM latency+bandwidth accounting,
+//!   cross-validated by the event-driven [`HbmSim`] channel simulator;
+//! * [`LineUtilization`] — the Fig. 2(c) useful-bytes-per-line metric;
+//! * [`EnergyModel`] — per-platform power models behind Fig. 11.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod buffer;
+mod cache;
+mod dram;
+mod energy;
+mod hbm_sim;
+mod line;
+
+pub use buffer::{BufferOutcome, BufferPolicy, BufferStats, ObjectBuffer};
+pub use cache::{Access, CacheStats, SetAssocCache, LINE_BYTES};
+pub use dram::{MemoryConfig, MemoryModel};
+pub use hbm_sim::{Completion, HbmSim, HbmSimConfig};
+pub use energy::EnergyModel;
+pub use line::LineUtilization;

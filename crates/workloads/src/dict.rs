@@ -1,0 +1,151 @@
+//! DICT: a synthetic stand-in for the dwyl/english-words dictionary.
+//!
+//! ART behaviour on string keys is driven by the byte-level statistics of
+//! the vocabulary — which first letters are common, which letter pairs
+//! follow each other (branching factor), and the word-length distribution
+//! (tree depth). A letter-bigram Markov chain over English-like frequencies
+//! reproduces those statistics without shipping the word list.
+
+use std::collections::BTreeSet;
+
+use dcart_art::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::KeySet;
+
+/// Relative first-letter frequencies of English headwords (a..z).
+const START_FREQ: [f64; 26] = [
+    11.7, 4.4, 5.2, 3.2, 2.8, 4.0, 1.6, 4.2, 7.3, 0.5, 0.9, 2.4, 3.8, 2.3, 7.6, 4.3, 0.2, 2.8,
+    6.7, 16.0, 1.2, 0.8, 5.5, 0.1, 1.6, 0.3,
+];
+
+/// Simplified letter-transition affinities: for predecessor class
+/// (vowel/consonant) and successor letter. Enough to give realistic
+/// branching: vowels are followed by many consonants, `q` by `u`, etc.
+fn transition_weight(prev: u8, next: u8) -> f64 {
+    let vowels = b"aeiou";
+    let is_vowel = |c: u8| vowels.contains(&c);
+    if prev == b'q' {
+        return if next == b'u' { 50.0 } else { 0.05 };
+    }
+    let base = START_FREQ[(next - b'a') as usize];
+    match (is_vowel(prev), is_vowel(next)) {
+        (true, false) => base * 1.8,  // vowel → consonant: common
+        (false, true) => base * 2.2,  // consonant → vowel: common
+        (true, true) => base * 0.5,   // vowel clusters: rarer
+        (false, false) => base * 0.7, // consonant clusters: rarer
+    }
+}
+
+fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        pick -= w;
+        if pick <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn generate_word<R: Rng + ?Sized>(rng: &mut R) -> String {
+    // Empirical English word-length distribution, mode ≈ 7–8 letters.
+    let len_weights = [0.2, 1.0, 3.0, 6.0, 9.0, 10.5, 10.0, 8.5, 6.5, 4.5, 3.0, 1.8, 1.0, 0.5];
+    let len = sample_weighted(&len_weights, rng) + 2; // 2..=15 letters
+    let mut word = String::with_capacity(len);
+    let first = b'a' + sample_weighted(&START_FREQ, rng) as u8;
+    word.push(first as char);
+    let mut prev = first;
+    for _ in 1..len {
+        let weights: Vec<f64> = (b'a'..=b'z').map(|c| transition_weight(prev, c)).collect();
+        let next = b'a' + sample_weighted(&weights, rng) as u8;
+        word.push(next as char);
+        prev = next;
+    }
+    word
+}
+
+/// Generates the DICT key set: `n` unique English-like words plus an
+/// insert pool of `n / 4`.
+pub fn generate(n: usize, seed: u64) -> KeySet {
+    assert!(n > 0, "key count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1c7_0000);
+    let want = n + n / 4;
+    let mut words: BTreeSet<String> = BTreeSet::new();
+    let mut attempts: u64 = 0;
+    while words.len() < want {
+        let mut w = generate_word(&mut rng);
+        attempts += 1;
+        // As the space of short words saturates, extend with a suffix
+        // rather than spinning (mirrors compounds/inflections).
+        if attempts > 4 * want as u64 {
+            w.push_str(&generate_word(&mut rng));
+        }
+        words.insert(w);
+    }
+    let mut all: Vec<Key> = words.iter().map(|w| Key::from_str_bytes(w)).collect();
+    use rand::seq::SliceRandom;
+    all.shuffle(&mut rng);
+    let insert_pool = all.split_off(n);
+    KeySet::with_shuffled_popularity("DICT", all, insert_pool, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_sized() {
+        let ks = generate(5_000, 11);
+        assert_eq!(ks.keys.len(), 5_000);
+        let set: BTreeSet<&[u8]> = ks.keys.iter().map(|k| k.as_bytes()).collect();
+        assert_eq!(set.len(), 5_000);
+    }
+
+    #[test]
+    fn words_are_lowercase_nul_terminated() {
+        let ks = generate(500, 2);
+        for k in &ks.keys {
+            let b = k.as_bytes();
+            assert_eq!(*b.last().unwrap(), 0);
+            assert!(b[..b.len() - 1].iter().all(u8::is_ascii_lowercase));
+        }
+    }
+
+    #[test]
+    fn first_letter_distribution_is_skewed() {
+        let ks = generate(20_000, 3);
+        let mut counts = [0usize; 26];
+        for k in &ks.keys {
+            counts[(k.as_bytes()[0] - b'a') as usize] += 1;
+        }
+        // 's' and 'a' words must be far more common than 'x' words.
+        assert!(counts[(b's' - b'a') as usize] > 10 * counts[(b'x' - b'a') as usize].max(1));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(300, 9).keys, generate(300, 9).keys);
+    }
+
+    #[test]
+    fn q_is_followed_by_u() {
+        let ks = generate(20_000, 4);
+        let (mut qu, mut q_other) = (0, 0);
+        for k in &ks.keys {
+            let b = k.as_bytes();
+            for pair in b.windows(2) {
+                if pair[0] == b'q' && pair[1] != 0 {
+                    if pair[1] == b'u' {
+                        qu += 1;
+                    } else {
+                        q_other += 1;
+                    }
+                }
+            }
+        }
+        assert!(qu > 5 * q_other.max(1), "qu={qu} q?={q_other}");
+    }
+}

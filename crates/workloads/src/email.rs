@@ -1,0 +1,110 @@
+//! EA: a synthetic stand-in for the 300M e-mail address corpus.
+//!
+//! E-mail keys have a two-part structure: a name-like local part and a
+//! domain drawn from a heavily skewed popularity distribution (a few
+//! providers host most addresses). Keyed as `local@domain`, the shared
+//! domain suffixes do not share ART paths, but the *local parts* share
+//! name-syllable prefixes heavily — both properties shape the tree and are
+//! reproduced here.
+
+use std::collections::BTreeSet;
+
+use dcart_art::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::KeySet;
+
+const DOMAINS: [&str; 20] = [
+    "gmail.com", "yahoo.com", "hotmail.com", "aol.com", "outlook.com", "icloud.com",
+    "mail.ru", "qq.com", "163.com", "protonmail.com", "gmx.de", "web.de", "orange.fr",
+    "comcast.net", "verizon.net", "live.com", "msn.com", "yandex.ru", "att.net", "me.com",
+];
+
+const SYLLABLES: [&str; 32] = [
+    "an", "bel", "chen", "dan", "el", "fer", "gar", "han", "it", "jo", "ka", "li", "ma",
+    "nor", "ol", "pet", "qi", "ro", "sa", "tom", "ul", "vic", "wang", "xu", "ya", "zh",
+    "mar", "son", "smith", "lee", "kim", "ray",
+];
+
+fn local_part<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let syllables = rng.gen_range(2..=4);
+    let mut s = String::new();
+    for _ in 0..syllables {
+        s.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+    }
+    // Most providers' address spaces are dense enough that numeric
+    // suffixes are common.
+    if rng.gen_bool(0.7) {
+        s.push_str(&rng.gen_range(0..10_000u32).to_string());
+    }
+    s
+}
+
+/// Generates the EA key set: `n` unique `local@domain` keys plus an insert
+/// pool of `n / 4`. Domain popularity is Zipf-like over 20 providers.
+pub fn generate(n: usize, seed: u64) -> KeySet {
+    assert!(n > 0, "key count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xe0a1_1e55);
+    // Zipf-ish domain weights: 1/rank.
+    let weights: Vec<f64> = (1..=DOMAINS.len()).map(|r| 1.0 / r as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let want = n + n / 4;
+    let mut emails: BTreeSet<String> = BTreeSet::new();
+    while emails.len() < want {
+        let mut pick = rng.gen::<f64>() * total;
+        let mut domain = DOMAINS[DOMAINS.len() - 1];
+        for (i, w) in weights.iter().enumerate() {
+            pick -= w;
+            if pick <= 0.0 {
+                domain = DOMAINS[i];
+                break;
+            }
+        }
+        emails.insert(format!("{}@{}", local_part(&mut rng), domain));
+    }
+    let mut all: Vec<Key> = emails.iter().map(|e| Key::from_str_bytes(e)).collect();
+    use rand::seq::SliceRandom;
+    all.shuffle(&mut rng);
+    let insert_pool = all.split_off(n);
+    KeySet::with_shuffled_popularity("EA", all, insert_pool, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_sized() {
+        let ks = generate(5_000, 21);
+        assert_eq!(ks.keys.len(), 5_000);
+        let set: BTreeSet<&[u8]> = ks.keys.iter().map(|k| k.as_bytes()).collect();
+        assert_eq!(set.len(), 5_000);
+    }
+
+    #[test]
+    fn every_key_contains_an_at_sign() {
+        let ks = generate(1_000, 1);
+        assert!(ks.keys.iter().all(|k| k.as_bytes().contains(&b'@')));
+    }
+
+    #[test]
+    fn top_domain_dominates() {
+        let ks = generate(20_000, 5);
+        let gmail = ks
+            .keys
+            .iter()
+            .filter(|k| {
+                let b = k.as_bytes();
+                b.windows(10).any(|w| w == b"@gmail.com")
+            })
+            .count();
+        // 1/rank weights give the top domain ~28 % of addresses.
+        assert!(gmail * 100 / ks.keys.len() > 15, "{gmail}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(200, 33).keys, generate(200, 33).keys);
+    }
+}

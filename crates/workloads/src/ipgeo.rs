@@ -1,0 +1,200 @@
+//! IPGEO: a synthetic stand-in for the GeoLite2-Country IP-range workload.
+//!
+//! The paper's IPGEO workload indexes IPv4 range starts and exhibits two
+//! structural properties (Fig. 3):
+//!
+//! 1. operations cluster on a few hot /8 prefixes (the spike at prefix
+//!    `0x67` exceeds 24,000 operations);
+//! 2. within a prefix, addresses cluster into allocated /16 and /24 blocks
+//!    rather than spreading uniformly, which is what makes distinct keys
+//!    share long ART paths.
+//!
+//! The generator reproduces both: a calibrated per-/8 weight table (quiet
+//! reserved ranges, a body of moderately used prefixes, and a handful of
+//! hot spikes), and block-structured address generation within each prefix.
+//! Operation popularity ranks are assigned so hot prefixes occupy the head
+//! of the Zipfian distribution.
+
+use std::collections::BTreeSet;
+
+use dcart_art::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::KeySet;
+
+/// Per-/8-prefix relative operation weights, calibrated to the shape of the
+/// paper's Fig. 3 (IPGEO panel).
+pub fn prefix_weights() -> [f64; 256] {
+    let mut w = [1.0f64; 256];
+    for (i, weight) in w.iter_mut().enumerate() {
+        let b = i as u8;
+        // Reserved / special-use ranges see almost no traffic.
+        let reserved = matches!(b, 0 | 10 | 127) || b >= 224 || (b == 169) || (b == 192);
+        if reserved {
+            *weight = 0.02;
+            continue;
+        }
+        // A smooth body: allocation density varies gently across the space.
+        *weight = 1.0 + 1.5 * ((i as f64) * 0.11).sin().abs();
+    }
+    // Hot spikes (major ISP / cloud allocations); 0x67 = 103 is the
+    // paper's highlighted peak.
+    for (b, boost) in [
+        (0x67usize, 40.0),
+        (0x2eusize, 18.0),
+        (0x3ausize, 14.0),
+        (0x68usize, 12.0),
+        (0x22usize, 9.0),
+        (0xb9usize, 8.0),
+        (0x4ausize, 7.0),
+    ] {
+        w[b] *= boost;
+    }
+    w
+}
+
+/// Generates the IPGEO key set: `n` unique IPv4 keys plus an insert pool of
+/// `n / 4` fresh keys, with popularity ranks matching the Fig. 3 skew.
+pub fn generate(n: usize, seed: u64) -> KeySet {
+    assert!(n > 0, "key count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1b9e_0ca7);
+    let weights = prefix_weights();
+    let total_w: f64 = weights.iter().sum();
+
+    // Distribute the key population across /8 prefixes proportionally to
+    // allocation weight (key density correlates with op density in real
+    // geo databases: busy ranges are finely subdivided).
+    let want_total = n + n / 4;
+    let mut addrs: BTreeSet<u32> = BTreeSet::new();
+    for (prefix, &w) in weights.iter().enumerate() {
+        let share = ((want_total as f64) * w / total_w).ceil() as usize;
+        // Block-structured allocation: pick a few /16 blocks, then /24
+        // blocks within them, then range starts within those.
+        let blocks16 = (share / 64 + 1).min(256);
+        for _ in 0..share {
+            let b16 = rng.gen_range(0..blocks16 as u32);
+            let b24 = rng.gen_range(0..16u32);
+            let host = rng.gen_range(0..256u32);
+            let addr = ((prefix as u32) << 24) | (b16 << 16) | (b24 << 8) | host;
+            addrs.insert(addr);
+        }
+    }
+    // Top up with uniform addresses if rounding left us short.
+    while addrs.len() < want_total {
+        addrs.insert(rng.gen::<u32>());
+    }
+    let mut all: Vec<u32> = addrs.into_iter().collect();
+    // Deterministic shuffle, then split into loaded keys and insert pool.
+    use rand::seq::SliceRandom;
+    all.shuffle(&mut rng);
+    all.truncate(want_total);
+    let pool: Vec<Key> = all.split_off(n).into_iter().map(|a| Key::from_ipv4(a.to_be_bytes())).collect();
+    let keys: Vec<Key> = all.iter().map(|&a| Key::from_ipv4(a.to_be_bytes())).collect();
+
+    // Popularity: fill rank slots by drawing a *prefix* proportionally to
+    // its weight and taking that prefix's next key. Because the Zipfian op
+    // mass is spread over a prefix's slots at every rank scale, each
+    // prefix's share of operations tracks its weight — hot prefixes spike
+    // the way Fig. 3 shows, without one prefix swallowing the entire head.
+    let mut queues: Vec<Vec<u32>> = vec![Vec::new(); 256];
+    for (i, &addr) in all.iter().enumerate() {
+        queues[(addr >> 24) as usize].push(i as u32);
+    }
+    let mut live_weights = weights;
+    for (p, q) in queues.iter().enumerate() {
+        if q.is_empty() {
+            live_weights[p] = 0.0;
+        }
+    }
+    let mut total_live: f64 = live_weights.iter().sum();
+    let mut popularity: Vec<u32> = Vec::with_capacity(all.len());
+    while popularity.len() < all.len() {
+        let mut pick = rng.gen::<f64>() * total_live;
+        let mut chosen = usize::MAX;
+        for (p, &w) in live_weights.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            pick -= w;
+            if pick <= 0.0 {
+                chosen = p;
+                break;
+            }
+        }
+        if chosen == usize::MAX {
+            chosen = live_weights.iter().rposition(|&w| w > 0.0).expect("keys remain");
+        }
+        let q = &mut queues[chosen];
+        popularity.push(q.pop().expect("live prefixes have keys"));
+        if q.is_empty() {
+            total_live -= live_weights[chosen];
+            live_weights[chosen] = 0.0;
+        }
+    }
+
+    KeySet { name: "IPGEO".to_string(), keys, insert_pool: pool, popularity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_unique() {
+        let ks = generate(10_000, 42);
+        assert_eq!(ks.keys.len(), 10_000);
+        assert_eq!(ks.insert_pool.len(), 2_500);
+        let set: BTreeSet<&[u8]> = ks.keys.iter().map(|k| k.as_bytes()).collect();
+        assert_eq!(set.len(), 10_000, "keys must be unique");
+        // Pool is disjoint from the loaded keys.
+        assert!(ks.insert_pool.iter().all(|k| !set.contains(k.as_bytes())));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(1000, 7);
+        let b = generate(1000, 7);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.popularity, b.popularity);
+        let c = generate(1000, 8);
+        assert_ne!(a.keys, c.keys);
+    }
+
+    #[test]
+    fn hot_prefix_dominates_top_ranks() {
+        let ks = generate(20_000, 1);
+        // Among the hottest 5 % of ranks, the boosted prefixes (0x67 etc.)
+        // must be heavily over-represented.
+        let top = ks.popularity.len() / 20;
+        let hot_prefixes = [0x67u8, 0x2e, 0x3a, 0x68, 0x22, 0xb9, 0x4a];
+        let hot_top = ks.popularity[..top]
+            .iter()
+            .filter(|&&i| hot_prefixes.contains(&ks.keys[i as usize].as_bytes()[0]))
+            .count();
+        // Hot prefixes hold ~30 % of the weight mass, so they must be
+        // clearly over-represented in the head (vs ~3 % of prefix slots)
+        // without monopolizing it.
+        assert!(
+            hot_top * 100 / top > 15 && hot_top * 100 / top < 70,
+            "hot prefixes hold {hot_top}/{top} of the head"
+        );
+    }
+
+    #[test]
+    fn reserved_prefixes_are_nearly_empty() {
+        let ks = generate(50_000, 3);
+        let reserved = ks
+            .keys
+            .iter()
+            .filter(|k| matches!(k.as_bytes()[0], 0 | 10 | 127))
+            .count();
+        assert!(reserved < ks.keys.len() / 100, "{reserved} reserved keys");
+    }
+
+    #[test]
+    fn keys_are_four_bytes() {
+        let ks = generate(100, 5);
+        assert!(ks.keys.iter().all(|k| k.len() == 4));
+    }
+}

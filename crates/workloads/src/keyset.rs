@@ -1,0 +1,73 @@
+//! Key sets: the loaded keys of a workload plus sampling metadata.
+
+use dcart_art::Key;
+
+/// A workload's key material.
+///
+/// `keys` are loaded into the index before the measured operation stream
+/// runs; `insert_pool` holds fresh keys (disjoint from `keys`) that insert
+/// operations consume; `popularity` maps a popularity rank (0 = hottest) to
+/// an index into `keys`, letting a single Zipfian sampler reproduce each
+/// workload's characteristic skew — including IPGEO's per-prefix spikes
+/// (paper Fig. 3), which are encoded by ordering hot-prefix keys first.
+#[derive(Clone, Debug)]
+pub struct KeySet {
+    /// Workload name (paper nomenclature: IPGEO, DICT, EA, DE, RS, RD).
+    pub name: String,
+    /// Keys loaded into the index up front.
+    pub keys: Vec<Key>,
+    /// Fresh keys for insert operations, disjoint from `keys`.
+    pub insert_pool: Vec<Key>,
+    /// Popularity rank → index into `keys`.
+    pub popularity: Vec<u32>,
+}
+
+impl KeySet {
+    /// Creates a key set with a uniformly shuffled popularity order.
+    pub(crate) fn with_shuffled_popularity(
+        name: impl Into<String>,
+        keys: Vec<Key>,
+        insert_pool: Vec<Key>,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
+        use rand::seq::SliceRandom;
+        let mut popularity: Vec<u32> = (0..keys.len() as u32).collect();
+        popularity.shuffle(rng);
+        KeySet { name: name.into(), keys, insert_pool, popularity }
+    }
+
+    /// The key at popularity rank `rank`.
+    pub fn key_at_rank(&self, rank: u64) -> &Key {
+        &self.keys[self.popularity[rank as usize] as usize]
+    }
+
+    /// Number of loaded keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if no keys were generated.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn popularity_is_a_permutation() {
+        let keys: Vec<Key> = (0..100u64).map(Key::from_u64).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ks = KeySet::with_shuffled_popularity("t", keys, Vec::new(), &mut rng);
+        let mut seen = [false; 100];
+        for &p in &ks.popularity {
+            assert!(!seen[p as usize], "duplicate rank target");
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,28 @@
+//! # dcart-workloads — workload generators for the DCART evaluation
+//!
+//! Synthetic stand-ins for the paper's six workloads (§IV-A): three
+//! "real-world" key distributions — [`ipgeo`] (GeoLite2 IP ranges),
+//! [`dict`] (English words), [`email`] (e-mail addresses) — and the three
+//! [`synth`] integer sets (DE/RS/RD). Operation streams with the A–E
+//! read/write mixes and Zipfian popularity are built by [`generate_ops`].
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dict;
+pub mod email;
+pub mod ipgeo;
+mod keyset;
+mod ops;
+mod spec;
+pub mod synth;
+mod trace_io;
+mod zipf;
+
+pub use keyset::KeySet;
+pub use ops::{batches, generate_ops, Mix, Op, OpKind, OpStreamConfig};
+pub use spec::Workload;
+pub use trace_io::{read_trace, write_trace};
+pub use zipf::Zipfian;

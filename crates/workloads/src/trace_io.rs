@@ -1,0 +1,87 @@
+//! Saving and loading operation traces.
+//!
+//! Reproduction runs are deterministic given a seed, but exporting the
+//! exact operation stream lets external tools (or a hardware testbench)
+//! replay byte-identical workloads. Traces are JSON-lines: one [`Op`] per
+//! line.
+
+use std::io::{BufRead, Write};
+
+use crate::Op;
+
+/// Writes `ops` to `w` as JSON-lines.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer, or a serialization error
+/// (impossible for well-formed [`Op`]s) mapped to `io::ErrorKind::Other`.
+pub fn write_trace<W: Write>(mut w: W, ops: &[Op]) -> std::io::Result<()> {
+    for op in ops {
+        let line = serde_json::to_string(op).map_err(std::io::Error::other)?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns any I/O error from the reader; malformed lines are reported as
+/// `io::ErrorKind::InvalidData` with the offending line number.
+pub fn read_trace<R: BufRead>(r: R) -> std::io::Result<Vec<Op>> {
+    let mut ops = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let op: Op = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("trace line {}: {e}", i + 1),
+            )
+        })?;
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_ops, synth, Mix, OpStreamConfig};
+
+    #[test]
+    fn roundtrip_preserves_ops() {
+        let keys = synth::dense(500, 1);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 2_000, mix: Mix::C, ..Default::default() },
+        );
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        let back = read_trace(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let keys = synth::dense(10, 2);
+        let ops = generate_ops(&keys, &OpStreamConfig { count: 3, ..Default::default() });
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let data = b"{\"kind\":\"Read\",\"key\":[1],\"value\":0}\nnot json\n";
+        let err = read_trace(std::io::Cursor::new(&data[..])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

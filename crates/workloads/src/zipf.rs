@@ -1,0 +1,130 @@
+//! Constant-space Zipfian sampler (the YCSB construction).
+//!
+//! Real-world index workloads are skewed: the paper's Fig. 3 shows that
+//! >96.65 % of tree traversals touch only 5 % of ART nodes. A Zipfian
+//! > popularity distribution over keys reproduces that skew.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with Zipfian popularity (rank 0 most popular).
+///
+/// Uses the Gray et al. constant-time method popularized by YCSB: after an
+/// `O(n)` harmonic precomputation, each sample is `O(1)`.
+///
+/// # Examples
+///
+/// ```
+/// use dcart_workloads::Zipfian;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipfian::new(1000, 0.99);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let hot = (0..10_000).filter(|_| zipf.sample(&mut rng) < 10).count();
+/// assert!(hot > 3000, "top-10 ranks draw a large share: {hot}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `n` ranks with skew `theta` (YCSB default
+    /// 0.99; larger = more skewed; must be in `(0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipfian::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[0], max);
+        // Theoretical share of rank 0 at theta=0.99, n=1000 is ~13 %.
+        assert!(counts[0] > 80_000 / 10);
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let total = 100_000;
+        let in_top5pct = (0..total).filter(|_| z.sample(&mut rng) < 500).count();
+        // The paper observes >96 % of accesses on 5 % of nodes; Zipf 0.99
+        // over keys concentrates the op stream comparably (>60 % here;
+        // node-level concentration is higher because paths share nodes).
+        assert!(in_top5pct * 100 / total > 60, "{in_top5pct}");
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mild = Zipfian::new(1000, 0.5);
+        let sharp = Zipfian::new(1000, 0.95);
+        let head = |z: &Zipfian, rng: &mut StdRng| {
+            (0..50_000).filter(|_| z.sample(rng) < 10).count()
+        };
+        let mild_head = head(&mild, &mut rng);
+        let sharp_head = head(&sharp, &mut rng);
+        assert!(sharp_head > 2 * mild_head, "{sharp_head} vs {mild_head}");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_one_rejected() {
+        let _ = Zipfian::new(10, 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! An IP-geolocation service on the ART — the paper's IPGEO use case.
+//!
+//! GeoLite2-style databases map IP *range starts* to records; looking up an
+//! address means finding the greatest range start ≤ the address, which is a
+//! predecessor query — exactly what a radix tree's ordered range scan
+//! provides and a hash index cannot (paper §V).
+//!
+//! ```text
+//! cargo run --release --example ip_geolocation
+//! ```
+
+use dcart_art::{Art, Key};
+use dcart_workloads::ipgeo;
+
+/// A fake "country" record derived from the range-start address.
+fn country_of(range_start: u32) -> &'static str {
+    const COUNTRIES: [&str; 8] = ["US", "CN", "DE", "JP", "BR", "IN", "FR", "AU"];
+    COUNTRIES[(range_start >> 24) as usize % COUNTRIES.len()]
+}
+
+fn lookup(index: &Art<(u32, &'static str)>, addr: u32) -> Option<(u32, &'static str)> {
+    // Predecessor query: scan the range [0, addr + 1) and take the last
+    // entry — the greatest range start at or below the address.
+    let end = Key::from_ipv4((addr.saturating_add(1)).to_be_bytes());
+    index.range(&[][..], Some(end.as_bytes())).last().map(|(_, v)| *v)
+}
+
+fn main() {
+    // Build the index from the synthetic GeoLite2 stand-in.
+    let keys = ipgeo::generate(50_000, 7);
+    let mut index: Art<(u32, &'static str)> = Art::new();
+    for key in &keys.keys {
+        let addr = u32::from_be_bytes(key.as_bytes().try_into().expect("IPv4 keys are 4 bytes"));
+        index.insert(key.clone(), (addr, country_of(addr))).expect("unique IPv4 keys");
+    }
+    let hist = index.type_histogram();
+    println!(
+        "indexed {} ranges: {} leaves, {} N4, {} N16, {} N48, {} N256 ({} KiB)",
+        index.len(),
+        hist.leaves,
+        hist.n4,
+        hist.n16,
+        hist.n48,
+        hist.n256,
+        index.memory_footprint() / 1024
+    );
+
+    // Look up some addresses.
+    println!("\naddress            range start        country");
+    for addr in [0x67_01_02_03u32, 0x2e_aa_bb_cc, 0x08_08_08_08, 0xc0_a8_00_01] {
+        let octets = addr.to_be_bytes();
+        match lookup(&index, addr) {
+            Some((start, country)) => {
+                let s = start.to_be_bytes();
+                println!(
+                    "{:>3}.{:>3}.{:>3}.{:<5}  {:>3}.{:>3}.{:>3}.{:<5}  {country}",
+                    octets[0], octets[1], octets[2], octets[3], s[0], s[1], s[2], s[3]
+                );
+            }
+            None => println!(
+                "{:>3}.{:>3}.{:>3}.{:<5}  (below first range)",
+                octets[0], octets[1], octets[2], octets[3]
+            ),
+        }
+    }
+
+    // Range analytics: how many ranges sit inside 103.0.0.0/8 (the paper's
+    // hot 0x67 prefix)?
+    let lo = Key::from_ipv4([0x67, 0, 0, 0]);
+    let hi = Key::from_ipv4([0x68, 0, 0, 0]);
+    let in_hot: usize = index.range(lo.as_bytes(), Some(hi.as_bytes())).count();
+    println!("\nranges inside 103.0.0.0/8 (the paper's hot prefix): {in_hot}");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build an ART, run the DCART accelerator model over a
+//! workload, and compare it with a CPU baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dcart::{DcartAccel, DcartConfig};
+use dcart_art::{Art, Key};
+use dcart_baselines::{CpuBaseline, CpuConfig, IndexEngine, RunConfig};
+use dcart_workloads::{generate_ops, Mix, OpStreamConfig, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The ART substrate is an ordinary ordered map. ---------------
+    let mut art = Art::new();
+    art.insert(Key::from_str_bytes("radix"), 1)?;
+    art.insert(Key::from_str_bytes("adaptive"), 2)?;
+    art.insert(Key::from_str_bytes("tree"), 3)?;
+    println!("ART holds {} keys; min = {:?}", art.len(), art.min().map(|(_, v)| v));
+    for (key, value) in art.iter() {
+        println!("  {key:?} -> {value}");
+    }
+
+    // --- 2. Generate one of the paper's workloads. -----------------------
+    let n_keys = 20_000;
+    let keys = Workload::Ipgeo.generate(n_keys, 42);
+    let ops = generate_ops(
+        &keys,
+        &OpStreamConfig { count: 100_000, mix: Mix::C, theta: 0.99, seed: 42 },
+    );
+    println!("\nworkload {}: {} keys loaded, {} ops (50% read / 50% write)", keys.name, keys.len(), ops.len());
+
+    // --- 3. Run the DCART accelerator model and the SMART baseline. -----
+    let run = RunConfig { concurrency: 8_192 };
+    let config = DcartConfig::default()
+        .scaled_for_keys(n_keys)
+        .with_auto_prefix_skip(&keys);
+    let mut dcart = DcartAccel::new(config);
+    let d = dcart.run(&keys, &ops, &run);
+
+    let mut smart = CpuBaseline::smart(CpuConfig::xeon_8468().scaled_for_keys(n_keys));
+    let s = smart.run(&keys, &ops, &run);
+
+    println!("\nengine    time        throughput   energy     shortcut hits");
+    for r in [&s, &d] {
+        println!(
+            "{:8}  {:>9.4} s  {:>7.1} Mops  {:>7.3} J  {:>8}",
+            r.engine,
+            r.time_s,
+            r.throughput_mops(),
+            r.energy_j,
+            r.counters.shortcut_hits
+        );
+    }
+    println!(
+        "\nDCART speedup over SMART: {:.1}x (energy saving {:.0}x)",
+        d.speedup_vs(&s),
+        d.energy_saving_vs(&s)
+    );
+    println!(
+        "tree-buffer hit ratio: {:.1} %, SOU load imbalance: {:.2}x",
+        dcart.last_details().tree_buffer_hit_ratio * 100.0,
+        dcart.last_details().bucket_imbalance
+    );
+    Ok(())
+}

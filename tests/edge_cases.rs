@@ -1,0 +1,127 @@
+//! Degenerate-input robustness: every engine must handle empty and
+//! single-operation streams, tiny key sets, and extreme configurations
+//! without panicking or emitting nonsense.
+
+use dcart::{DcartAccel, DcartConfig, DcartSoftware};
+use dcart_baselines::{CpuBaseline, CpuConfig, CuArt, GpuConfig, IndexEngine, RunConfig};
+use dcart_workloads::{generate_ops, KeySet, Mix, Op, OpKind, OpStreamConfig, Workload};
+
+fn engines(keys: &KeySet) -> Vec<Box<dyn IndexEngine>> {
+    let cpu = CpuConfig::xeon_8468().scaled_for_keys(keys.len());
+    let cfg = DcartConfig::default().scaled_for_keys(keys.len()).with_auto_prefix_skip(keys);
+    vec![
+        Box::new(CpuBaseline::art(cpu)),
+        Box::new(CpuBaseline::heart(cpu)),
+        Box::new(CpuBaseline::smart(cpu)),
+        Box::new(CuArt::new(GpuConfig::a100().scaled_for_keys(keys.len()))),
+        Box::new(DcartSoftware::new(cfg, cpu)),
+        Box::new(DcartAccel::new(cfg)),
+    ]
+}
+
+#[test]
+fn empty_operation_stream() {
+    let keys = Workload::DenseInt.generate(100, 1);
+    for mut e in engines(&keys) {
+        let r = e.run(&keys, &[], &RunConfig { concurrency: 64 });
+        assert_eq!(r.counters.ops, 0, "{}", r.engine);
+        assert_eq!(r.counters.lock_contentions, 0, "{}", r.engine);
+        assert!(r.time_s >= 0.0 && r.time_s.is_finite(), "{}", r.engine);
+        assert_eq!(r.throughput_mops(), 0.0, "{}", r.engine);
+    }
+}
+
+#[test]
+fn single_operation() {
+    let keys = Workload::DenseInt.generate(100, 2);
+    let op = Op { kind: OpKind::Read, key: keys.keys[0].clone(), value: 0 };
+    for mut e in engines(&keys) {
+        let r = e.run(&keys, std::slice::from_ref(&op), &RunConfig { concurrency: 1 });
+        assert_eq!(r.counters.ops, 1, "{}", r.engine);
+        assert_eq!(r.counters.reads, 1, "{}", r.engine);
+        assert!(r.time_s > 0.0 && r.time_s.is_finite(), "{}", r.engine);
+        assert!(r.energy_j > 0.0, "{}", r.engine);
+    }
+}
+
+#[test]
+fn single_key_tree() {
+    let keys = Workload::RandomSparse.generate(1, 3);
+    let ops = generate_ops(
+        &keys,
+        &OpStreamConfig { count: 500, mix: Mix::C, theta: 0.5, seed: 3 },
+    );
+    for mut e in engines(&keys) {
+        let r = e.run(&keys, &ops, &RunConfig { concurrency: 128 });
+        assert_eq!(r.counters.ops, 500, "{}", r.engine);
+    }
+}
+
+#[test]
+fn concurrency_one_degenerates_gracefully() {
+    // A window of one op can never collide with itself.
+    let keys = Workload::Ipgeo.generate(2_000, 4);
+    let ops = generate_ops(
+        &keys,
+        &OpStreamConfig { count: 4_000, mix: Mix::E, ..Default::default() },
+    );
+    let mut art = CpuBaseline::art(CpuConfig::xeon_8468().scaled_for_keys(2_000));
+    let r = art.run(&keys, &ops, &RunConfig { concurrency: 1 });
+    assert_eq!(r.counters.lock_contentions, 0);
+    assert_eq!(r.counters.redundant_node_visits, 0, "no concurrency, no redundancy");
+}
+
+#[test]
+fn remove_heavy_stream() {
+    // Remove every loaded key through the engines (removes are not in the
+    // paper's mixes but must execute correctly).
+    let keys = Workload::DenseInt.generate(300, 5);
+    let ops: Vec<Op> = keys
+        .keys
+        .iter()
+        .map(|k| Op { kind: OpKind::Remove, key: k.clone(), value: 0 })
+        .collect();
+    for mut e in engines(&keys) {
+        let r = e.run(&keys, &ops, &RunConfig { concurrency: 64 });
+        assert_eq!(r.counters.writes, 300, "{}", r.engine);
+    }
+    // Functionally: the tree ends empty.
+    let tree = dcart_baselines::execute_with_traces(&keys, &ops, |_| {});
+    assert!(tree.is_empty());
+    assert_eq!(tree.node_count(), 0);
+}
+
+#[test]
+fn huge_concurrency_window_is_one_batch() {
+    let keys = Workload::DenseInt.generate(500, 6);
+    let ops = generate_ops(
+        &keys,
+        &OpStreamConfig { count: 1_000, mix: Mix::C, ..Default::default() },
+    );
+    let cfg = DcartConfig::default().scaled_for_keys(500).with_auto_prefix_skip(&keys);
+    let mut accel = DcartAccel::new(cfg);
+    let r = accel.run(&keys, &ops, &RunConfig { concurrency: 1 << 24 });
+    assert_eq!(accel.last_details().batches.len(), 1);
+    assert_eq!(r.counters.ops, 1_000);
+}
+
+#[test]
+fn accelerator_with_minimal_buffers_still_correct() {
+    let keys = Workload::Ipgeo.generate(1_000, 7);
+    let ops = generate_ops(
+        &keys,
+        &OpStreamConfig { count: 5_000, mix: Mix::C, ..Default::default() },
+    );
+    let cfg = DcartConfig {
+        tree_buffer_bytes: 4 * 1024,
+        shortcut_buffer_bytes: 4 * 1024,
+        bucket_buffer_bytes: 4 * 1024,
+        scan_buffer_bytes: 4 * 1024,
+        sous: 1,
+        ..Default::default()
+    };
+    let mut accel = DcartAccel::new(cfg);
+    let r = accel.run(&keys, &ops, &RunConfig { concurrency: 512 });
+    assert_eq!(r.counters.ops, 5_000);
+    assert!(r.time_s.is_finite() && r.time_s > 0.0);
+}
