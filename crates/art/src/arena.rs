@@ -58,10 +58,7 @@ impl<V> Arena<V> {
 
     /// Iterates `(id, node)` over all live nodes.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (NodeId, &Node<V>)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|n| (NodeId(i as u32), n)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|n| (NodeId(i as u32), n)))
     }
 }
 

@@ -1,0 +1,140 @@
+//! A fixed-capacity inline vector for traversal scratch state.
+//!
+//! Range scans and ordered iteration keep two kinds of short, hot scratch
+//! buffers: the child list of the inner node being expanded (≤ 16 entries
+//! for the common N4/N16 layouts) and the key-byte path accumulated above
+//! each stack frame (bounded by the key length, which the workloads keep
+//! under a couple dozen bytes). Allocating a fresh `Vec` for each of these
+//! per visited node dominated scan profiles; [`InlineVec`] keeps them on
+//! the stack and only spills to the heap for the rare deep/wide cases
+//! (N48/N256 fan-out, long string keys).
+
+use std::ops::Deref;
+
+/// A vector of `Copy` elements that stores up to `N` of them inline and
+/// transparently spills to a heap `Vec` beyond that.
+#[derive(Clone, Debug)]
+pub(crate) enum InlineVec<T: Copy + Default, const N: usize> {
+    /// Elements live in a stack array; only `buf[..len]` is meaningful.
+    Inline {
+        /// Inline storage; slots past `len` hold `T::default()` filler.
+        buf: [T; N],
+        /// Number of live elements.
+        len: usize,
+    },
+    /// Capacity exceeded `N`; elements moved to the heap.
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector with all-inline storage.
+    pub(crate) fn new() -> Self {
+        InlineVec::Inline { buf: [T::default(); N], len: 0 }
+    }
+
+    /// Appends one element, spilling to the heap when the inline buffer
+    /// is full.
+    pub(crate) fn push(&mut self, value: T) {
+        match self {
+            InlineVec::Inline { buf, len } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut heap = Vec::with_capacity(2 * N);
+                    heap.extend_from_slice(&buf[..*len]);
+                    heap.push(value);
+                    *self = InlineVec::Heap(heap);
+                }
+            }
+            InlineVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Appends every element of `values`.
+    pub(crate) fn extend_from_slice(&mut self, values: &[T]) {
+        match self {
+            InlineVec::Inline { buf, len } if *len + values.len() <= N => {
+                buf[*len..*len + values.len()].copy_from_slice(values);
+                *len += values.len();
+            }
+            InlineVec::Inline { buf, len } => {
+                let mut heap = Vec::with_capacity((*len + values.len()).max(2 * N));
+                heap.extend_from_slice(&buf[..*len]);
+                heap.extend_from_slice(values);
+                *self = InlineVec::Heap(heap);
+            }
+            InlineVec::Heap(v) => v.extend_from_slice(values),
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        match self {
+            InlineVec::Inline { buf, len } => &buf[..*len],
+            InlineVec::Heap(v) => v,
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u8, 4> = InlineVec::new();
+        for b in 0..4u8 {
+            v.push(b);
+        }
+        assert!(matches!(v, InlineVec::Inline { .. }));
+        assert_eq!(&*v, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_to_heap_past_capacity() {
+        let mut v: InlineVec<u8, 4> = InlineVec::new();
+        for b in 0..9u8 {
+            v.push(b);
+        }
+        assert!(matches!(v, InlineVec::Heap(_)));
+        assert_eq!(&*v, &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn extend_matches_repeated_push() {
+        for chunk in [1usize, 3, 4, 5, 11] {
+            let mut a: InlineVec<u8, 4> = InlineVec::new();
+            let mut b: InlineVec<u8, 4> = InlineVec::new();
+            let data: Vec<u8> = (0..chunk as u8).collect();
+            a.extend_from_slice(&data);
+            a.extend_from_slice(&data);
+            for &x in data.iter().chain(&data) {
+                b.push(x);
+            }
+            assert_eq!(&*a, &*b, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn collects_from_iterator_and_clones() {
+        let v: InlineVec<u16, 2> = (0..5u16).collect();
+        let w = v.clone();
+        assert_eq!(&*w, &[0, 1, 2, 3, 4]);
+        let small: InlineVec<u16, 8> = (0..3u16).collect();
+        assert!(matches!(small, InlineVec::Inline { len: 3, .. }));
+    }
+}

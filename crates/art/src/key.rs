@@ -19,8 +19,13 @@
 //! guarantee the two properties themselves.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A byte-string key in binary-comparable, prefix-free form.
+///
+/// The encoded bytes are reference-counted, so [`Clone`] is O(1) and does
+/// not copy the bytes: the bulk-load and op-replay hot paths clone every
+/// key once into the tree, and sharing the allocation keeps that free.
 ///
 /// # Examples
 ///
@@ -33,7 +38,7 @@ use std::fmt;
 /// assert!(a.as_bytes() < b.as_bytes());
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
-pub struct Key(Box<[u8]>);
+pub struct Key(Arc<[u8]>);
 
 impl Key {
     /// Creates a key from raw bytes without any transformation.
@@ -49,12 +54,12 @@ impl Key {
     pub fn from_raw(bytes: impl Into<Box<[u8]>>) -> Self {
         let bytes = bytes.into();
         assert!(!bytes.is_empty(), "keys must be non-empty");
-        Key(bytes)
+        Key(Arc::from(bytes))
     }
 
     /// Encodes a `u32` as a 4-byte big-endian key.
     pub fn from_u32(v: u32) -> Self {
-        Key(Box::new(v.to_be_bytes()))
+        Key(Arc::from(v.to_be_bytes()))
     }
 
     /// Encodes a `u64` as an 8-byte big-endian key.
@@ -62,19 +67,19 @@ impl Key {
     /// This is the encoding used by the paper's synthetic workloads (50 M
     /// dense/sparse 8-byte integer keys).
     pub fn from_u64(v: u64) -> Self {
-        Key(Box::new(v.to_be_bytes()))
+        Key(Arc::from(v.to_be_bytes()))
     }
 
     /// Encodes a `u128` as a 16-byte big-endian key.
     pub fn from_u128(v: u128) -> Self {
-        Key(Box::new(v.to_be_bytes()))
+        Key(Arc::from(v.to_be_bytes()))
     }
 
     /// Encodes an `i64` as an order-preserving 8-byte key: flipping the
     /// sign bit maps the signed range onto the unsigned range
     /// monotonically, so bytewise order equals numeric order.
     pub fn from_i64(v: i64) -> Self {
-        Key(Box::new(((v as u64) ^ (1 << 63)).to_be_bytes()))
+        Key(Arc::from(((v as u64) ^ (1 << 63)).to_be_bytes()))
     }
 
     /// Encodes an `f64` as an order-preserving 8-byte key (IEEE-754 total
@@ -86,12 +91,12 @@ impl Key {
     pub fn from_f64(v: f64) -> Self {
         let bits = v.to_bits();
         let ordered = if bits >> 63 == 0 { bits ^ (1 << 63) } else { !bits };
-        Key(Box::new(ordered.to_be_bytes()))
+        Key(Arc::from(ordered.to_be_bytes()))
     }
 
     /// Encodes an IPv4 address as a 4-byte key (network byte order).
     pub fn from_ipv4(octets: [u8; 4]) -> Self {
-        Key(Box::new(octets))
+        Key(Arc::from(octets))
     }
 
     /// Encodes a string as a NUL-terminated byte key.
@@ -105,14 +110,11 @@ impl Key {
     /// Panics if `s` contains an interior NUL byte, which would break the
     /// prefix-free guarantee.
     pub fn from_str_bytes(s: &str) -> Self {
-        assert!(
-            !s.as_bytes().contains(&0),
-            "string keys must not contain NUL bytes"
-        );
+        assert!(!s.as_bytes().contains(&0), "string keys must not contain NUL bytes");
         let mut v = Vec::with_capacity(s.len() + 1);
         v.extend_from_slice(s.as_bytes());
         v.push(0);
-        Key(v.into_boxed_slice())
+        Key(Arc::from(v))
     }
 
     /// Returns the encoded bytes of this key.
@@ -151,7 +153,10 @@ impl Key {
     /// host driver programs the skip to the key set's common-prefix length
     /// so the combining prefix starts at the first discriminating byte.
     pub fn prefix_bits_at(&self, skip_bytes: usize, bits: u32) -> u64 {
-        debug_assert!(bits <= 64 && bits.is_multiple_of(4), "prefix width must be <= 64 and nibble-aligned");
+        debug_assert!(
+            bits <= 64 && bits.is_multiple_of(4),
+            "prefix width must be <= 64 and nibble-aligned"
+        );
         let nbytes = bits.div_ceil(8) as usize;
         let mut acc: u64 = 0;
         for i in 0..nbytes {
@@ -311,6 +316,14 @@ mod tests {
     fn debug_is_hex() {
         let k = Key::from_raw(vec![0x01, 0xff]);
         assert_eq!(format!("{k:?}"), "Key(01 ff)");
+    }
+
+    #[test]
+    fn clone_shares_the_encoded_bytes() {
+        let a = Key::from_str_bytes("shared");
+        let b = a.clone();
+        // O(1) clone: both keys view the same reference-counted allocation.
+        assert!(std::ptr::eq(a.as_bytes(), b.as_bytes()));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 mod arena;
+mod inline;
 mod key;
 pub mod node;
 mod serde_impl;

@@ -5,15 +5,17 @@
 //! layout when full and shrinks when underfull, so memory tracks the actual
 //! key distribution (paper §II-A, Fig. 1(c)).
 
-mod n4;
 mod n16;
-mod n48;
 mod n256;
+mod n4;
+mod n48;
 
-pub use n4::Node4;
 pub use n16::Node16;
-pub use n48::Node48;
+#[doc(hidden)]
+pub use n16::{binary_search_lane, masked_search_lane};
 pub use n256::Node256;
+pub use n4::Node4;
+pub use n48::Node48;
 
 use crate::Key;
 
@@ -23,6 +25,14 @@ use crate::Key;
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
 )]
 pub struct NodeId(pub(crate) u32);
+
+impl Default for NodeId {
+    /// The null sentinel (`u32::MAX`): an id no arena ever hands out. Used
+    /// as filler in fixed-size child arrays and inline scratch buffers.
+    fn default() -> Self {
+        NodeId(u32::MAX)
+    }
+}
 
 impl NodeId {
     /// Returns the raw arena index, usable as a simulated memory address.
@@ -116,7 +126,9 @@ impl<V> Node<V> {
         match self {
             Node::Leaf { key, .. } => HEADER_BYTES + key.len() as u32 + 8,
             Node::Inner(inner) => {
-                HEADER_BYTES + inner.prefix.len() as u32 + inner.children.node_type().payload_bytes()
+                HEADER_BYTES
+                    + inner.prefix.len() as u32
+                    + inner.children.node_type().payload_bytes()
             }
         }
     }
@@ -150,10 +162,7 @@ pub struct InnerNode {
 impl InnerNode {
     /// Creates an inner node with the given prefix and an empty N4 layout.
     pub fn new(prefix: Vec<u8>) -> Self {
-        InnerNode {
-            prefix,
-            children: Children::N4(Box::default()),
-        }
+        InnerNode { prefix, children: Children::N4(Box::default()) }
     }
 }
 

@@ -1,11 +1,49 @@
 //! The 16-way node layout: sorted parallel key/child arrays.
 //!
-//! On real hardware the key search is a single SIMD compare; here a binary
-//! search over the sorted key array stands in, with identical semantics.
+//! On real hardware the key search is a single SIMD compare (the original
+//! ART paper's SSE `_mm_cmpeq_epi8` trick). Here the same idea is expressed
+//! as a branch-free SWAR search over the key array viewed as one `u128`:
+//! XOR with the splatted probe byte zeroes the matching lane, and the
+//! classic zero-byte detector locates it without a loop or branch per lane.
 
 use super::{Node4, Node48, NodeId};
 
 const NULL: NodeId = NodeId(u32::MAX);
+
+/// All-ones-per-lane constant for the SWAR search (`0x01` in each byte).
+const LANE_LSB: u128 = u128::from_le_bytes([0x01; 16]);
+/// High-bit-per-lane constant for the SWAR search (`0x80` in each byte).
+const LANE_MSB: u128 = u128::from_le_bytes([0x80; 16]);
+
+/// Branch-free lookup of `byte` among the first `len` lanes of `keys`.
+///
+/// XORing the 16 key lanes with the splatted probe byte zeroes exactly the
+/// matching lanes; `(x - 0x01…01) & !x & 0x80…80` then flags zero lanes
+/// (Mycroft's zero-byte detector). The detector can flag false positives
+/// *above* a genuine zero lane, but never below one, so the lowest flagged
+/// lane — `trailing_zeros() / 8` — is always a true match. Stale lanes past
+/// `len` are rejected by the final bound check: any real match sits at a
+/// lower lane than every stale one, because live lanes precede stale lanes.
+///
+/// Exposed (hidden) so the bench crate can compare it against
+/// [`binary_search_lane`] in the perf harness.
+#[doc(hidden)]
+#[inline]
+pub fn masked_search_lane(keys: &[u8; 16], len: usize, byte: u8) -> Option<usize> {
+    let lanes = u128::from_le_bytes(*keys);
+    let diff = lanes ^ (LANE_LSB * u128::from(byte));
+    let zeros = diff.wrapping_sub(LANE_LSB) & !diff & LANE_MSB;
+    let lane = (zeros.trailing_zeros() / 8) as usize; // 16 when no lane matched
+    (lane < len).then_some(lane)
+}
+
+/// The binary search the SWAR lookup replaced, kept as the reference
+/// comparator for the perf harness's micro-bench and equivalence tests.
+#[doc(hidden)]
+#[inline]
+pub fn binary_search_lane(keys: &[u8; 16], len: usize, byte: u8) -> Option<usize> {
+    keys[..len].binary_search(&byte).ok()
+}
 
 /// 16-way layout: up to 16 children in sorted parallel arrays.
 #[derive(Clone, Debug)]
@@ -32,13 +70,14 @@ impl Node16 {
         self.len == 0
     }
 
-    fn position(&self, byte: u8) -> Result<usize, usize> {
-        self.keys[..self.len()].binary_search(&byte)
+    /// Lane holding `byte`, found with the branch-free SWAR compare.
+    fn match_lane(&self, byte: u8) -> Option<usize> {
+        masked_search_lane(&self.keys, self.len(), byte)
     }
 
     /// Looks up the child for `byte`.
     pub fn find(&self, byte: u8) -> Option<NodeId> {
-        self.position(byte).ok().map(|i| self.children[i])
+        self.match_lane(byte).map(|i| self.children[i])
     }
 
     /// Inserts `(byte, child)` preserving sort order; `false` if full.
@@ -47,10 +86,11 @@ impl Node16 {
         if len == 16 {
             return false;
         }
-        let pos = match self.position(byte) {
-            Ok(_) => unreachable!("duplicate partial key {byte:#04x}"),
-            Err(pos) => pos,
-        };
+        debug_assert!(self.match_lane(byte).is_none(), "duplicate partial key {byte:#04x}");
+        // Insertion point: first lane holding a byte greater than the new
+        // one. Inserts are cold next to lookups (a node sees at most 16 of
+        // them before growing), so a scan of the sorted lanes is fine.
+        let pos = self.keys[..len].iter().position(|&k| k > byte).unwrap_or(len);
         self.keys.copy_within(pos..len, pos + 1);
         self.children.copy_within(pos..len, pos + 1);
         self.keys[pos] = byte;
@@ -65,13 +105,13 @@ impl Node16 {
     ///
     /// Panics if `byte` is absent.
     pub fn replace(&mut self, byte: u8, child: NodeId) -> NodeId {
-        let i = self.position(byte).expect("replace of absent partial key");
+        let i = self.match_lane(byte).expect("replace of absent partial key");
         std::mem::replace(&mut self.children[i], child)
     }
 
     /// Removes and returns the child for `byte`.
     pub fn remove(&mut self, byte: u8) -> Option<NodeId> {
-        let i = self.position(byte).ok()?;
+        let i = self.match_lane(byte)?;
         let removed = self.children[i];
         let len = self.len();
         self.keys.copy_within(i + 1..len, i);
@@ -122,7 +162,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn binary_search_finds_all() {
+    fn masked_search_finds_all() {
         let mut n = Node16::default();
         let bytes: Vec<u8> = (0..16).map(|i| 255 - i * 16).collect();
         for &b in &bytes {
@@ -146,5 +186,63 @@ mod tests {
         for b in [10u8, 20, 30] {
             assert_eq!(small.find(b), Some(NodeId(u32::from(b))));
         }
+    }
+
+    /// The SWAR lookup and the binary search it replaced must agree on
+    /// every (occupancy, probe byte) pair, including boundary bytes 0x00,
+    /// 0x7F/0x80 (the detector's high-bit edge), and 0xFF.
+    #[test]
+    fn masked_equals_binary_exhaustively() {
+        // Strided key sets of every occupancy, several phases/strides.
+        for phase in [0u16, 1, 7, 127, 128, 200] {
+            for stride in [1u16, 3, 16, 17] {
+                for len in 0..=16usize {
+                    let mut keys = [0u8; 16];
+                    for (i, slot) in keys.iter_mut().enumerate().take(len) {
+                        *slot = (phase + stride * i as u16).min(255) as u8;
+                    }
+                    // Keep the live prefix sorted and unique, as Node16 does.
+                    let live = &mut keys[..len];
+                    live.sort_unstable();
+                    let unique = {
+                        let mut prev: Option<u8> = None;
+                        live.iter().all(|&k| {
+                            let ok = prev != Some(k);
+                            prev = Some(k);
+                            ok
+                        })
+                    };
+                    if !unique {
+                        continue;
+                    }
+                    // Garbage in the stale lanes must never affect results.
+                    for slot in keys.iter_mut().skip(len) {
+                        *slot = 0xAB;
+                    }
+                    for probe in 0..=255u8 {
+                        assert_eq!(
+                            masked_search_lane(&keys, len, probe),
+                            binary_search_lane(&keys, len, probe),
+                            "len={len} phase={phase} stride={stride} probe={probe:#04x} keys={keys:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove leaves stale bytes past `len`; a probe equal to a stale byte
+    /// must miss.
+    #[test]
+    fn stale_lanes_do_not_match() {
+        let mut n = Node16::default();
+        for b in [5u8, 9, 200, 255] {
+            n.add(b, NodeId(u32::from(b)));
+        }
+        assert_eq!(n.remove(255), Some(NodeId(255)));
+        assert_eq!(n.find(255), None);
+        assert_eq!(n.remove(255), None);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.find(200), Some(NodeId(200)));
     }
 }

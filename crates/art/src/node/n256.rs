@@ -84,9 +84,7 @@ impl Node256 {
 
     /// Returns the `pos`-th child in ascending byte order.
     pub(super) fn nth_in_order(&self, pos: usize) -> Option<(u8, NodeId)> {
-        (0..=255u8)
-            .filter_map(|b| self.find(b).map(|c| (b, c)))
-            .nth(pos)
+        (0..=255u8).filter_map(|b| self.find(b).map(|c| (b, c))).nth(pos)
     }
 
     /// Returns the child with the largest partial key.

@@ -31,8 +31,7 @@ impl<'de, V: Deserialize<'de>> Deserialize<'de> for Art<V> {
             }
 
             fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Art<V>, A::Error> {
-                let mut pairs: Vec<(Key, V)> =
-                    Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                let mut pairs: Vec<(Key, V)> = Vec::with_capacity(seq.size_hint().unwrap_or(0));
                 while let Some(pair) = seq.next_element::<(Key, V)>()? {
                     pairs.push(pair);
                 }

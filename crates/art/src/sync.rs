@@ -174,7 +174,11 @@ pub struct SyncArt<V> {
 
 impl<V> Clone for SyncArt<V> {
     fn clone(&self) -> Self {
-        SyncArt { root: Arc::clone(&self.root), len: Arc::clone(&self.len), stats: Arc::clone(&self.stats) }
+        SyncArt {
+            root: Arc::clone(&self.root),
+            len: Arc::clone(&self.len),
+            stats: Arc::clone(&self.stats),
+        }
     }
 }
 
@@ -416,10 +420,8 @@ impl<V> SyncArt<V> {
                         let i = children
                             .binary_search_by_key(&b, |(e, _)| *e)
                             .expect_err("descend case handles existing edges");
-                        children.insert(
-                            i,
-                            (b, Arc::new(RwLock::new(SyncNode::Leaf { key, value }))),
-                        );
+                        children
+                            .insert(i, (b, Arc::new(RwLock::new(SyncNode::Leaf { key, value }))));
                         let new_type = layout_for(children.len());
                         if new_type != *node_type {
                             *node_type = new_type;
@@ -659,10 +661,7 @@ mod tests {
     fn prefix_violation_propagates() {
         let art = SyncArt::new();
         art.insert(Key::from_raw(vec![1, 2, 3]), 0).unwrap();
-        assert_eq!(
-            art.insert(Key::from_raw(vec![1, 2]), 1),
-            Err(ArtError::PrefixViolation)
-        );
+        assert_eq!(art.insert(Key::from_raw(vec![1, 2]), 1), Err(ArtError::PrefixViolation));
         assert_eq!(art.len(), 1);
     }
 

@@ -2,9 +2,19 @@
 //! compression, lazy expansion, and the four adaptive node layouts.
 
 use crate::arena::Arena;
+use crate::inline::InlineVec;
 use crate::node::{InnerNode, Node, NodeId, NodeType, HEADER_BYTES};
 use crate::trace::{NodeVisit, NoopTracer, Tracer, VisitKind};
 use crate::Key;
+
+/// Scratch buffer for the key bytes accumulated along a traversal path.
+/// The workloads' keys are 4–24 bytes, so paths almost never spill.
+type PathBytes = InlineVec<u8, 24>;
+
+/// Scratch buffer for an inner node's expanded child list. N4/N16 nodes —
+/// the overwhelming majority under real key distributions (paper Fig. 1) —
+/// fit inline; N48/N256 spill.
+type ChildList = InlineVec<(u8, NodeId), 16>;
 
 /// Errors returned by fallible tree operations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -697,7 +707,8 @@ impl<V> Art<V> {
             match self.arena.get(cur) {
                 Node::Leaf { key, value } => return Some((key, value)),
                 Node::Inner(inner) => {
-                    let next = if min { inner.children.min_child() } else { inner.children.max_child() };
+                    let next =
+                        if min { inner.children.min_child() } else { inner.children.max_child() };
                     cur = next.expect("inner node with no children").1;
                 }
             }
@@ -731,7 +742,7 @@ impl<V> Art<V> {
     pub fn range<'a>(&'a self, start: &[u8], end: Option<&[u8]>) -> Range<'a, V> {
         let mut stack = Vec::new();
         if let Some(root) = self.root {
-            stack.push(Frame { node: root, path: Vec::new() });
+            stack.push(Frame { node: root, path: PathBytes::new() });
         }
         Range { tree: self, stack, start: start.to_vec(), end: end.map(<[u8]>::to_vec) }
     }
@@ -790,9 +801,9 @@ impl<V> Art<V> {
         if limit == 0 {
             return out;
         }
-        let mut stack: Vec<(NodeId, Vec<u8>)> = Vec::new();
+        let mut stack: Vec<(NodeId, PathBytes)> = Vec::new();
         if let Some(root) = self.root {
-            stack.push((root, Vec::new()));
+            stack.push((root, PathBytes::new()));
         }
         while let Some((id, path)) = stack.pop() {
             match self.arena.get(id) {
@@ -813,8 +824,8 @@ impl<V> Art<V> {
                     }
                     tracer.visit(visit_record(id, node, inner.prefix.len() as u32));
                     tracer.partial_key_matches(inner.prefix.len() as u32 + 1);
-                    let children: Vec<(u8, NodeId)> = inner.children.iter().collect();
-                    for (edge, child) in children.into_iter().rev() {
+                    let children: ChildList = inner.children.iter().collect();
+                    for &(edge, child) in children.iter().rev() {
                         let mut child_path = base.clone();
                         child_path.push(edge);
                         if subtree_below_start(&child_path, start) {
@@ -844,11 +855,38 @@ impl<V> Art<V> {
     }
 }
 
+impl Art<u64> {
+    /// Bulk-loads borrowed keys in order of appearance, assigning each its
+    /// position index as the value — the load phase shared by every
+    /// executor in the reproduction (the record id is the key's rank in
+    /// the workload's key file).
+    ///
+    /// Takes an iterator of *borrows*: with [`Key`]'s reference-counted
+    /// O(1) clone, the load copies no key bytes, it only bumps refcounts.
+    /// Returns the number of keys inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtError::PrefixViolation`] as [`Art::insert`] does; keys
+    /// inserted before the offending one remain in the tree.
+    pub fn load_indexed<'a, I>(&mut self, keys: I) -> Result<usize, ArtError>
+    where
+        I: IntoIterator<Item = &'a Key>,
+    {
+        let mut count = 0usize;
+        for (i, key) in keys.into_iter().enumerate() {
+            self.insert(key.clone(), i as u64)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+}
+
 struct Frame {
     node: NodeId,
     /// Key bytes accumulated on the path *above* this node (not including
     /// its own prefix/edge handling; leaves carry full keys anyway).
-    path: Vec<u8>,
+    path: PathBytes,
 }
 
 /// Ordered iterator over a key range of an [`Art`].
@@ -892,8 +930,8 @@ impl<'a, V> Iterator for Range<'a, V> {
                         continue;
                     }
                     // Push children in reverse so the smallest pops first.
-                    let children: Vec<(u8, NodeId)> = inner.children.iter().collect();
-                    for (edge, child) in children.into_iter().rev() {
+                    let children: ChildList = inner.children.iter().collect();
+                    for &(edge, child) in children.iter().rev() {
                         let mut child_path = path.clone();
                         child_path.push(edge);
                         if subtree_below_start(&child_path, &self.start)
@@ -1017,14 +1055,8 @@ mod tests {
     fn prefix_violation_detected() {
         let mut art = Art::new();
         art.insert(Key::from_raw(vec![1, 2, 3]), 0).unwrap();
-        assert_eq!(
-            art.insert(Key::from_raw(vec![1, 2]), 1),
-            Err(ArtError::PrefixViolation)
-        );
-        assert_eq!(
-            art.insert(Key::from_raw(vec![1, 2, 3, 4]), 1),
-            Err(ArtError::PrefixViolation)
-        );
+        assert_eq!(art.insert(Key::from_raw(vec![1, 2]), 1), Err(ArtError::PrefixViolation));
+        assert_eq!(art.insert(Key::from_raw(vec![1, 2, 3, 4]), 1), Err(ArtError::PrefixViolation));
         // The tree is unchanged by the failed inserts.
         assert_eq!(art.len(), 1);
         assert_eq!(art.get(&Key::from_raw(vec![1, 2, 3])), Some(&0));
@@ -1036,15 +1068,9 @@ mod tests {
         art.insert(Key::from_raw(vec![1, 2, 3, 4, 5]), 0).unwrap();
         art.insert(Key::from_raw(vec![1, 2, 3, 4, 6]), 1).unwrap();
         // Ends in the middle of the shared prefix path.
-        assert_eq!(
-            art.insert(Key::from_raw(vec![1, 2, 3]), 2),
-            Err(ArtError::PrefixViolation)
-        );
+        assert_eq!(art.insert(Key::from_raw(vec![1, 2, 3]), 2), Err(ArtError::PrefixViolation));
         // Ends exactly at the inner node's branch point.
-        assert_eq!(
-            art.insert(Key::from_raw(vec![1, 2, 3, 4]), 2),
-            Err(ArtError::PrefixViolation)
-        );
+        assert_eq!(art.insert(Key::from_raw(vec![1, 2, 3, 4]), 2), Err(ArtError::PrefixViolation));
     }
 
     #[test]
@@ -1123,10 +1149,8 @@ mod tests {
         for v in 0..100u64 {
             art.insert(k(v), v).unwrap();
         }
-        let got: Vec<u64> = art
-            .range(k(10).as_bytes(), Some(k(20).as_bytes()))
-            .map(|(_, v)| *v)
-            .collect();
+        let got: Vec<u64> =
+            art.range(k(10).as_bytes(), Some(k(20).as_bytes())).map(|(_, v)| *v).collect();
         assert_eq!(got, (10..20).collect::<Vec<u64>>());
     }
 
@@ -1138,10 +1162,8 @@ mod tests {
         }
         let start = Key::from_str_bytes("banana");
         let end = Key::from_str_bytes("damson");
-        let got: Vec<&str> = art
-            .range(start.as_bytes(), Some(end.as_bytes()))
-            .map(|(_, v)| *v)
-            .collect();
+        let got: Vec<&str> =
+            art.range(start.as_bytes(), Some(end.as_bytes())).map(|(_, v)| *v).collect();
         assert_eq!(got, vec!["banana", "cherry"]);
     }
 
@@ -1191,8 +1213,7 @@ mod tests {
             art.insert(k(v.wrapping_mul(0x9E3779B97F4A7C15)), v).unwrap();
         }
         let h = art.type_histogram();
-        let traditional: u64 =
-            (h.inner_total() as u64) * u64::from(NodeType::N256.payload_bytes());
+        let traditional: u64 = (h.inner_total() as u64) * u64::from(NodeType::N256.payload_bytes());
         // Compare inner-node memory only: leaves are identical either way.
         let leaf_bytes = (h.leaves as u64) * (u64::from(HEADER_BYTES) + 8 + 8);
         let adaptive = art.memory_footprint() - leaf_bytes;
@@ -1259,10 +1280,7 @@ mod tests {
         assert_eq!(Art::from_sorted(unsorted).unwrap_err(), ArtError::NotSortedUnique);
         let dup = vec![(Key::from_u64(1), 0), (Key::from_u64(1), 0)];
         assert_eq!(Art::from_sorted(dup).unwrap_err(), ArtError::NotSortedUnique);
-        let prefixy = vec![
-            (Key::from_raw(vec![1, 2]), 0),
-            (Key::from_raw(vec![1, 2, 3]), 0),
-        ];
+        let prefixy = vec![(Key::from_raw(vec![1, 2]), 0), (Key::from_raw(vec![1, 2, 3]), 0)];
         assert_eq!(Art::from_sorted(prefixy).unwrap_err(), ArtError::PrefixViolation);
         let empty: Vec<(Key, u8)> = Vec::new();
         assert!(Art::from_sorted(empty).unwrap().is_empty());

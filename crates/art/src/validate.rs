@@ -111,11 +111,7 @@ impl<V> Art<V> {
                     if kb.len() < path.len() {
                         violations.push(Violation::LeafTooShort { node: id });
                     } else if kb[..path.len()] != path[..] {
-                        let depth = kb
-                            .iter()
-                            .zip(&path)
-                            .take_while(|(a, b)| a == b)
-                            .count();
+                        let depth = kb.iter().zip(&path).take_while(|(a, b)| a == b).count();
                         violations.push(Violation::LeafOffPath { node: id, depth });
                     }
                 }
@@ -139,10 +135,8 @@ impl<V> Art<V> {
             violations.push(Violation::LenMismatch { reachable_leaves: leaves, len: self.len() });
         }
         if reachable != self.node_count() {
-            violations.push(Violation::NodeCountMismatch {
-                reachable,
-                allocated: self.node_count(),
-            });
+            violations
+                .push(Violation::NodeCountMismatch { reachable, allocated: self.node_count() });
         }
         violations
     }

@@ -169,11 +169,8 @@ pub fn time_cpu_run(config: &CpuConfig, activity: &CpuActivity, energy: &EnergyM
 
     // Latency: the mean is per-thread service time; the tail adds the
     // queueing delay behind the window's hottest lock.
-    let latency_mean_us = if activity.ops == 0 {
-        0.0
-    } else {
-        total_ns * threads / activity.ops as f64 / 1e3
-    };
+    let latency_mean_us =
+        if activity.ops == 0 { 0.0 } else { total_ns * threads / activity.ops as f64 / 1e3 };
     let mut queue = LatencyRecorder::new();
     for &q in &activity.max_queue_history {
         queue.record(q as f64 * config.lock_hold_ns / 1e3);

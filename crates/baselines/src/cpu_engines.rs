@@ -97,9 +97,8 @@ impl IndexEngine for CpuBaseline {
         let mut cache = SetAssocCache::new(self.config.cache_bytes, self.config.cache_ways);
         let mut redundancy = RedundancyWindow::new(run.concurrency);
         let mut contention = ContentionWindow::new(run.concurrency);
-        let mut path_cache = self
-            .path_cache
-            .map(|(plen, skip, cap)| PathCache::new(plen, skip, cap));
+        let mut path_cache =
+            self.path_cache.map(|(plen, skip, cap)| PathCache::new(plen, skip, cap));
 
         let mut counters = Counters::default();
         let mut activity = CpuActivity::default();
@@ -194,10 +193,7 @@ mod tests {
 
     fn run_engine(mut e: CpuBaseline, n_keys: usize, n_ops: usize, mix: Mix) -> RunReport {
         let keys = Workload::Ipgeo.generate(n_keys, 1);
-        let ops = generate_ops(
-            &keys,
-            &OpStreamConfig { count: n_ops, mix, ..Default::default() },
-        );
+        let ops = generate_ops(&keys, &OpStreamConfig { count: n_ops, mix, ..Default::default() });
         e.run(&keys, &ops, &RunConfig { concurrency: 4096 })
     }
 
@@ -216,9 +212,7 @@ mod tests {
         let cfg = small_config(20_000);
         let art = run_engine(CpuBaseline::art(cfg), 20_000, 40_000, Mix::C);
         let smart = run_engine(CpuBaseline::smart(cfg), 20_000, 40_000, Mix::C);
-        assert!(
-            smart.counters.partial_key_matches < art.counters.partial_key_matches * 8 / 10
-        );
+        assert!(smart.counters.partial_key_matches < art.counters.partial_key_matches * 8 / 10);
         assert!(smart.counters.nodes_traversed < art.counters.nodes_traversed);
     }
 

@@ -170,8 +170,8 @@ impl IndexEngine for CuArt {
                 // Cooperative matching: one parallel compare per node.
                 counters.partial_key_matches += 1;
                 let base = u64::from(v.node.index()) * 256;
-                let missed = (0..u64::from(v.lines))
-                    .any(|i| l2.access(base + i * 64) == Access::Miss);
+                let missed =
+                    (0..u64::from(v.lines)).any(|i| l2.access(base + i * 64) == Access::Miss);
                 if missed {
                     counters.offchip_accesses += 1;
                     counters.offchip_bytes += u64::from(v.lines) * 64;
@@ -192,7 +192,12 @@ impl IndexEngine for CuArt {
             }
             warp_lane_depths.push(lane_depth);
             if warp_lane_depths.len() == cfg.warp_size {
-                flush_warp(&mut warp_lane_depths, &mut warp_step_ns, &mut total_warp_ns, &mut warps);
+                flush_warp(
+                    &mut warp_lane_depths,
+                    &mut warp_step_ns,
+                    &mut total_warp_ns,
+                    &mut warps,
+                );
             }
         });
         flush_warp(&mut warp_lane_depths, &mut warp_step_ns, &mut total_warp_ns, &mut warps);
@@ -204,8 +209,8 @@ impl IndexEngine for CuArt {
         // Traversal time: warp critical paths overlap across resident
         // warps, floored by HBM bandwidth.
         let overlap = (cfg.concurrent_warps as f64).min(cfg.mem.parallelism * 16.0);
-        let traversal_ns = (total_warp_ns / overlap)
-            .max(counters.offchip_bytes as f64 / cfg.mem.peak_bw_gbps);
+        let traversal_ns =
+            (total_warp_ns / overlap).max(counters.offchip_bytes as f64 / cfg.mem.peak_bw_gbps);
 
         // Sync: atomics overlap like ordinary warps; contended ones
         // serialize at the owning L2 slice and do not.
@@ -217,8 +222,7 @@ impl IndexEngine for CuArt {
 
         // Batch overheads: launch + PCIe per batch of `concurrency` ops.
         let batches = counters.ops.div_ceil(run.concurrency as u64);
-        let pcie_ns =
-            (counters.ops * cfg.bytes_per_op) as f64 / cfg.pcie_gbps;
+        let pcie_ns = (counters.ops * cfg.bytes_per_op) as f64 / cfg.pcie_gbps;
         let other_ns = batches as f64 * cfg.launch_ns + pcie_ns;
 
         let total_ns = traversal_ns + sync_ns + other_ns;
@@ -291,12 +295,7 @@ mod tests {
         let cuart = CuArt::new(GpuConfig::a100().scaled_for_keys(20_000)).run(&keys, &ops, &run);
         let smart = CpuBaseline::smart(CpuConfig::xeon_8468().scaled_for_keys(20_000))
             .run(&keys, &ops, &run);
-        assert!(
-            cuart.time_s < smart.time_s,
-            "CuART {} vs SMART {}",
-            cuart.time_s,
-            smart.time_s
-        );
+        assert!(cuart.time_s < smart.time_s, "CuART {} vs SMART {}", cuart.time_s, smart.time_s);
     }
 
     #[test]

@@ -50,9 +50,7 @@ where
     F: FnMut(ExecutedOp<'_>),
 {
     let mut art: Art<u64> = Art::new();
-    for (i, key) in keys.keys.iter().enumerate() {
-        art.insert(key.clone(), i as u64).expect("workload keys are prefix-free");
-    }
+    art.load_indexed(&keys.keys).expect("workload keys are prefix-free");
     let mut tracer = RecordingTracer::new();
     for (index, op) in ops.iter().enumerate() {
         tracer.clear();
@@ -99,25 +97,43 @@ mod tests {
     #[test]
     fn reads_do_not_lock_inserts_do() {
         let keys = synth::dense(500, 2);
-        let reads = generate_ops(
-            &keys,
-            &OpStreamConfig { count: 500, mix: Mix::A, ..Default::default() },
-        );
+        let reads =
+            generate_ops(&keys, &OpStreamConfig { count: 500, mix: Mix::A, ..Default::default() });
         let mut lock_events = 0u64;
         execute_with_traces(&keys, &reads, |op| {
             lock_events += op.trace.locks.len() as u64;
         });
         assert_eq!(lock_events, 0, "pure reads acquire no write locks");
 
-        let writes = generate_ops(
-            &keys,
-            &OpStreamConfig { count: 500, mix: Mix::E, ..Default::default() },
-        );
+        let writes =
+            generate_ops(&keys, &OpStreamConfig { count: 500, mix: Mix::E, ..Default::default() });
         let mut lock_events = 0u64;
         execute_with_traces(&keys, &writes, |op| {
             lock_events += op.trace.locks.len() as u64;
         });
         assert!(lock_events >= 500, "every write locks at least one node");
+    }
+
+    #[test]
+    fn empty_op_stream_loads_keys_and_calls_no_consumer() {
+        let keys = synth::dense(50, 4);
+        let mut calls = 0usize;
+        let art = execute_with_traces(&keys, &[], |_| calls += 1);
+        assert_eq!(calls, 0, "no operations, no consumer events");
+        assert_eq!(art.len(), 50, "bulk load runs even with no operations");
+    }
+
+    #[test]
+    fn single_op_stream_produces_exactly_one_event() {
+        let keys = synth::dense(50, 5);
+        let op = Op { kind: OpKind::Read, key: keys.keys[0].clone(), value: 0 };
+        let mut events = 0usize;
+        execute_with_traces(&keys, std::slice::from_ref(&op), |e| {
+            events += 1;
+            assert_eq!(e.index, 0);
+            assert!(!e.trace.visits.is_empty());
+        });
+        assert_eq!(events, 1);
     }
 
     #[test]
@@ -127,11 +143,8 @@ mod tests {
             &keys,
             &OpStreamConfig { count: 1_000, mix: Mix::E, ..Default::default() },
         );
-        let inserts: std::collections::BTreeSet<&[u8]> = ops
-            .iter()
-            .filter(|o| o.kind == OpKind::Insert)
-            .map(|o| o.key.as_bytes())
-            .collect();
+        let inserts: std::collections::BTreeSet<&[u8]> =
+            ops.iter().filter(|o| o.kind == OpKind::Insert).map(|o| o.key.as_bytes()).collect();
         let art = execute_with_traces(&keys, &ops, |_| {});
         assert_eq!(art.len(), 100 + inserts.len());
     }

@@ -74,9 +74,7 @@ fn bench_range_scan(c: &mut Criterion) {
             let start = Key::from_u64(50_000);
             let end = Key::from_u64(50_000 + width);
             b.iter(|| {
-                art.range(start.as_bytes(), Some(end.as_bytes()))
-                    .map(|(_, v)| *v)
-                    .sum::<u64>()
+                art.range(start.as_bytes(), Some(end.as_bytes())).map(|(_, v)| *v).sum::<u64>()
             });
         });
     }

@@ -13,10 +13,8 @@ const OPS: usize = 50_000;
 
 fn setup() -> (KeySet, Vec<Op>, RunConfig) {
     let keys = Workload::Ipgeo.generate(KEYS, 42);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: OPS, mix: Mix::C, theta: 0.99, seed: 42 },
-    );
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: OPS, mix: Mix::C, theta: 0.99, seed: 42 });
     (keys, ops, RunConfig { concurrency: 8_192 })
 }
 
@@ -57,10 +55,7 @@ fn bench_fig12_mixes(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12/dcart-by-mix");
     g.sample_size(10);
     for (label, mix) in Mix::named() {
-        let ops = generate_ops(
-            &keys,
-            &OpStreamConfig { count: OPS, mix, theta: 0.99, seed: 42 },
-        );
+        let ops = generate_ops(&keys, &OpStreamConfig { count: OPS, mix, theta: 0.99, seed: 42 });
         g.bench_with_input(BenchmarkId::from_parameter(label), &ops, |b, ops| {
             b.iter(|| {
                 let mut e = engine("DCART", &keys);

@@ -1,0 +1,72 @@
+//! `bench` — the wall-clock perf harness.
+//!
+//! Times the functional executors (CTT, the baseline trace executor, the
+//! B+-tree, and the hash index) on the tier-1 workloads and writes
+//! `BENCH_ctt.json`, the perf baseline future PRs are compared against.
+//!
+//! ```text
+//! bench [--scale smoke|default|full] [--out DIR] [--jobs N]
+//! ```
+//!
+//! Defaults to the smoke scale (the harness measures the *host*, not the
+//! simulated platforms, so a few seconds of signal suffices) and writes
+//! into the current directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcart_bench::{perf, Scale};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench [--scale smoke|default|full] [--out DIR] [--jobs N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::smoke();
+    let mut out_dir = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(name) = args.get(i + 1) else { return usage() };
+                let Some(s) = Scale::from_name(name) else {
+                    eprintln!("unknown scale: {name}");
+                    return usage();
+                };
+                scale = s;
+                i += 2;
+            }
+            "--out" => {
+                let Some(dir) = args.get(i + 1) else { return usage() };
+                out_dir = PathBuf::from(dir);
+                i += 2;
+            }
+            "--jobs" => {
+                let Some(n) = args.get(i + 1) else { return usage() };
+                let Ok(n) = n.parse::<usize>() else {
+                    eprintln!("--jobs expects a positive integer, got {n}");
+                    return usage();
+                };
+                dcart_bench::parallel::set_jobs(n);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                return usage();
+            }
+        }
+    }
+
+    println!(
+        "perf harness | {} keys, {} ops per cell | {} worker(s)\n",
+        scale.keys,
+        scale.ops,
+        dcart_bench::parallel::jobs()
+    );
+    let t0 = std::time::Instant::now();
+    perf::run(&scale, &out_dir);
+    println!("done in {:.2} s wall", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -14,7 +14,8 @@ fn main() {
     let n_ops: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(60_000);
     let conc: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(8192);
     let keys = Workload::Ipgeo.generate(n_keys, 1);
-    let ops = generate_ops(&keys, &OpStreamConfig { count: n_ops, mix: Mix::C, ..Default::default() });
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: n_ops, mix: Mix::C, ..Default::default() });
     let run = RunConfig { concurrency: conc };
     let cpu = CpuConfig::xeon_8468().scaled_for_keys(n_keys);
     let dcfg = DcartConfig::default().scaled_for_keys(n_keys);

@@ -55,8 +55,16 @@ fn main() {
 
     println!("ART structure per workload ({n_keys} keys)\n");
     let mut t = Table::new(&[
-        "workload", "keys", "N4", "N16", "N48", "N256", "mean depth", "ART MB",
-        "radix MB", "saving",
+        "workload",
+        "keys",
+        "N4",
+        "N16",
+        "N48",
+        "N256",
+        "mean depth",
+        "ART MB",
+        "radix MB",
+        "saving",
     ]);
     for w in workloads {
         inspect(w, n_keys, &mut t);

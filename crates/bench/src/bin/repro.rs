@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the DCART paper.
 //!
 //! ```text
-//! repro <exhibit> [--scale smoke|default|full] [--out DIR]
+//! repro <exhibit> [--scale smoke|default|full] [--out DIR] [--jobs N]
 //!
 //! exhibits:
 //!   table1   Table I   — DCART configuration
@@ -22,7 +22,7 @@ use dcart_bench::{experiments, Scale};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|fig2|fig3|overall|fig7|fig8|fig9|fig11|fig10|fig12|ablate|scans|indexes|fig6|skew|all> \
-         [--scale smoke|default|full] [--out DIR]"
+         [--scale smoke|default|full] [--out DIR] [--jobs N]"
     );
     ExitCode::FAILURE
 }
@@ -51,6 +51,15 @@ fn main() -> ExitCode {
                 out_dir = PathBuf::from(dir);
                 i += 2;
             }
+            "--jobs" => {
+                let Some(n) = args.get(i + 1) else { return usage() };
+                let Ok(n) = n.parse::<usize>() else {
+                    eprintln!("--jobs expects a positive integer, got {n}");
+                    return usage();
+                };
+                dcart_bench::parallel::set_jobs(n);
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option: {other}");
                 return usage();
@@ -59,13 +68,15 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "DCART reproduction | scale: {} keys, {} ops, {} in flight | reports: {}\n",
+        "DCART reproduction | scale: {} keys, {} ops, {} in flight | {} worker(s) | reports: {}\n",
         scale.keys,
         scale.ops,
         scale.concurrency,
+        dcart_bench::parallel::jobs(),
         out_dir.display()
     );
 
+    let t0 = std::time::Instant::now();
     match exhibit.as_str() {
         "table1" => {
             experiments::table1::run(&out_dir);
@@ -115,5 +126,10 @@ fn main() -> ExitCode {
         }
         _ => return usage(),
     }
+    println!(
+        "done: {exhibit} in {:.2} s wall with {} worker(s)",
+        t0.elapsed().as_secs_f64(),
+        dcart_bench::parallel::jobs()
+    );
     ExitCode::SUCCESS
 }

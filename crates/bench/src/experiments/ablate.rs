@@ -41,71 +41,35 @@ pub struct AblationReport {
     pub points: Vec<AblationPoint>,
 }
 
-fn run_variant(
-    variant: &str,
-    cfg: DcartConfig,
-    scale: &Scale,
-    points: &mut Vec<AblationPoint>,
-    t: &mut Table,
-) {
-    let keys = Workload::Ipgeo.generate(scale.keys, scale.seed);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: scale.ops, mix: Mix::C, theta: 0.99, seed: scale.seed },
-    );
-    let mut engine = DcartAccel::new(cfg.with_auto_prefix_skip(&keys));
-    let r: RunReport = engine.run(&keys, &ops, &RunConfig { concurrency: scale.concurrency });
-    let p = AblationPoint {
-        variant: variant.to_string(),
-        time_s: r.time_s,
-        throughput_mops: r.throughput_mops(),
-        nodes_traversed: r.counters.nodes_traversed,
-        tree_buffer_hit_ratio: engine.last_details().tree_buffer_hit_ratio,
-    };
-    t.row(&[
-        p.variant.clone(),
-        format!("{:.5}", p.time_s),
-        format!("{:.1}", p.throughput_mops),
-        p.nodes_traversed.to_string(),
-        format!("{:.3}", p.tree_buffer_hit_ratio),
-    ]);
-    points.push(p);
-}
-
-/// Runs all ablations on IPGEO and writes `ablations.json`.
-pub fn run(scale: &Scale, out_dir: &Path) -> AblationReport {
-    println!("== Ablations: DCART design choices (IPGEO, mix C) ==");
-    let base = DcartConfig::default().scaled_for_keys(scale.keys);
-    let mut points = Vec::new();
-    let mut t = Table::new(&["variant", "time s", "Mops/s", "nodes fetched", "tree-buf hit"]);
-
-    run_variant("baseline (Table I)", base, scale, &mut points, &mut t);
+/// Builds the full variant list: (label, configuration) per ablation.
+fn variants(base: DcartConfig) -> Vec<(String, DcartConfig)> {
+    let mut out = vec![("baseline (Table I)".to_string(), base)];
 
     let mut c = base;
     c.shortcuts_enabled = false;
-    run_variant("shortcuts=off", c, scale, &mut points, &mut t);
+    out.push(("shortcuts=off".to_string(), c));
 
     let mut c = base;
     c.tree_buffer_policy = BufferPolicy::Lru;
-    run_variant("tree-policy=lru", c, scale, &mut points, &mut t);
+    out.push(("tree-policy=lru".to_string(), c));
     let mut c = base;
     c.tree_buffer_policy = BufferPolicy::Fifo;
-    run_variant("tree-policy=fifo", c, scale, &mut points, &mut t);
+    out.push(("tree-policy=fifo".to_string(), c));
 
     let mut c = base;
     c.overlap_enabled = false;
-    run_variant("overlap=off", c, scale, &mut points, &mut t);
+    out.push(("overlap=off".to_string(), c));
 
     for sous in [1usize, 4, 8, 16, 32] {
         let mut c = base;
         c.sous = sous;
-        run_variant(&format!("sous={sous}"), c, scale, &mut points, &mut t);
+        out.push((format!("sous={sous}"), c));
     }
 
     for bits in [4u32, 8, 16] {
         let mut c = base;
         c.prefix_bits = bits;
-        run_variant(&format!("prefix-bits={bits}"), c, scale, &mut points, &mut t);
+        out.push((format!("prefix-bits={bits}"), c));
     }
 
     // Extension: the single PCU is DCART's throughput ceiling (1 op/cycle
@@ -114,9 +78,45 @@ pub fn run(scale: &Scale, out_dir: &Path) -> AblationReport {
     for pcus in [2usize, 4] {
         let mut c = base;
         c.pcus = pcus;
-        run_variant(&format!("pcus={pcus}"), c, scale, &mut points, &mut t);
+        out.push((format!("pcus={pcus}"), c));
     }
+    out
+}
 
+/// Runs all ablations on IPGEO and writes `ablations.json`.
+pub fn run(scale: &Scale, out_dir: &Path) -> AblationReport {
+    println!("== Ablations: DCART design choices (IPGEO, mix C) ==");
+    let base = DcartConfig::default().scaled_for_keys(scale.keys);
+    let mut t = Table::new(&["variant", "time s", "Mops/s", "nodes fetched", "tree-buf hit"]);
+
+    // The key set and op stream are shared by every variant; variants then
+    // fan out over the worker pool and are collected in declaration order.
+    let keys = Workload::Ipgeo.generate(scale.keys, scale.seed);
+    let ops = generate_ops(
+        &keys,
+        &OpStreamConfig { count: scale.ops, mix: Mix::C, theta: 0.99, seed: scale.seed },
+    );
+    let points = crate::parallel::par_map(variants(base), |(variant, cfg)| {
+        let mut engine = DcartAccel::new(cfg.with_auto_prefix_skip(&keys));
+        let r: RunReport = engine.run(&keys, &ops, &RunConfig { concurrency: scale.concurrency });
+        AblationPoint {
+            variant,
+            time_s: r.time_s,
+            throughput_mops: r.throughput_mops(),
+            nodes_traversed: r.counters.nodes_traversed,
+            tree_buffer_hit_ratio: engine.last_details().tree_buffer_hit_ratio,
+        }
+    });
+
+    for p in &points {
+        t.row(&[
+            p.variant.clone(),
+            format!("{:.5}", p.time_s),
+            format!("{:.1}", p.throughput_mops),
+            p.nodes_traversed.to_string(),
+            format!("{:.3}", p.tree_buffer_hit_ratio),
+        ]);
+    }
     t.print();
     println!();
     let report = AblationReport { points };
@@ -166,7 +166,11 @@ mod tests {
 
         // Extra PCUs lift the combining ceiling.
         let pcus4 = point(&r, "pcus=4");
-        assert!(pcus4.throughput_mops > base.throughput_mops, 
-            "{} vs {}", pcus4.throughput_mops, base.throughput_mops);
+        assert!(
+            pcus4.throughput_mops > base.throughput_mops,
+            "{} vs {}",
+            pcus4.throughput_mops,
+            base.throughput_mops
+        );
     }
 }

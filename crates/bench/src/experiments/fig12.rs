@@ -50,7 +50,11 @@ pub fn run(scale: &Scale, out_dir: &Path) -> Fig12Report {
             speedup_vs_smart: dcart.speedup_vs(&smart),
             speedup_vs_art: dcart.speedup_vs(&art),
         };
-        t.row(&[p.x.clone(), format!("{:.1}", p.speedup_vs_art), format!("{:.1}", p.speedup_vs_smart)]);
+        t.row(&[
+            p.x.clone(),
+            format!("{:.1}", p.speedup_vs_art),
+            format!("{:.1}", p.speedup_vs_smart),
+        ]);
         vs_concurrency.push(p);
     }
     t.print();
@@ -77,7 +81,9 @@ pub fn run(scale: &Scale, out_dir: &Path) -> Fig12Report {
         vs_mix.push(p);
     }
     t.print();
-    println!("paper: better improvement as the write ratio increases (more lock contention avoided)\n");
+    println!(
+        "paper: better improvement as the write ratio increases (more lock contention avoided)\n"
+    );
 
     let report = Fig12Report { vs_concurrency, vs_mix };
     write_report(out_dir, "fig12", &report);

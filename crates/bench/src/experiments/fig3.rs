@@ -87,11 +87,14 @@ fn analyze(workload: Workload, scale: &Scale) -> Fig3Workload {
 pub fn run(scale: &Scale, out_dir: &Path) -> Fig3Report {
     println!("== Fig. 3: operation distribution of the real-world workloads ==");
     let mut t = Table::new(&[
-        "workload", "hottest prefix", "ops@hottest", "median ops/prefix", "top-5% node share %",
+        "workload",
+        "hottest prefix",
+        "ops@hottest",
+        "median ops/prefix",
+        "top-5% node share %",
     ]);
-    let mut workloads = Vec::new();
-    for w in Workload::REAL_WORLD {
-        let a = analyze(w, scale);
+    let workloads = crate::parallel::par_map(Workload::REAL_WORLD.to_vec(), |w| analyze(w, scale));
+    for a in &workloads {
         t.row(&[
             a.workload.clone(),
             format!("0x{:02x}", a.hottest.0),
@@ -99,7 +102,6 @@ pub fn run(scale: &Scale, out_dir: &Path) -> Fig3Report {
             a.median_nonzero.to_string(),
             format!("{:.2}", a.top5pct_visit_share * 100.0),
         ]);
-        workloads.push(a);
     }
     t.print();
     println!(

@@ -51,9 +51,12 @@ fn measure_art(workload: Workload, keys: &[Key]) -> IndexRow {
     // accounting of shifted bytes.
     let mut logical = 0u64;
     let mut written = 0u64;
+    // One tracer for the whole load + probe run: `clear()` recycles its
+    // visit/lock buffers instead of reallocating them per operation.
+    let mut tracer = RecordingTracer::new();
     for (i, k) in keys.iter().enumerate() {
         logical += k.len() as u64 + 8;
-        let mut tracer = RecordingTracer::new();
+        tracer.clear();
         art.insert_traced(k.clone(), i as u64, &mut tracer).expect("prefix-free");
         // New leaf + one pointer slot per locked (modified) node.
         written += k.len() as u64 + 16 + tracer.trace.locks.len() as u64 * 9;
@@ -62,7 +65,7 @@ fn measure_art(workload: Workload, keys: &[Key]) -> IndexRow {
     let probes = keys.iter().step_by(7);
     let mut n_probes = 0u64;
     for k in probes {
-        let mut tracer = RecordingTracer::new();
+        tracer.clear();
         let _ = art.get_traced(k, &mut tracer);
         accesses += tracer.trace.visits.len() as u64;
         n_probes += 1;
@@ -123,27 +126,42 @@ fn measure_hash(workload: Workload, keys: &[Key]) -> IndexRow {
 /// Runs the comparison and writes `indexes.json`.
 pub fn run(scale: &Scale, out_dir: &Path) -> IndexReport {
     println!("== Related work measured (paper \u{a7}V): ART vs B+tree vs hash ==");
-    let mut rows = Vec::new();
-    let mut t = Table::new(&[
-        "index", "workload", "memory MB", "write amp", "accesses/lookup", "range queries",
-    ]);
-    for workload in [Workload::Ipgeo, Workload::Dict, Workload::RandomSparse] {
-        let keys = workload.generate(scale.keys.min(100_000), scale.seed);
-        for row in [
-            measure_art(workload, &keys.keys),
-            measure_bptree(workload, &keys.keys),
-            measure_hash(workload, &keys.keys),
-        ] {
-            t.row(&[
-                row.index.clone(),
-                row.workload.clone(),
-                format!("{:.2}", row.memory_mb),
-                format!("{:.2}", row.write_amplification),
-                format!("{:.2}", row.accesses_per_lookup),
-                if row.range_support { "yes".to_string() } else { "unsupported".to_string() },
-            ]);
-            rows.push(row);
+    let workloads = [Workload::Ipgeo, Workload::Dict, Workload::RandomSparse];
+    // Stage 1: generate each workload's key set; stage 2: fan the
+    // (workload, index family) cells over the worker pool.
+    let data = crate::parallel::par_map(workloads.to_vec(), |w| {
+        w.generate(scale.keys.min(100_000), scale.seed)
+    });
+    let cells: Vec<(usize, Workload, usize)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, &w)| (0..3).map(move |family| (wi, w, family)))
+        .collect();
+    let rows = crate::parallel::par_map(cells, |(wi, workload, family)| {
+        let keys = &data[wi].keys;
+        match family {
+            0 => measure_art(workload, keys),
+            1 => measure_bptree(workload, keys),
+            _ => measure_hash(workload, keys),
         }
+    });
+    let mut t = Table::new(&[
+        "index",
+        "workload",
+        "memory MB",
+        "write amp",
+        "accesses/lookup",
+        "range queries",
+    ]);
+    for row in &rows {
+        t.row(&[
+            row.index.clone(),
+            row.workload.clone(),
+            format!("{:.2}", row.memory_mb),
+            format!("{:.2}", row.write_amplification),
+            format!("{:.2}", row.accesses_per_lookup),
+            if row.range_support { "yes".to_string() } else { "unsupported".to_string() },
+        ]);
     }
     t.print();
     println!(
@@ -166,10 +184,7 @@ mod tests {
         let r = run(&scale, &tmp);
         for workload in ["IPGEO", "DICT", "RS"] {
             let get = |idx: &str| {
-                r.rows
-                    .iter()
-                    .find(|row| row.index == idx && row.workload == workload)
-                    .unwrap()
+                r.rows.iter().find(|row| row.index == idx && row.workload == workload).unwrap()
             };
             let (art, bp, hash) = (get("ART"), get("B+tree"), get("hash"));
             // Claim 2+3: ART's write amplification is below the B+-tree's.

@@ -54,7 +54,16 @@ pub fn run(scale: &Scale, out_dir: &Path) -> OverallReport {
 
     // Fig. 7 — lock contentions.
     println!("\n-- Fig. 7: lock contentions --");
-    let mut t = Table::new(&["workload", "ART", "Heart", "SMART", "CuART", "DCART-C", "DCART", "DCART/ART %"]);
+    let mut t = Table::new(&[
+        "workload",
+        "ART",
+        "Heart",
+        "SMART",
+        "CuART",
+        "DCART-C",
+        "DCART",
+        "DCART/ART %",
+    ]);
     for w in Workload::ALL {
         let c = |e: &str| find(&matrix, e, w.name()).counters.lock_contentions;
         let ratio = c("DCART") as f64 / c("ART").max(1) as f64;
@@ -75,7 +84,15 @@ pub fn run(scale: &Scale, out_dir: &Path) -> OverallReport {
     // Fig. 8 — partial-key matches.
     println!("-- Fig. 8: partial-key matches --");
     let mut t = Table::new(&[
-        "workload", "ART", "Heart", "SMART", "CuART", "DCART", "vs ART %", "vs SMART %", "vs CuART %",
+        "workload",
+        "ART",
+        "Heart",
+        "SMART",
+        "CuART",
+        "DCART",
+        "vs ART %",
+        "vs SMART %",
+        "vs CuART %",
     ]);
     for w in Workload::ALL {
         let m = |e: &str| find(&matrix, e, w.name()).counters.partial_key_matches;
@@ -93,13 +110,23 @@ pub fn run(scale: &Scale, out_dir: &Path) -> OverallReport {
         ]);
     }
     t.print();
-    println!("paper: DCART(-C) matches are 3.2–5.7 % of ART, 6.5–14.3 % of SMART, 8.8–15.9 % of CuART\n");
+    println!(
+        "paper: DCART(-C) matches are 3.2–5.7 % of ART, 6.5–14.3 % of SMART, 8.8–15.9 % of CuART\n"
+    );
 
     // Fig. 9 — execution time.
     println!("-- Fig. 9: execution time --");
     let mut t = Table::new(&[
-        "workload", "ART s", "Heart s", "SMART s", "CuART s", "DCART-C s", "DCART s",
-        "x ART", "x SMART", "x CuART",
+        "workload",
+        "ART s",
+        "Heart s",
+        "SMART s",
+        "CuART s",
+        "DCART-C s",
+        "DCART s",
+        "x ART",
+        "x SMART",
+        "x CuART",
     ]);
     let mut speedups = Vec::new();
     for w in Workload::ALL {
@@ -134,8 +161,16 @@ pub fn run(scale: &Scale, out_dir: &Path) -> OverallReport {
     // Fig. 11 — energy.
     println!("-- Fig. 11: energy consumption --");
     let mut t = Table::new(&[
-        "workload", "ART J", "SMART J", "CuART J", "DCART-C J", "DCART J",
-        "x ART", "x SMART", "x CuART", "x DCART-C",
+        "workload",
+        "ART J",
+        "SMART J",
+        "CuART J",
+        "DCART-C J",
+        "DCART J",
+        "x ART",
+        "x SMART",
+        "x CuART",
+        "x DCART-C",
     ]);
     let mut energy_savings = Vec::new();
     for w in Workload::ALL {
@@ -163,9 +198,7 @@ pub fn run(scale: &Scale, out_dir: &Path) -> OverallReport {
         energy_savings.push(s);
     }
     t.print();
-    println!(
-        "paper: 315.1–493.5x ART, 92.7–148.9x SMART, 71.1–126.2x CuART, 48.1–97.6x DCART-C\n"
-    );
+    println!("paper: 315.1–493.5x ART, 92.7–148.9x SMART, 71.1–126.2x CuART, 48.1–97.6x DCART-C\n");
 
     let report = OverallReport { matrix, speedups, energy_savings };
     write_report(out_dir, "overall", &report);

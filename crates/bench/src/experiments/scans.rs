@@ -80,10 +80,7 @@ mod tests {
         let tmp = std::env::temp_dir().join("dcart-scans-test");
         let r = run(&scale, &tmp);
         let get = |e: &str, share: f64| {
-            r.points
-                .iter()
-                .find(|p| p.engine == e && (p.scan_share - share).abs() < 1e-9)
-                .unwrap()
+            r.points.iter().find(|p| p.engine == e && (p.scan_share - share).abs() < 1e-9).unwrap()
         };
         // Scans multiply per-op node fetches on the operation-centric ART.
         assert!(get("ART", 0.3).visits_per_op > 2.0 * get("ART", 0.0).visits_per_op);

@@ -50,7 +50,11 @@ pub fn run(scale: &Scale, out_dir: &Path) -> SkewReport {
 
     let mut points = Vec::new();
     let mut t = Table::new(&[
-        "theta", "DCART x SMART", "shortcut hit %", "SMART contentions", "SOU imbalance",
+        "theta",
+        "DCART x SMART",
+        "shortcut hit %",
+        "SMART contentions",
+        "SOU imbalance",
     ]);
     for theta in [0.2f64, 0.5, 0.8, 0.99] {
         let ops = generate_ops(
@@ -77,9 +81,7 @@ pub fn run(scale: &Scale, out_dir: &Path) -> SkewReport {
         points.push(p);
     }
     t.print();
-    println!(
-        "(extension: the paper's premise quantified — less similarity, less to coalesce)\n"
-    );
+    println!("(extension: the paper's premise quantified — less similarity, less to coalesce)\n");
     let report = SkewReport { points };
     write_report(out_dir, "skew", &report);
     report

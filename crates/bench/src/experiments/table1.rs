@@ -11,7 +11,10 @@ pub fn run(out_dir: &Path) -> DcartConfig {
     println!("== Table I: parameter details of DCART ==");
     let c = DcartConfig::table_i();
     let mut t = Table::new(&["parameter", "value"]);
-    t.row(&["Processing units", &format!("{}x PCU, {}x Dispatcher, {}x SOUs", c.pcus, c.dispatchers, c.sous)]);
+    t.row(&[
+        "Processing units",
+        &format!("{}x PCU, {}x Dispatcher, {}x SOUs", c.pcus, c.dispatchers, c.sous),
+    ]);
     t.row(&["Scan_buffer", &format!("{} KB", c.scan_buffer_bytes / 1024)]);
     t.row(&["Bucket_buffer", &format!("{} MB", c.bucket_buffer_bytes / 1024 / 1024)]);
     t.row(&["Shortcut_buffer", &format!("{} KB", c.shortcut_buffer_bytes / 1024)]);

@@ -100,16 +100,17 @@ pub fn run(scale: &Scale, out_dir: &Path) -> TimelineReport {
     let run_cfg = RunConfig { concurrency: 16_384 };
     let base = DcartConfig::default().scaled_for_keys(keys.len()).with_auto_prefix_skip(&keys);
 
-    let mut on = DcartAccel::new(base);
-    on.run(&keys, &ops, &run_cfg);
-    let overlapped = schedule(&on.last_details().batches, true);
+    // The overlap-on and overlap-off runs are independent cells.
+    let mut schedules = crate::parallel::par_map(vec![true, false], |overlap| {
+        let mut cfg = base;
+        cfg.overlap_enabled = overlap;
+        let mut engine = DcartAccel::new(cfg);
+        engine.run(&keys, &ops, &run_cfg);
+        schedule(&engine.last_details().batches, overlap)
+    });
+    let sequential = schedules.pop().expect("two cells");
+    let overlapped = schedules.pop().expect("two cells");
     let overlapped_cycles = overlapped.last().map_or(0, |b| b.sou_end);
-
-    let mut cfg = base;
-    cfg.overlap_enabled = false;
-    let mut off = DcartAccel::new(cfg);
-    off.run(&keys, &ops, &run_cfg);
-    let sequential = schedule(&off.last_details().batches, false);
     let sequential_cycles = sequential.last().map_or(0, |b| b.sou_end);
 
     draw(&sequential, "without overlap");
@@ -122,8 +123,7 @@ pub fn run(scale: &Scale, out_dir: &Path) -> TimelineReport {
         (1.0 - overlapped_cycles as f64 / sequential_cycles as f64) * 100.0
     );
 
-    let report =
-        TimelineReport { overlapped, sequential, overlapped_cycles, sequential_cycles };
+    let report = TimelineReport { overlapped, sequential, overlapped_cycles, sequential_cycles };
     write_report(out_dir, "timeline", &report);
     report
 }
@@ -151,10 +151,7 @@ mod tests {
         }
         // Overlap actually happens: some batch combines while the previous
         // batch operates.
-        let hidden = r
-            .overlapped
-            .windows(2)
-            .any(|w| w[1].pcu_start < w[0].sou_end);
+        let hidden = r.overlapped.windows(2).any(|w| w[1].pcu_start < w[0].sou_end);
         assert!(hidden, "no combining was hidden under operating");
     }
 }

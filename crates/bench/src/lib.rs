@@ -10,6 +10,8 @@
 
 pub mod experiments;
 mod matrix;
+pub mod parallel;
+pub mod perf;
 mod scale;
 mod table;
 

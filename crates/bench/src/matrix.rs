@@ -1,7 +1,9 @@
 //! The engine × workload run matrix shared by Figs. 7, 8, 9, and 11.
 
 use dcart::{DcartAccel, DcartConfig, DcartSoftware};
-use dcart_baselines::{CpuBaseline, CpuConfig, CuArt, GpuConfig, IndexEngine, RunConfig, RunReport};
+use dcart_baselines::{
+    CpuBaseline, CpuConfig, CuArt, GpuConfig, IndexEngine, RunConfig, RunReport,
+};
 use dcart_workloads::{generate_ops, Mix, OpStreamConfig, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -18,9 +20,7 @@ pub fn engine_names() -> [&'static str; 6] {
 fn build_engine(name: &str, key_set: &dcart_workloads::KeySet) -> Box<dyn IndexEngine> {
     let keys = key_set.len();
     let cpu = CpuConfig::xeon_8468().scaled_for_keys(keys);
-    let dcart_cfg = DcartConfig::default()
-        .scaled_for_keys(keys)
-        .with_auto_prefix_skip(key_set);
+    let dcart_cfg = DcartConfig::default().scaled_for_keys(keys).with_auto_prefix_skip(key_set);
     match name {
         "ART" => Box::new(CpuBaseline::art(cpu)),
         "Heart" => Box::new(CpuBaseline::heart(cpu)),
@@ -56,39 +56,47 @@ pub fn run_engine(engine: &str, workload: Workload, scale: &Scale, mix: Mix) -> 
 
 /// Runs `engines` × `workloads` at the default 50 % read / 50 % write mix
 /// (the paper's §IV-A default), printing progress.
+///
+/// Both stages fan out over the [`crate::parallel`] worker pool: key/op
+/// generation per workload, then every engine × workload cell. Cells are
+/// collected in matrix order (workload-major, then engine), independent of
+/// which worker finishes first, so the report is identical at any `--jobs`.
 pub fn run_matrix(engines: &[&str], workloads: &[Workload], scale: &Scale) -> Vec<MatrixEntry> {
-    let mut out = Vec::new();
-    for &workload in workloads {
+    let data = crate::parallel::par_map(workloads.to_vec(), |workload| {
         let keys = workload.generate(scale.keys, scale.seed);
         let ops = generate_ops(
             &keys,
             &OpStreamConfig { count: scale.ops, mix: Mix::C, theta: 0.99, seed: scale.seed },
         );
-        for &engine in engines {
-            let mut e = build_engine(engine, &keys);
-            let report = e.run(&keys, &ops, &RunConfig { concurrency: scale.concurrency });
-            eprintln!(
-                "    ran {engine:8} on {:6}: {:.4} s, {:.1} Mops/s",
-                workload.name(),
-                report.time_s,
-                report.throughput_mops()
-            );
-            out.push(MatrixEntry {
-                engine: engine.to_string(),
-                workload: workload.name().to_string(),
-                report,
-            });
-        }
+        (keys, ops)
+    });
+
+    let cells: Vec<(usize, Workload, &str)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, &w)| engines.iter().map(move |&e| (wi, w, e)))
+        .collect();
+    let timed = crate::parallel::par_map_timed(cells, |(wi, workload, engine)| {
+        let (keys, ops) = &data[wi];
+        let mut e = build_engine(engine, keys);
+        let report = e.run(keys, ops, &RunConfig { concurrency: scale.concurrency });
+        MatrixEntry { engine: engine.to_string(), workload: workload.name().to_string(), report }
+    });
+    for cell in &timed {
+        eprintln!(
+            "    ran {:8} on {:6}: {:.4} s simulated, {:.1} Mops/s ({:.2} s wall)",
+            cell.value.engine,
+            cell.value.workload,
+            cell.value.report.time_s,
+            cell.value.report.throughput_mops(),
+            cell.seconds
+        );
     }
-    out
+    timed.into_iter().map(|t| t.value).collect()
 }
 
 /// Convenience lookup in a matrix.
-pub(crate) fn find<'a>(
-    matrix: &'a [MatrixEntry],
-    engine: &str,
-    workload: &str,
-) -> &'a RunReport {
+pub(crate) fn find<'a>(matrix: &'a [MatrixEntry], engine: &str, workload: &str) -> &'a RunReport {
     &matrix
         .iter()
         .find(|e| e.engine == engine && e.workload == workload)

@@ -1,0 +1,43 @@
+//! The parallel experiment engine must be invisible in the reports:
+//! `repro --jobs 1` and `repro --jobs 8` write byte-identical JSON for a
+//! fixed seed, because cells are pure functions of their inputs and are
+//! collected by input index, never by completion order.
+
+use std::path::Path;
+
+use dcart_bench::{experiments, parallel, Scale};
+
+fn report_bytes(dir: &Path, name: &str) -> Vec<u8> {
+    let path = dir.join(format!("{name}.json"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn run_all(scale: &Scale, dir: &Path) {
+    experiments::fig2::run(scale, dir);
+    experiments::fig3::run(scale, dir);
+    experiments::overall::run(scale, dir);
+    experiments::ablate::run(scale, dir);
+    experiments::indexes::run(scale, dir);
+    experiments::timeline::run(scale, dir);
+}
+
+#[test]
+fn jobs_1_and_jobs_8_write_byte_identical_reports() {
+    let scale = Scale { keys: 2_000, ops: 6_000, concurrency: 2_048, seed: 7 };
+    let base = std::env::temp_dir().join("dcart-jobs-determinism");
+    let sequential_dir = base.join("jobs1");
+    let parallel_dir = base.join("jobs8");
+
+    parallel::set_jobs(1);
+    run_all(&scale, &sequential_dir);
+    parallel::set_jobs(8);
+    run_all(&scale, &parallel_dir);
+    parallel::set_jobs(1);
+
+    for name in ["fig2", "fig3", "overall", "ablations", "indexes", "timeline"] {
+        let a = report_bytes(&sequential_dir, name);
+        let b = report_bytes(&parallel_dir, name);
+        assert!(!a.is_empty(), "{name}.json is empty");
+        assert_eq!(a, b, "{name}.json differs between --jobs 1 and --jobs 8");
+    }
+}

@@ -18,8 +18,7 @@
 //!   (§III-D, Fig. 6).
 
 use dcart_baselines::{
-    ContentionWindow, Counters, IndexEngine, RedundancyWindow, RunConfig, RunReport,
-    TimeBreakdown,
+    ContentionWindow, Counters, IndexEngine, RedundancyWindow, RunConfig, RunReport, TimeBreakdown,
 };
 use dcart_engine::{Clock, LatencyRecorder};
 use dcart_mem::{BufferOutcome, BufferPolicy, EnergyModel, MemoryConfig, ObjectBuffer};
@@ -159,14 +158,12 @@ impl CttConsumer for AccelConsumer {
 
         // Stage 1 — Index_Shortcut: probe the shortcut buffer for
         // reads/updates; other ops pass through in a cycle.
-        let s1 = if self.cfg.shortcuts_enabled && matches!(ev.kind, OpKind::Read | OpKind::Update)
-        {
+        let s1 = if self.cfg.shortcuts_enabled && matches!(ev.kind, OpKind::Read | OpKind::Update) {
             if ev.shortcut_hit {
                 // The buffer caches shortcut entries by key identity; a
                 // probe that misses on chip fetches the entry from the
                 // off-chip hash table.
-                match self.shortcut_buffer.request(ev.key_id, crate::shortcut::ENTRY_BYTES, value)
-                {
+                match self.shortcut_buffer.request(ev.key_id, crate::shortcut::ENTRY_BYTES, value) {
                     BufferOutcome::Hit => {
                         self.onchip_accesses += 1;
                         1
@@ -238,19 +235,14 @@ impl CttConsumer for AccelConsumer {
         // stream the Scan/Bucket buffers move per cycle.
         let clock_hz = self.clock.freq_hz();
         let bytes_per_cycle = 460.0e9 / clock_hz; // HBM bytes per cycle
-        let stream_cycles =
-            (self.current_batch_ops * OP_STREAM_BYTES) as f64 / bytes_per_cycle;
+        let stream_cycles = (self.current_batch_ops * OP_STREAM_BYTES) as f64 / bytes_per_cycle;
         // Multiple PCUs scan the arriving batch in parallel stripes (an
         // extension knob; Table I uses 1).
         let pcu_throughput = self.cfg.pcus.max(1) as u64;
         let pcu_cycles =
             (self.current_batch_ops / pcu_throughput + 2).max(stream_cycles.ceil() as u64);
         self.counters.offchip_bytes += self.current_batch_ops * OP_STREAM_BYTES;
-        self.batches.push(BatchTiming {
-            pcu_cycles,
-            sou_cycles,
-            ops: self.current_batch_ops,
-        });
+        self.batches.push(BatchTiming { pcu_cycles, sou_cycles, ops: self.current_batch_ops });
     }
 }
 
@@ -320,11 +312,8 @@ impl IndexEngine for DcartAccel {
         counters.lock_acquisitions += stats.shortcut_hash_collisions;
 
         let energy = EnergyModel::fpga_u280();
-        let energy_j = energy.energy_joules(
-            time_s,
-            counters.offchip_bytes,
-            consumer.onchip_accesses,
-        );
+        let energy_j =
+            energy.energy_joules(time_s, counters.offchip_bytes, consumer.onchip_accesses);
 
         // Time breakdown: PCU work that the overlap hides is not on the
         // critical path; attribute the visible cycles.

@@ -149,6 +149,9 @@ mod tests {
         assert_eq!(c.clock_mhz, 230.0);
         assert!(c.tree_buffer_bytes < 4 * 1024 * 1024);
         assert!(c.tree_buffer_bytes >= 4 * 1024);
-        assert_eq!(DcartConfig::default().scaled_for_keys(60_000_000).tree_buffer_bytes, 4 * 1024 * 1024);
+        assert_eq!(
+            DcartConfig::default().scaled_for_keys(60_000_000).tree_buffer_bytes,
+            4 * 1024 * 1024
+        );
     }
 }

@@ -173,9 +173,7 @@ pub fn execute_ctt<C: CttConsumer>(
 ) -> (Art<u64>, CttStats) {
     assert!(batch_size > 0, "batch size must be positive");
     let mut art: Art<u64> = Art::new();
-    for (i, key) in keys.keys.iter().enumerate() {
-        art.insert(key.clone(), i as u64).expect("workload keys are prefix-free");
-    }
+    art.load_indexed(&keys.keys).expect("workload keys are prefix-free");
 
     let mut shortcuts = ShortcutTable::new();
     let mut stats = CttStats::default();
@@ -287,15 +285,13 @@ pub fn execute_ctt<C: CttConsumer>(
                             // start position; the bucket's coalescing
                             // below still dedups nodes shared with other
                             // combined operations.
-                            let _ = art.scan_traced(
-                                op.key.as_bytes(),
-                                op.value as usize,
-                                &mut tracer,
-                            );
+                            let _ =
+                                art.scan_traced(op.key.as_bytes(), op.value as usize, &mut tracer);
                         }
                     }
                     let mut generated = false;
-                    if config.shortcuts_enabled && !matches!(op.kind, OpKind::Remove | OpKind::Scan) {
+                    if config.shortcuts_enabled && !matches!(op.kind, OpKind::Remove | OpKind::Scan)
+                    {
                         if let Some(target) = tracer.trace.target {
                             // Generate_Shortcut: only leaves are reusable
                             // point-op targets.
@@ -340,8 +336,8 @@ pub fn execute_ctt<C: CttConsumer>(
                         }
                     }
                     let total_visits = tracer.trace.visits.len().max(1) as u64;
-                    let matches = tracer.trace.partial_key_matches * fresh_visits.len() as u64
-                        / total_visits;
+                    let matches =
+                        tracer.trace.partial_key_matches * fresh_visits.len() as u64 / total_visits;
                     CttOpEvent {
                         batch: batch_idx,
                         bucket: bucket_idx,
@@ -362,7 +358,12 @@ pub fn execute_ctt<C: CttConsumer>(
         for (bucket_idx, targets) in write_targets.into_iter().enumerate() {
             for (node, size) in targets {
                 stats.lock_groups += 1;
-                consumer.lock_group(&LockGroup { batch: batch_idx, bucket: bucket_idx, node, size });
+                consumer.lock_group(&LockGroup {
+                    batch: batch_idx,
+                    bucket: bucket_idx,
+                    node,
+                    size,
+                });
             }
         }
         consumer.batch_end(batch_idx);
@@ -413,14 +414,49 @@ mod tests {
 
     fn run(mix: Mix, shortcuts: bool) -> (CttStats, Collector) {
         let keys = Workload::Ipgeo.generate(5_000, 1);
-        let ops = generate_ops(
-            &keys,
-            &OpStreamConfig { count: 20_000, mix, ..Default::default() },
-        );
+        let ops = generate_ops(&keys, &OpStreamConfig { count: 20_000, mix, ..Default::default() });
         let cfg = DcartConfig { shortcuts_enabled: shortcuts, ..Default::default() };
         let mut c = Collector::default();
         let (_, stats) = execute_ctt(&keys, &ops, &cfg, 4096, &mut c);
         (stats, c)
+    }
+
+    #[test]
+    fn empty_op_stream_loads_keys_and_emits_no_events() {
+        // `ops.chunks(batch_size)` over an empty slice yields zero batches;
+        // the executor must still bulk-load the key set and report clean
+        // zeroed stats rather than tripping over the missing batches.
+        let keys = Workload::Ipgeo.generate(500, 9);
+        let cfg = DcartConfig::default();
+        let mut c = Collector::default();
+        let (art, stats) = execute_ctt(&keys, &[], &cfg, 4096, &mut c);
+        assert_eq!(art.len(), 500, "bulk load runs even with no operations");
+        assert_eq!(stats.ops, 0);
+        assert_eq!(stats.lock_groups, 0);
+        assert_eq!(stats.shortcut.hits, 0);
+        assert_eq!(c.ops, 0);
+        assert!(c.batches.is_empty(), "no batches for an empty stream");
+    }
+
+    #[test]
+    fn single_op_stream_forms_one_batch() {
+        let keys = Workload::Ipgeo.generate(500, 9);
+        let op = Op { kind: OpKind::Read, key: keys.keys[0].clone(), value: 0 };
+        let cfg = DcartConfig::default();
+        let mut c = Collector::default();
+        let (_, stats) = execute_ctt(&keys, std::slice::from_ref(&op), &cfg, 4096, &mut c);
+        assert_eq!(stats.ops, 1);
+        assert_eq!(c.ops, 1);
+        assert_eq!(c.batches, vec![0], "one partial batch, index 0");
+        assert!(c.visits >= 1, "the read fetches at least one node");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let keys = Workload::Ipgeo.generate(100, 9);
+        let cfg = DcartConfig::default();
+        let _ = execute_ctt(&keys, &[], &cfg, 0, &mut Collector::default());
     }
 
     #[test]
@@ -444,8 +480,12 @@ mod tests {
     #[test]
     fn coalescing_reduces_lock_count() {
         let (stats, c) = run(Mix::E, true);
-        assert!(stats.lock_groups < stats.per_op_locks,
-            "groups {} must be fewer than per-op locks {}", stats.lock_groups, stats.per_op_locks);
+        assert!(
+            stats.lock_groups < stats.per_op_locks,
+            "groups {} must be fewer than per-op locks {}",
+            stats.lock_groups,
+            stats.per_op_locks
+        );
         // Every write is covered by at least one group membership (writes
         // with structural locks join one group per locked node).
         assert!(c.group_ops >= stats.writes);

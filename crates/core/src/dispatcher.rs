@@ -30,11 +30,7 @@ impl Dispatch {
 
     /// Buckets assigned to SOU `s`.
     pub fn buckets_of(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
-        self.sou_of
-            .iter()
-            .enumerate()
-            .filter(move |(_, &sou)| sou == s)
-            .map(|(b, _)| b)
+        self.sou_of.iter().enumerate().filter(move |(_, &sou)| sou == s).map(|(b, _)| b)
     }
 }
 

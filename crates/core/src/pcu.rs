@@ -50,11 +50,7 @@ mod tests {
     use dcart_workloads::OpKind;
 
     fn op(first_byte: u8) -> Op {
-        Op {
-            kind: OpKind::Read,
-            key: Key::from_raw(vec![first_byte, 1, 2, 3]),
-            value: 0,
-        }
+        Op { kind: OpKind::Read, key: Key::from_raw(vec![first_byte, 1, 2, 3]), value: 0 }
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct SoftwareOverheads {
 
 impl Default for SoftwareOverheads {
     fn default() -> Self {
-        SoftwareOverheads { combine_ns: 110.0, probe_ns: 45.0, generate_ns: 90.0, batch_ns: 4_000.0 }
+        SoftwareOverheads {
+            combine_ns: 110.0,
+            probe_ns: 45.0,
+            generate_ns: 90.0,
+            batch_ns: 4_000.0,
+        }
     }
 }
 
@@ -252,9 +257,8 @@ impl IndexEngine for DcartSoftware {
         // bucket of each batch, and the work spread over all cores.
         let threads = self.cpu.threads as f64;
         let work_ns = consumer.ns.total();
-        let total_ns = (work_ns / threads)
-            .max(consumer.serial_chain_ns)
-            .max(consumer.combine_serial_ns);
+        let total_ns =
+            (work_ns / threads).max(consumer.serial_chain_ns).max(consumer.combine_serial_ns);
         let time_s = total_ns * 1e-9;
 
         // Scale the component totals onto the critical-path time.
@@ -330,8 +334,8 @@ mod tests {
         let dcart_cfg = DcartConfig::default().scaled_for_keys(20_000);
         let dcart_c = DcartSoftware::new(dcart_cfg, cpu).run(&keys, &ops, &run);
         let art = CpuBaseline::art(cpu).run(&keys, &ops, &run);
-        let ratio = dcart_c.counters.partial_key_matches as f64
-            / art.counters.partial_key_matches as f64;
+        let ratio =
+            dcart_c.counters.partial_key_matches as f64 / art.counters.partial_key_matches as f64;
         assert!(ratio < 0.6, "match ratio vs ART: {ratio}");
     }
 

@@ -18,11 +18,8 @@ fn key_set(keys: Vec<u64>, pool: Vec<u64>) -> KeySet {
     use std::collections::BTreeSet;
     let mut rng = StdRng::seed_from_u64(1);
     let keyset: BTreeSet<u64> = keys.into_iter().collect();
-    let pool: Vec<Key> = pool
-        .into_iter()
-        .filter(|p| !keyset.contains(p))
-        .map(Key::from_u64)
-        .collect();
+    let pool: Vec<Key> =
+        pool.into_iter().filter(|p| !keyset.contains(p)).map(Key::from_u64).collect();
     let keys: Vec<Key> = keyset.into_iter().map(Key::from_u64).collect();
     let mut popularity: Vec<u32> = (0..keys.len() as u32).collect();
     popularity.shuffle(&mut rng);

@@ -193,9 +193,9 @@ mod tests {
     fn analytic_sou_formula_is_tight() {
         let shapes: [&[(u64, u64)]; 4] = [
             // (occupancy, latency) per op, repeated.
-            &[(1, 2)],            // all on-chip hits
-            &[(1, 25)],           // all HBM misses
-            &[(1, 2), (4, 60)],   // mixed hit/deep-traversal
+            &[(1, 2)],                           // all on-chip hits
+            &[(1, 25)],                          // all HBM misses
+            &[(1, 2), (4, 60)],                  // mixed hit/deep-traversal
             &[(2, 2), (1, 25), (5, 80), (1, 2)], // irregular
         ];
         for shape in shapes {

@@ -197,8 +197,8 @@ impl<V> BPlusTree<V> {
             // Grow a new root.
             let old_root = self.root;
             self.stats.bytes_written += sep.len() as u64 + 16;
-            let new_root =
-                self.alloc(BNode::Internal { separators: vec![sep], children: vec![old_root, right] });
+            let new_root = self
+                .alloc(BNode::Internal { separators: vec![sep], children: vec![old_root, right] });
             self.root = new_root;
         }
         if old.is_none() {
@@ -209,7 +209,12 @@ impl<V> BPlusTree<V> {
 
     /// Recursive insert; returns `(old value, Some((separator, new right
     /// sibling)))` when the child split.
-    fn insert_rec(&mut self, node: NodeRef, key: Key, value: V) -> (Option<V>, Option<(Key, NodeRef)>) {
+    fn insert_rec(
+        &mut self,
+        node: NodeRef,
+        key: Key,
+        value: V,
+    ) -> (Option<V>, Option<(Key, NodeRef)>) {
         self.stats.node_accesses += 1;
         match self.nodes[node].as_mut().expect("live node") {
             BNode::Leaf { entries, .. } => {
@@ -222,8 +227,7 @@ impl<V> BPlusTree<V> {
                     Err(i) => {
                         // Shifting the tail is the B+-tree's intra-node
                         // write amplification.
-                        let shifted: u64 =
-                            entries[i..].iter().map(|(k, _)| entry_bytes(k)).sum();
+                        let shifted: u64 = entries[i..].iter().map(|(k, _)| entry_bytes(k)).sum();
                         self.stats.bytes_written += shifted + entry_bytes(&key);
                         entries.insert(i, (key, value));
                         let split = self.maybe_split_leaf(node);
@@ -428,7 +432,10 @@ impl<V> BPlusTree<V> {
         let l = self.nodes[left].take().expect("live");
         let r = self.nodes[right].take().expect("live");
         let (l, r, new_sep, moved) = match (l, r) {
-            (BNode::Leaf { entries: mut le, next: ln }, BNode::Leaf { entries: mut re, next: rn }) => {
+            (
+                BNode::Leaf { entries: mut le, next: ln },
+                BNode::Leaf { entries: mut re, next: rn },
+            ) => {
                 let total = le.len() + re.len();
                 let mut all = le;
                 all.append(&mut re);

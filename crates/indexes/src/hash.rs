@@ -86,12 +86,7 @@ impl<V> HashIndex<V> {
     /// Total modelled memory footprint in bytes.
     pub fn memory_footprint(&self) -> u64 {
         self.buckets.len() as u64 * 8
-            + self
-                .buckets
-                .iter()
-                .flatten()
-                .map(|(k, _)| entry_bytes(k))
-                .sum::<u64>()
+            + self.buckets.iter().flatten().map(|(k, _)| entry_bytes(k)).sum::<u64>()
     }
 
     fn bucket_of(&self, key: &Key) -> usize {
@@ -103,9 +98,7 @@ impl<V> HashIndex<V> {
         self.stats.node_accesses += 1;
         let b = self.bucket_of(key);
         let bucket = &self.buckets[b];
-        let pos = bucket.iter().position(|(k, _)| {
-            k == key
-        })?;
+        let pos = bucket.iter().position(|(k, _)| k == key)?;
         self.stats.comparisons += pos as u64 + 1;
         Some(&self.buckets[b][pos].1)
     }

@@ -104,8 +104,7 @@ impl MemoryModel {
         assert!(streams >= 1.0, "at least one stream required");
         let independent = (self.accesses - self.dependent_accesses) as f64;
         let channels = self.config.parallelism.min(streams.max(1.0));
-        let dep_time =
-            self.dependent_accesses as f64 * self.config.latency_ns / streams.max(1.0);
+        let dep_time = self.dependent_accesses as f64 * self.config.latency_ns / streams.max(1.0);
         let indep_time = if independent > 0.0 {
             independent * self.config.service_ns / channels + self.config.latency_ns
         } else {
@@ -159,8 +158,12 @@ mod tests {
 
     #[test]
     fn mlp_caps_independent_overlap() {
-        let cfg =
-            MemoryConfig { latency_ns: 100.0, peak_bw_gbps: 1e9, parallelism: 4.0, service_ns: 50.0 };
+        let cfg = MemoryConfig {
+            latency_ns: 100.0,
+            peak_bw_gbps: 1e9,
+            parallelism: 4.0,
+            service_ns: 50.0,
+        };
         let mut m = MemoryModel::new(cfg);
         for _ in 0..100 {
             m.access(64);

@@ -25,6 +25,6 @@ mod line;
 pub use buffer::{BufferOutcome, BufferPolicy, BufferStats, ObjectBuffer};
 pub use cache::{Access, CacheStats, SetAssocCache, LINE_BYTES};
 pub use dram::{MemoryConfig, MemoryModel};
-pub use hbm_sim::{Completion, HbmSim, HbmSimConfig};
 pub use energy::EnergyModel;
+pub use hbm_sim::{Completion, HbmSim, HbmSimConfig};
 pub use line::LineUtilization;

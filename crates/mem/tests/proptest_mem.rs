@@ -3,7 +3,9 @@
 
 use std::collections::HashMap;
 
-use dcart_mem::{Access, BufferOutcome, BufferPolicy, LineUtilization, ObjectBuffer, SetAssocCache};
+use dcart_mem::{
+    Access, BufferOutcome, BufferPolicy, LineUtilization, ObjectBuffer, SetAssocCache,
+};
 use proptest::prelude::*;
 
 /// A straightforward reference LRU buffer: a vector kept in recency order.

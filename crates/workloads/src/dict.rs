@@ -16,8 +16,8 @@ use crate::KeySet;
 
 /// Relative first-letter frequencies of English headwords (a..z).
 const START_FREQ: [f64; 26] = [
-    11.7, 4.4, 5.2, 3.2, 2.8, 4.0, 1.6, 4.2, 7.3, 0.5, 0.9, 2.4, 3.8, 2.3, 7.6, 4.3, 0.2, 2.8,
-    6.7, 16.0, 1.2, 0.8, 5.5, 0.1, 1.6, 0.3,
+    11.7, 4.4, 5.2, 3.2, 2.8, 4.0, 1.6, 4.2, 7.3, 0.5, 0.9, 2.4, 3.8, 2.3, 7.6, 4.3, 0.2, 2.8, 6.7,
+    16.0, 1.2, 0.8, 5.5, 0.1, 1.6, 0.3,
 ];
 
 /// Simplified letter-transition affinities: for predecessor class
@@ -89,7 +89,16 @@ pub fn generate(n: usize, seed: u64) -> KeySet {
     use rand::seq::SliceRandom;
     all.shuffle(&mut rng);
     let insert_pool = all.split_off(n);
-    KeySet::with_shuffled_popularity("DICT", all, insert_pool, &mut rng)
+    // Lookup popularity is first-letter-correlated: dictionary traffic
+    // concentrates on a few topical stems (Fig. 3 temporal similarity), so
+    // hot first letters receive a further boost over their headword share.
+    let mut weights = [0.0f64; 256];
+    for (i, &w) in START_FREQ.iter().enumerate() {
+        weights[(b'a' + i as u8) as usize] = w;
+    }
+    weights[b't' as usize] *= 3.5;
+    weights[b's' as usize] *= 2.0;
+    KeySet::with_prefix_weighted_popularity("DICT", all, insert_pool, &weights, &mut rng)
 }
 
 #[cfg(test)]
@@ -128,6 +137,22 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(generate(300, 9).keys, generate(300, 9).keys);
+    }
+
+    #[test]
+    fn hot_letters_dominate_top_ranks() {
+        let ks = generate(20_000, 6);
+        let top = ks.popularity.len() / 20;
+        let hot_top = ks.popularity[..top]
+            .iter()
+            .filter(|&&i| matches!(ks.keys[i as usize].as_bytes()[0], b't' | b's'))
+            .count();
+        // 't' and 's' hold roughly half the boosted weight mass, so they
+        // must clearly dominate the head without monopolizing it.
+        assert!(
+            hot_top * 100 / top > 30 && hot_top * 100 / top < 90,
+            "hot letters hold {hot_top}/{top} of the head"
+        );
     }
 
     #[test]

@@ -16,15 +16,32 @@ use rand::{Rng, SeedableRng};
 use crate::KeySet;
 
 const DOMAINS: [&str; 20] = [
-    "gmail.com", "yahoo.com", "hotmail.com", "aol.com", "outlook.com", "icloud.com",
-    "mail.ru", "qq.com", "163.com", "protonmail.com", "gmx.de", "web.de", "orange.fr",
-    "comcast.net", "verizon.net", "live.com", "msn.com", "yandex.ru", "att.net", "me.com",
+    "gmail.com",
+    "yahoo.com",
+    "hotmail.com",
+    "aol.com",
+    "outlook.com",
+    "icloud.com",
+    "mail.ru",
+    "qq.com",
+    "163.com",
+    "protonmail.com",
+    "gmx.de",
+    "web.de",
+    "orange.fr",
+    "comcast.net",
+    "verizon.net",
+    "live.com",
+    "msn.com",
+    "yandex.ru",
+    "att.net",
+    "me.com",
 ];
 
 const SYLLABLES: [&str; 32] = [
-    "an", "bel", "chen", "dan", "el", "fer", "gar", "han", "it", "jo", "ka", "li", "ma",
-    "nor", "ol", "pet", "qi", "ro", "sa", "tom", "ul", "vic", "wang", "xu", "ya", "zh",
-    "mar", "son", "smith", "lee", "kim", "ray",
+    "an", "bel", "chen", "dan", "el", "fer", "gar", "han", "it", "jo", "ka", "li", "ma", "nor",
+    "ol", "pet", "qi", "ro", "sa", "tom", "ul", "vic", "wang", "xu", "ya", "zh", "mar", "son",
+    "smith", "lee", "kim", "ray",
 ];
 
 fn local_part<R: Rng + ?Sized>(rng: &mut R) -> String {

@@ -89,7 +89,8 @@ pub fn generate(n: usize, seed: u64) -> KeySet {
     use rand::seq::SliceRandom;
     all.shuffle(&mut rng);
     all.truncate(want_total);
-    let pool: Vec<Key> = all.split_off(n).into_iter().map(|a| Key::from_ipv4(a.to_be_bytes())).collect();
+    let pool: Vec<Key> =
+        all.split_off(n).into_iter().map(|a| Key::from_ipv4(a.to_be_bytes())).collect();
     let keys: Vec<Key> = all.iter().map(|&a| Key::from_ipv4(a.to_be_bytes())).collect();
 
     // Popularity: fill rank slots by drawing a *prefix* proportionally to
@@ -184,11 +185,7 @@ mod tests {
     #[test]
     fn reserved_prefixes_are_nearly_empty() {
         let ks = generate(50_000, 3);
-        let reserved = ks
-            .keys
-            .iter()
-            .filter(|k| matches!(k.as_bytes()[0], 0 | 10 | 127))
-            .count();
+        let reserved = ks.keys.iter().filter(|k| matches!(k.as_bytes()[0], 0 | 10 | 127)).count();
         assert!(reserved < ks.keys.len() / 100, "{reserved} reserved keys");
     }
 

@@ -158,8 +158,7 @@ pub fn generate_ops(keys: &KeySet, config: &OpStreamConfig) -> Vec<Op> {
             _ => keys.key_at_rank(zipf.sample(&mut rng)).clone(),
         };
         // For scans the value field carries the scan length (10..=100).
-        let value =
-            if kind == OpKind::Scan { rng.gen_range(10..=100u64) } else { i as u64 };
+        let value = if kind == OpKind::Scan { rng.gen_range(10..=100u64) } else { i as u64 };
         ops.push(Op { kind, key, value });
     }
     ops
@@ -185,10 +184,7 @@ mod tests {
             let ops = generate_ops(&keys, &cfg);
             let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count() as f64;
             let got = reads / ops.len() as f64;
-            assert!(
-                (got - mix.read_fraction).abs() < 0.02,
-                "mix {label}: read fraction {got}"
-            );
+            assert!((got - mix.read_fraction).abs() < 0.02, "mix {label}: read fraction {got}");
         }
     }
 

@@ -72,11 +72,7 @@ mod tests {
     #[test]
     fn sparse_spreads_over_full_space() {
         let ks = random_sparse(2000, 2);
-        let high_half = ks
-            .keys
-            .iter()
-            .filter(|k| k.to_u64().unwrap() > u64::MAX / 2)
-            .count();
+        let high_half = ks.keys.iter().filter(|k| k.to_u64().unwrap() > u64::MAX / 2).count();
         assert!((800..1200).contains(&high_half), "{high_half}");
     }
 

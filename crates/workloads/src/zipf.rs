@@ -114,9 +114,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mild = Zipfian::new(1000, 0.5);
         let sharp = Zipfian::new(1000, 0.95);
-        let head = |z: &Zipfian, rng: &mut StdRng| {
-            (0..50_000).filter(|_| z.sample(rng) < 10).count()
-        };
+        let head =
+            |z: &Zipfian, rng: &mut StdRng| (0..50_000).filter(|_| z.sample(rng) < 10).count();
         let mild_head = head(&mild, &mut rng);
         let sharp_head = head(&sharp, &mut rng);
         assert!(sharp_head > 2 * mild_head, "{sharp_head} vs {mild_head}");

@@ -16,13 +16,9 @@ use dcart_workloads::{generate_ops, Mix, OpStreamConfig, Workload};
 fn main() {
     let n_keys = 30_000;
     let keys = Workload::Ipgeo.generate(n_keys, 42);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: 150_000, mix: Mix::C, theta: 0.99, seed: 42 },
-    );
-    let base = DcartConfig::default()
-        .scaled_for_keys(n_keys)
-        .with_auto_prefix_skip(&keys);
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 150_000, mix: Mix::C, theta: 0.99, seed: 42 });
+    let base = DcartConfig::default().scaled_for_keys(n_keys).with_auto_prefix_skip(&keys);
 
     println!("IPGEO, {} keys, {} ops, mix C\n", keys.len(), ops.len());
 

@@ -25,9 +25,7 @@ fn main() {
 
     // Load phase.
     for k in 0..KEYS {
-        store
-            .insert(Key::from_u64(k), format!("value-{k}"))
-            .expect("integer keys are prefix-free");
+        store.insert(Key::from_u64(k), format!("value-{k}")).expect("integer keys are prefix-free");
     }
     println!("loaded {} keys", store.len());
 

@@ -24,17 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 2. Generate one of the paper's workloads. -----------------------
     let n_keys = 20_000;
     let keys = Workload::Ipgeo.generate(n_keys, 42);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: 100_000, mix: Mix::C, theta: 0.99, seed: 42 },
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 100_000, mix: Mix::C, theta: 0.99, seed: 42 });
+    println!(
+        "\nworkload {}: {} keys loaded, {} ops (50% read / 50% write)",
+        keys.name,
+        keys.len(),
+        ops.len()
     );
-    println!("\nworkload {}: {} keys loaded, {} ops (50% read / 50% write)", keys.name, keys.len(), ops.len());
 
     // --- 3. Run the DCART accelerator model and the SMART baseline. -----
     let run = RunConfig { concurrency: 8_192 };
-    let config = DcartConfig::default()
-        .scaled_for_keys(n_keys)
-        .with_auto_prefix_skip(&keys);
+    let config = DcartConfig::default().scaled_for_keys(n_keys).with_auto_prefix_skip(&keys);
     let mut dcart = DcartAccel::new(config);
     let d = dcart.run(&keys, &ops, &run);
 

@@ -15,10 +15,8 @@ const OPS: usize = 40_000;
 fn every_engine_reports_consistent_counters() {
     for workload in Workload::ALL {
         let keys = workload.generate(KEYS, 7);
-        let ops = generate_ops(
-            &keys,
-            &OpStreamConfig { count: OPS, mix: Mix::C, theta: 0.99, seed: 7 },
-        );
+        let ops =
+            generate_ops(&keys, &OpStreamConfig { count: OPS, mix: Mix::C, theta: 0.99, seed: 7 });
         let run = RunConfig { concurrency: 4_096 };
         let cpu = CpuConfig::xeon_8468().scaled_for_keys(KEYS);
         let mut engines: Vec<Box<dyn IndexEngine>> = vec![
@@ -56,10 +54,8 @@ fn every_engine_reports_consistent_counters() {
 fn ctt_execution_is_functionally_equivalent_to_plain() {
     for workload in [Workload::Ipgeo, Workload::Dict, Workload::RandomSparse] {
         let keys = workload.generate(KEYS, 3);
-        let ops = generate_ops(
-            &keys,
-            &OpStreamConfig { count: OPS, mix: Mix::D, theta: 0.99, seed: 3 },
-        );
+        let ops =
+            generate_ops(&keys, &OpStreamConfig { count: OPS, mix: Mix::D, theta: 0.99, seed: 3 });
         struct Sink;
         impl dcart::CttConsumer for Sink {}
         let cfg = DcartConfig::default().with_auto_prefix_skip(&keys);
@@ -79,10 +75,8 @@ fn ctt_execution_is_functionally_equivalent_to_plain() {
 #[test]
 fn reports_serialize_and_deserialize() {
     let keys = Workload::DenseInt.generate(2_000, 1);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: 5_000, mix: Mix::C, ..Default::default() },
-    );
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 5_000, mix: Mix::C, ..Default::default() });
     let mut e = CpuBaseline::smart(CpuConfig::xeon_8468().scaled_for_keys(2_000));
     let r = e.run(&keys, &ops, &RunConfig { concurrency: 1_024 });
     let json = serde_json::to_string(&r).expect("serialize");
@@ -95,10 +89,8 @@ fn reports_serialize_and_deserialize() {
 #[test]
 fn deterministic_across_runs() {
     let keys = Workload::Email.generate(3_000, 9);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: 10_000, mix: Mix::C, theta: 0.99, seed: 9 },
-    );
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 10_000, mix: Mix::C, theta: 0.99, seed: 9 });
     let run = RunConfig { concurrency: 2_048 };
     let r1 = CpuBaseline::art(CpuConfig::xeon_8468().scaled_for_keys(3_000)).run(&keys, &ops, &run);
     let r2 = CpuBaseline::art(CpuConfig::xeon_8468().scaled_for_keys(3_000)).run(&keys, &ops, &run);

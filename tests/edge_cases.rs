@@ -47,10 +47,7 @@ fn single_operation() {
 #[test]
 fn single_key_tree() {
     let keys = Workload::RandomSparse.generate(1, 3);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: 500, mix: Mix::C, theta: 0.5, seed: 3 },
-    );
+    let ops = generate_ops(&keys, &OpStreamConfig { count: 500, mix: Mix::C, theta: 0.5, seed: 3 });
     for mut e in engines(&keys) {
         let r = e.run(&keys, &ops, &RunConfig { concurrency: 128 });
         assert_eq!(r.counters.ops, 500, "{}", r.engine);
@@ -61,10 +58,8 @@ fn single_key_tree() {
 fn concurrency_one_degenerates_gracefully() {
     // A window of one op can never collide with itself.
     let keys = Workload::Ipgeo.generate(2_000, 4);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: 4_000, mix: Mix::E, ..Default::default() },
-    );
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 4_000, mix: Mix::E, ..Default::default() });
     let mut art = CpuBaseline::art(CpuConfig::xeon_8468().scaled_for_keys(2_000));
     let r = art.run(&keys, &ops, &RunConfig { concurrency: 1 });
     assert_eq!(r.counters.lock_contentions, 0);
@@ -76,11 +71,8 @@ fn remove_heavy_stream() {
     // Remove every loaded key through the engines (removes are not in the
     // paper's mixes but must execute correctly).
     let keys = Workload::DenseInt.generate(300, 5);
-    let ops: Vec<Op> = keys
-        .keys
-        .iter()
-        .map(|k| Op { kind: OpKind::Remove, key: k.clone(), value: 0 })
-        .collect();
+    let ops: Vec<Op> =
+        keys.keys.iter().map(|k| Op { kind: OpKind::Remove, key: k.clone(), value: 0 }).collect();
     for mut e in engines(&keys) {
         let r = e.run(&keys, &ops, &RunConfig { concurrency: 64 });
         assert_eq!(r.counters.writes, 300, "{}", r.engine);
@@ -94,10 +86,8 @@ fn remove_heavy_stream() {
 #[test]
 fn huge_concurrency_window_is_one_batch() {
     let keys = Workload::DenseInt.generate(500, 6);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: 1_000, mix: Mix::C, ..Default::default() },
-    );
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 1_000, mix: Mix::C, ..Default::default() });
     let cfg = DcartConfig::default().scaled_for_keys(500).with_auto_prefix_skip(&keys);
     let mut accel = DcartAccel::new(cfg);
     let r = accel.run(&keys, &ops, &RunConfig { concurrency: 1 << 24 });
@@ -108,10 +98,8 @@ fn huge_concurrency_window_is_one_batch() {
 #[test]
 fn accelerator_with_minimal_buffers_still_correct() {
     let keys = Workload::Ipgeo.generate(1_000, 7);
-    let ops = generate_ops(
-        &keys,
-        &OpStreamConfig { count: 5_000, mix: Mix::C, ..Default::default() },
-    );
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 5_000, mix: Mix::C, ..Default::default() });
     let cfg = DcartConfig {
         tree_buffer_bytes: 4 * 1024,
         shortcut_buffer_bytes: 4 * 1024,

@@ -21,17 +21,10 @@ fn band(x: f64, lo: f64, hi: f64, what: &str) {
 #[test]
 fn headline_ratios_match_the_paper() {
     let scale = Scale { keys: 100_000, ops: 1_000_000, concurrency: 65_536, seed: 42 };
-    let matrix = run_matrix(
-        &["ART", "SMART", "CuART", "DCART-C", "DCART"],
-        &[Workload::Ipgeo],
-        &scale,
-    );
+    let matrix =
+        run_matrix(&["ART", "SMART", "CuART", "DCART-C", "DCART"], &[Workload::Ipgeo], &scale);
     let get = |engine: &str| {
-        &matrix
-            .iter()
-            .find(|e| e.engine == engine)
-            .expect("engine in matrix")
-            .report
+        &matrix.iter().find(|e| e.engine == engine).expect("engine in matrix").report
     };
     let (art, smart, cuart, dcart_c, dcart) =
         (get("ART"), get("SMART"), get("CuART"), get("DCART-C"), get("DCART"));
@@ -57,10 +50,7 @@ fn headline_ratios_match_the_paper() {
     // Fig. 7 — lock contentions: 3.2–19.7 % of the baselines'.
     let contention_frac =
         dcart.counters.lock_contentions as f64 / art.counters.lock_contentions.max(1) as f64;
-    assert!(
-        (0.01..0.25).contains(&contention_frac),
-        "contention fraction {contention_frac:.3}"
-    );
+    assert!((0.01..0.25).contains(&contention_frac), "contention fraction {contention_frac:.3}");
 
     // Fig. 8 — partial-key matches: the paper reports 3.2–5.7 % of ART;
     // our coalescing model lands within ~3× of that (see EXPERIMENTS.md).
