@@ -1,0 +1,255 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion), covering the
+//! API surface this workspace's benches use. Measurement is intentionally
+//! lightweight: each benchmark is warmed up once and then timed over a
+//! fixed-duration loop, and the median per-iteration time (plus throughput,
+//! when set) is printed to stdout. There is no statistical analysis, no
+//! HTML report, and no baseline comparison — the benches still serve their
+//! roles as compile-checked perf probes and rough local timers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup calls (accepted and
+/// ignored: every iteration here re-runs setup outside the timed section).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units for reporting throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    /// Measured per-iteration wall-clock times.
+    samples: Vec<Duration>,
+    /// Measurement budget.
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        black_box(routine());
+        let deadline = Instant::now() + self.measure_for;
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.samples.push(dt);
+            if Instant::now() >= deadline || self.samples.len() >= 100 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.measure_for;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            self.samples.push(dt);
+            if Instant::now() >= deadline || self.samples.len() >= 100 {
+                break;
+            }
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure_for = t.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), measure_for: self.criterion.measure_for };
+        f(&mut bencher);
+        self.report(&id.id, &mut bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), measure_for: self.criterion.measure_for };
+        f(&mut bencher, input);
+        self.report(&id.id, &mut bencher);
+        self
+    }
+
+    /// Finishes the group (reporting happens per-benchmark; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &mut Bencher) {
+        let Some(median) = bencher.median() else {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        };
+        let secs = median.as_secs_f64();
+        match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                println!(
+                    "{}/{id}: median {median:?} ({:.3} Melem/s)",
+                    self.name,
+                    n as f64 / secs / 1e6
+                );
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                println!(
+                    "{}/{id}: median {median:?} ({:.3} MiB/s)",
+                    self.name,
+                    n as f64 / secs / (1024.0 * 1024.0)
+                );
+            }
+            _ => println!("{}/{id}: median {median:?}", self.name),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure_for: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: R,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

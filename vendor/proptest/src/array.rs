@@ -1,0 +1,32 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[S::Value; N]`, each element drawn independently.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn new_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+/// Generates `[V; 2]` from one element strategy.
+pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+    UniformArray { element }
+}
+
+/// Generates `[V; 3]` from one element strategy.
+pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+    UniformArray { element }
+}
+
+/// Generates `[V; 4]` from one element strategy.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+    UniformArray { element }
+}

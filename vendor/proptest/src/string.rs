@@ -1,0 +1,144 @@
+//! Generation of strings matching simple regex-like patterns.
+//!
+//! Supports the pattern subset used as inline strategies in this workspace:
+//! a sequence of atoms, where an atom is a literal character or a character
+//! class `[a-z0-9_]`, optionally followed by a `{m}`, `{m,n}`, `+`, `*`, or
+//! `?` quantifier.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// One pattern atom plus its repetition bounds.
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern`. Panics on syntax this mini
+/// implementation doesn't support — extend it rather than silently
+/// mis-generating.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let reps = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..reps {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"))
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| panic!("trailing `\\` in {pattern:?}"));
+                i += 1;
+                vec![c]
+            }
+            c if !"{}+*?".contains(c) => {
+                i += 1;
+                vec![c]
+            }
+            c => panic!("unsupported pattern syntax `{c}` in {pattern:?}"),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad quantifier"),
+                        n.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let m: usize = body.trim().parse().expect("bad quantifier");
+                        (m, m)
+                    }
+                }
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class in pattern {pattern:?}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_counted_repeat() {
+        let mut rng = TestRng::for_case("string_test", 0);
+        for _ in 0..200 {
+            let s = generate_matching("[a-d]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::for_case("string_test2", 0);
+        for _ in 0..50 {
+            let s = generate_matching("ab[0-1]?c", &mut rng);
+            assert!(s == "abc" || s == "ab0c" || s == "ab1c", "{s:?}");
+        }
+    }
+}

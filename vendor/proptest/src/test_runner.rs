@@ -1,0 +1,74 @@
+//! Test-run configuration, rng, and case errors.
+
+use std::fmt;
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// Number of generated cases per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Alias matching real proptest's `test_runner::Config`.
+pub type Config = ProptestConfig;
+
+/// Deterministic per-case rng.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds from the test's identity and case index, so every run of the
+    /// suite generates the same inputs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case)) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError { msg }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,221 @@
+//! Offline stand-in for [rand](https://docs.rs/rand) 0.8, covering the
+//! subset this workspace uses: `StdRng::seed_from_u64`, `Rng::{gen,
+//! gen_range, gen_bool}`, and `SliceRandom::shuffle`.
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — not the same stream
+//! as real rand's ChaCha12 `StdRng`, but the workspace only relies on
+//! determinism for a fixed seed (reproducible workloads), never on specific
+//! values.
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::StdRng;
+
+/// Core random-number source: a 64-bit output stream.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type samplable uniformly from an rng's raw output (the `Standard`
+/// distribution of real rand).
+pub trait StandardSample {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($ty:ty)*) => {$(
+        impl StandardSample for $ty {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range type a uniform value can be drawn from (`Range`/`RangeInclusive`
+/// over the primitive numeric types).
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+
+    /// Draws one uniformly distributed value from the range.
+    ///
+    /// Panics if the range is empty, matching real rand.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Draws uniformly from `[0, span)` with a widening-multiply reduction.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! sample_range_int {
+    ($($ty:ty)*) => {$(
+        impl SampleRange for std::ops::Range<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $ty)
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Whole-domain range: any 64-bit draw is in range.
+                    rng.next_u64() as $ty
+                } else {
+                    start.wrapping_add(uniform_below(rng, span as u64) as $ty)
+                }
+            }
+        }
+    )*};
+}
+sample_range_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+macro_rules! sample_range_float {
+    ($($ty:ty)*) => {$(
+        impl SampleRange for std::ops::Range<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$ty as StandardSample>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+sample_range_float!(f32 f64);
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of an inferred type.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Rngs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds an rng from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(10..=20u64);
+            assert!((10..=20).contains(&w));
+            let f = rng.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_zero_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.7)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((0.69..0.71).contains(&frac), "{frac}");
+    }
+}

@@ -1,0 +1,540 @@
+//! Support machinery for derived impls and value-tree formats.
+//!
+//! [`Content`] is a generic self-describing value tree (the moral equivalent
+//! of real serde's private `Content`). Derived `Deserialize` impls capture
+//! the input into a `Content` and pattern-match it; `serde_json` reuses it as
+//! its parsed document representation.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::de::{self, Deserialize, Deserializer, MapAccess, SeqAccess, Visitor};
+use crate::ser::{
+    self, Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple, Serializer,
+};
+
+/// A self-describing value tree: the union of everything the data model can
+/// produce. Map entries preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map (ordered).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Returns the string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// Unwraps a sequence.
+    pub fn into_seq(self) -> Result<Vec<Content>, String> {
+        match self {
+            Content::Seq(v) => Ok(v),
+            other => Err(format!("expected a sequence, found {}", other.kind())),
+        }
+    }
+
+    /// Unwraps a map.
+    pub fn into_map(self) -> Result<Vec<(Content, Content)>, String> {
+        match self {
+            Content::Map(m) => Ok(m),
+            other => Err(format!("expected a map, found {}", other.kind())),
+        }
+    }
+}
+
+struct ContentVisitor;
+
+impl<'de> Visitor<'de> for ContentVisitor {
+    type Value = Content;
+
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("any value")
+    }
+
+    fn visit_bool<E: de::Error>(self, v: bool) -> Result<Content, E> {
+        Ok(Content::Bool(v))
+    }
+
+    fn visit_i64<E: de::Error>(self, v: i64) -> Result<Content, E> {
+        Ok(if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) })
+    }
+
+    fn visit_u64<E: de::Error>(self, v: u64) -> Result<Content, E> {
+        Ok(Content::U64(v))
+    }
+
+    fn visit_f64<E: de::Error>(self, v: f64) -> Result<Content, E> {
+        Ok(Content::F64(v))
+    }
+
+    fn visit_str<E: de::Error>(self, v: &str) -> Result<Content, E> {
+        Ok(Content::Str(v.to_owned()))
+    }
+
+    fn visit_string<E: de::Error>(self, v: String) -> Result<Content, E> {
+        Ok(Content::Str(v))
+    }
+
+    fn visit_unit<E: de::Error>(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Content, A::Error> {
+        let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+        while let Some(el) = seq.next_element::<Content>()? {
+            out.push(el);
+        }
+        Ok(Content::Seq(out))
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Content, A::Error> {
+        let mut out = Vec::with_capacity(map.size_hint().unwrap_or(0));
+        while let Some(key) = map.next_key::<Content>()? {
+            out.push((key, map.next_value::<Content>()?));
+        }
+        Ok(Content::Map(out))
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(ContentVisitor)
+    }
+}
+
+/// A [`Deserializer`] that replays a captured [`Content`] tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer { content, marker: PhantomData }
+    }
+}
+
+struct ContentSeqAccess<E> {
+    iter: std::vec::IntoIter<Content>,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: de::Error> SeqAccess<'de> for ContentSeqAccess<E> {
+    type Error = E;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, E> {
+        match self.iter.next() {
+            None => Ok(None),
+            Some(c) => T::deserialize(ContentDeserializer::new(c)).map(Some),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct ContentMapAccess<E> {
+    iter: std::vec::IntoIter<(Content, Content)>,
+    pending: Option<Content>,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: de::Error> MapAccess<'de> for ContentMapAccess<E> {
+    type Error = E;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, E> {
+        match self.iter.next() {
+            None => Ok(None),
+            Some((k, v)) => {
+                self.pending = Some(v);
+                K::deserialize(ContentDeserializer::new(k)).map(Some)
+            }
+        }
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, E> {
+        let v =
+            self.pending.take().ok_or_else(|| E::custom("next_value called before next_key"))?;
+        V::deserialize(ContentDeserializer::new(v))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        match self.content {
+            Content::Null => visitor.visit_unit(),
+            Content::Bool(b) => visitor.visit_bool(b),
+            Content::U64(n) => visitor.visit_u64(n),
+            Content::I64(n) => visitor.visit_i64(n),
+            Content::F64(n) => visitor.visit_f64(n),
+            Content::Str(s) => visitor.visit_string(s),
+            Content::Seq(v) => {
+                visitor.visit_seq(ContentSeqAccess { iter: v.into_iter(), marker: PhantomData })
+            }
+            Content::Map(m) => visitor.visit_map(ContentMapAccess {
+                iter: m.into_iter(),
+                pending: None,
+                marker: PhantomData,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        match self.content {
+            Content::Null => visitor.visit_none(),
+            _ => visitor.visit_some(self),
+        }
+    }
+}
+
+/// Deserializes a `T` out of a captured [`Content`] tree. Used by derived
+/// `Deserialize` impls for field/variant payloads.
+pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+/// A [`Serializer`] producing a [`Content`] tree. `serde_json` serializes
+/// through this and then prints the tree.
+pub struct ContentSerializer<E> {
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentSerializer<E> {
+    /// Creates a content serializer.
+    pub fn new() -> Self {
+        ContentSerializer { marker: PhantomData }
+    }
+}
+
+impl<E> Default for ContentSerializer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// In-progress sequence/tuple.
+pub struct ContentSeqSerializer<E> {
+    items: Vec<Content>,
+    marker: PhantomData<E>,
+}
+
+impl<E: ser::Error> SerializeSeq for ContentSeqSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), E> {
+        self.items.push(value.serialize(ContentSerializer::new())?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Seq(self.items))
+    }
+}
+
+impl<E: ser::Error> SerializeTuple for ContentSeqSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), E> {
+        SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<Content, E> {
+        SerializeSeq::end(self)
+    }
+}
+
+/// In-progress map/struct.
+pub struct ContentMapSerializer<E> {
+    entries: Vec<(Content, Content)>,
+    marker: PhantomData<E>,
+}
+
+impl<E: ser::Error> SerializeMap for ContentMapSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), E> {
+        let k = key.serialize(ContentSerializer::new())?;
+        let v = value.serialize(ContentSerializer::new())?;
+        self.entries.push((k, v));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Map(self.entries))
+    }
+}
+
+impl<E: ser::Error> SerializeStruct for ContentMapSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        let v = value.serialize(ContentSerializer::new())?;
+        self.entries.push((Content::Str(key.to_owned()), v));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Map(self.entries))
+    }
+}
+
+/// Wraps a finished compound value so `end()` can tag it with its variant
+/// name (for tuple/struct enum variants).
+pub struct VariantSerializer<Inner> {
+    variant: &'static str,
+    inner: Inner,
+}
+
+impl<E: ser::Error> SerializeTuple for VariantSerializer<ContentSeqSerializer<E>> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), E> {
+        SerializeSeq::serialize_element(&mut self.inner, value)
+    }
+
+    fn end(self) -> Result<Content, E> {
+        let inner = SerializeSeq::end(self.inner)?;
+        Ok(Content::Map(vec![(Content::Str(self.variant.to_owned()), inner)]))
+    }
+}
+
+impl<E: ser::Error> SerializeStruct for VariantSerializer<ContentMapSerializer<E>> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        SerializeStruct::serialize_field(&mut self.inner, key, value)
+    }
+
+    fn end(self) -> Result<Content, E> {
+        let inner = SerializeStruct::end(self.inner)?;
+        Ok(Content::Map(vec![(Content::Str(self.variant.to_owned()), inner)]))
+    }
+}
+
+/// Either a plain compound serializer or a variant-tagged one.
+pub enum MaybeVariant<Inner> {
+    /// Untagged.
+    Plain(Inner),
+    /// Tagged with a variant name at `end()`.
+    Tagged(VariantSerializer<Inner>),
+}
+
+impl<E: ser::Error> SerializeTuple for MaybeVariant<ContentSeqSerializer<E>> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), E> {
+        match self {
+            MaybeVariant::Plain(inner) => SerializeSeq::serialize_element(inner, value),
+            MaybeVariant::Tagged(v) => SerializeTuple::serialize_element(v, value),
+        }
+    }
+
+    fn end(self) -> Result<Content, E> {
+        match self {
+            MaybeVariant::Plain(inner) => SerializeSeq::end(inner),
+            MaybeVariant::Tagged(v) => SerializeTuple::end(v),
+        }
+    }
+}
+
+impl<E: ser::Error> SerializeStruct for MaybeVariant<ContentMapSerializer<E>> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        match self {
+            MaybeVariant::Plain(inner) => SerializeStruct::serialize_field(inner, key, value),
+            MaybeVariant::Tagged(v) => SerializeStruct::serialize_field(v, key, value),
+        }
+    }
+
+    fn end(self) -> Result<Content, E> {
+        match self {
+            MaybeVariant::Plain(inner) => SerializeStruct::end(inner),
+            MaybeVariant::Tagged(v) => SerializeStruct::end(v),
+        }
+    }
+}
+
+impl<E: ser::Error> Serializer for ContentSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+    type SerializeSeq = ContentSeqSerializer<E>;
+    type SerializeTuple = MaybeVariant<ContentSeqSerializer<E>>;
+    type SerializeMap = ContentMapSerializer<E>;
+    type SerializeStruct = MaybeVariant<ContentMapSerializer<E>>;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, E> {
+        Ok(Content::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Content, E> {
+        Ok(if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) })
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Content, E> {
+        Ok(Content::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Content, E> {
+        Ok(Content::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Content, E> {
+        Ok(Content::Str(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_none(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Content, E> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Content, E> {
+        Ok(Content::Str(variant.to_owned()))
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Content, E> {
+        let inner = value.serialize(ContentSerializer::new())?;
+        Ok(Content::Map(vec![(Content::Str(variant.to_owned()), inner)]))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, E> {
+        Ok(ContentSeqSerializer {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            marker: PhantomData,
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, E> {
+        Ok(MaybeVariant::Plain(ContentSeqSerializer {
+            items: Vec::with_capacity(len),
+            marker: PhantomData,
+        }))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTuple, E> {
+        Ok(MaybeVariant::Tagged(VariantSerializer {
+            variant,
+            inner: ContentSeqSerializer { items: Vec::with_capacity(len), marker: PhantomData },
+        }))
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, E> {
+        Ok(ContentMapSerializer {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            marker: PhantomData,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<Self::SerializeStruct, E> {
+        Ok(MaybeVariant::Plain(ContentMapSerializer {
+            entries: Vec::with_capacity(len),
+            marker: PhantomData,
+        }))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, E> {
+        Ok(MaybeVariant::Tagged(VariantSerializer {
+            variant,
+            inner: ContentMapSerializer { entries: Vec::with_capacity(len), marker: PhantomData },
+        }))
+    }
+}
+
+/// Serializes a `T` into a [`Content`] tree.
+pub fn to_content<T: ?Sized + Serialize, E: ser::Error>(value: &T) -> Result<Content, E> {
+    value.serialize(ContentSerializer::new())
+}

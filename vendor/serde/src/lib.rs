@@ -1,0 +1,23 @@
+//! Offline stand-in for [serde](https://serde.rs), implementing the subset of
+//! the serde data model this workspace uses: `Serialize`/`Deserialize` with
+//! derive support, the `Serializer`/`Deserializer` traits, visitors, and
+//! seq/map access. The build environment has no registry access, so this
+//! crate (plus `serde_derive` and `serde_json` next to it) replaces the real
+//! ones via workspace path dependencies.
+//!
+//! Only JSON-shaped self-describing formats are supported: deserializers are
+//! expected to implement `deserialize_any` (all other `deserialize_*` methods
+//! default to it, except `deserialize_option`).
+
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` with no syn
+//! or quote dependency: the item is parsed directly off the `TokenStream`
+//! and the impl is emitted as a source string. Supported item shapes — the
+//! only ones this workspace uses — are:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtype and multi-field),
+//! - unit structs,
+//! - enums whose variants are unit or tuple variants.
+//!
+//! Generic items, struct enum variants, and `#[serde(...)]` attributes are
+//! not supported and abort compilation with a clear message.
+//!
+//! Deserialization codegen never needs field types: the input is captured
+//! into `serde::__private::Content` and each field is decoded with
+//! `serde::__private::from_content`, whose target type is inferred from the
+//! constructed struct/variant.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item being derived for.
+enum Item {
+    /// `struct Name { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(A, B);` — `arity` counts the fields.
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { Unit, Newtype(T), Tuple(A, B) }`
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => serialize_named_struct(name, fields),
+        Item::TupleStruct { name, arity } => serialize_tuple_struct(name, *arity),
+        Item::UnitStruct { name } => serialize_unit_struct(name),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => deserialize_named_struct(name, fields),
+        Item::TupleStruct { name, arity } => deserialize_tuple_struct(name, *arity),
+        Item::UnitStruct { name } => deserialize_unit_struct(name),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(crate)`, ...).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => panic!("serde_derive: malformed attribute"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic items are not supported by the offline serde stub ({name})");
+    }
+
+    match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct { name, arity: count_top_level_items(g.stream()) }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Item::UnitStruct { name },
+        ("struct", None) => Item::UnitStruct { name },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Enum { name, variants: parse_variants(g.stream()) }
+        }
+        (k, other) => panic!("serde_derive: unsupported item shape `{k}` ({other:?})"),
+    }
+}
+
+/// Extracts field names from the body of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before each field.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            tokens.next();
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated items at angle-bracket depth 0 (tuple-struct
+/// fields or tuple-variant payload fields).
+fn count_top_level_items(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Extracts `(variant_name, payload_arity)` pairs from an enum body.
+/// Arity 0 means a unit variant.
+fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes before each variant.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let arity = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                tokens.next();
+                arity
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct enum variants are not supported ({name})")
+            }
+            _ => 0,
+        };
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            tokens.next();
+        }
+        variants.push((name, arity));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_header(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n"
+    )
+}
+
+fn serialize_named_struct(name: &str, fields: &[String]) -> String {
+    let mut src = serialize_header(name);
+    src.push_str(&format!(
+        "let mut __state = serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+        fields.len()
+    ));
+    for field in fields {
+        src.push_str(&format!(
+            "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{field}\", &self.{field})?;\n"
+        ));
+    }
+    src.push_str("serde::ser::SerializeStruct::end(__state)\n}\n}\n");
+    src
+}
+
+fn serialize_tuple_struct(name: &str, arity: usize) -> String {
+    let mut src = serialize_header(name);
+    if arity == 1 {
+        src.push_str(&format!(
+            "serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)\n"
+        ));
+    } else {
+        src.push_str(&format!(
+            "let mut __state = serde::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {arity})?;\n"
+        ));
+        for i in 0..arity {
+            src.push_str(&format!(
+                "serde::ser::SerializeTuple::serialize_field(&mut __state, &self.{i})?;\n"
+            ));
+        }
+        src.push_str("serde::ser::SerializeTuple::end(__state)\n");
+    }
+    src.push_str("}\n}\n");
+    src
+}
+
+fn serialize_unit_struct(name: &str) -> String {
+    let mut src = serialize_header(name);
+    src.push_str("serde::ser::Serializer::serialize_unit(__serializer)\n}\n}\n");
+    src
+}
+
+fn serialize_enum(name: &str, variants: &[(String, usize)]) -> String {
+    let mut src = serialize_header(name);
+    src.push_str("match self {\n");
+    for (index, (variant, arity)) in variants.iter().enumerate() {
+        match *arity {
+            0 => src.push_str(&format!(
+                "{name}::{variant} => serde::ser::Serializer::serialize_unit_variant(\
+                 __serializer, \"{name}\", {index}u32, \"{variant}\"),\n"
+            )),
+            1 => src.push_str(&format!(
+                "{name}::{variant}(__f0) => serde::ser::Serializer::serialize_newtype_variant(\
+                 __serializer, \"{name}\", {index}u32, \"{variant}\", __f0),\n"
+            )),
+            n => {
+                let binders: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+                src.push_str(&format!(
+                    "{name}::{variant}({}) => {{\n\
+                     let mut __state = serde::ser::Serializer::serialize_tuple_variant(\
+                     __serializer, \"{name}\", {index}u32, \"{variant}\", {n})?;\n",
+                    binders.join(", ")
+                ));
+                for b in &binders {
+                    src.push_str(&format!(
+                        "serde::ser::SerializeTuple::serialize_field(&mut __state, {b})?;\n"
+                    ));
+                }
+                src.push_str("serde::ser::SerializeTuple::end(__state)\n},\n");
+            }
+        }
+    }
+    src.push_str("}\n}\n}\n");
+    src
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn deserialize_header(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         let __content = <serde::__private::Content as serde::de::Deserialize>::deserialize(__deserializer)?;\n"
+    )
+}
+
+fn deserialize_named_struct(name: &str, fields: &[String]) -> String {
+    let mut src = deserialize_header(name);
+    src.push_str(
+        "let __entries = __content.into_map().map_err(<__D::Error as serde::de::Error>::custom)?;\n",
+    );
+    for field in fields {
+        src.push_str(&format!(
+            "let mut __v_{field}: ::std::option::Option<serde::__private::Content> = ::std::option::Option::None;\n"
+        ));
+    }
+    src.push_str("for (__k, __v) in __entries {\nmatch __k.as_str() {\n");
+    for field in fields {
+        src.push_str(&format!(
+            "::std::option::Option::Some(\"{field}\") => __v_{field} = ::std::option::Option::Some(__v),\n"
+        ));
+    }
+    src.push_str("_ => {}\n}\n}\n");
+    src.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+    for field in fields {
+        src.push_str(&format!(
+            "{field}: match __v_{field} {{\n\
+             ::std::option::Option::Some(__c) => serde::__private::from_content(__c)?,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             <__D::Error as serde::de::Error>::custom(\
+             \"missing field `{field}` in {name}\")),\n\
+             }},\n"
+        ));
+    }
+    src.push_str("})\n}\n}\n");
+    src
+}
+
+fn deserialize_tuple_struct(name: &str, arity: usize) -> String {
+    let mut src = deserialize_header(name);
+    if arity == 1 {
+        src.push_str(&format!(
+            "::std::result::Result::Ok({name}(serde::__private::from_content(__content)?))\n"
+        ));
+    } else {
+        src.push_str(&format!(
+            "let __seq = __content.into_seq().map_err(<__D::Error as serde::de::Error>::custom)?;\n\
+             if __seq.len() != {arity} {{\n\
+             return ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+             \"wrong number of fields for tuple struct {name}\"));\n\
+             }}\n\
+             let mut __it = __seq.into_iter();\n"
+        ));
+        src.push_str(&format!("::std::result::Result::Ok({name}(\n"));
+        for _ in 0..arity {
+            src.push_str("serde::__private::from_content(__it.next().unwrap())?,\n");
+        }
+        src.push_str("))\n");
+    }
+    src.push_str("}\n}\n");
+    src
+}
+
+fn deserialize_unit_struct(name: &str) -> String {
+    let mut src = deserialize_header(name);
+    src.push_str(&format!("let _ = __content;\n::std::result::Result::Ok({name})\n}}\n}}\n"));
+    src
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, usize)]) -> String {
+    let mut src = deserialize_header(name);
+    src.push_str("match __content {\n");
+
+    // Unit variants arrive as plain strings.
+    src.push_str("serde::__private::Content::Str(__s) => match __s.as_str() {\n");
+    for (variant, arity) in variants {
+        if *arity == 0 {
+            src.push_str(&format!(
+                "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),\n"
+            ));
+        }
+    }
+    src.push_str(&format!(
+        "__other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+         ::std::format!(\"unknown variant `{{}}` for enum {name}\", __other))),\n\
+         }},\n"
+    ));
+
+    // Data variants arrive as single-entry maps `{variant: payload}`.
+    src.push_str(&format!(
+        "serde::__private::Content::Map(__m) => {{\n\
+         if __m.len() != 1 {{\n\
+         return ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+         \"expected a single-entry map for enum {name}\"));\n\
+         }}\n\
+         let (__k, __v) = __m.into_iter().next().unwrap();\n\
+         match __k.as_str() {{\n"
+    ));
+    for (variant, arity) in variants {
+        match *arity {
+            0 => {}
+            1 => src.push_str(&format!(
+                "::std::option::Option::Some(\"{variant}\") => \
+                 ::std::result::Result::Ok({name}::{variant}(serde::__private::from_content(__v)?)),\n"
+            )),
+            n => {
+                src.push_str(&format!(
+                    "::std::option::Option::Some(\"{variant}\") => {{\n\
+                     let __seq = __v.into_seq().map_err(<__D::Error as serde::de::Error>::custom)?;\n\
+                     if __seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+                     \"wrong payload arity for variant {variant} of {name}\"));\n\
+                     }}\n\
+                     let mut __it = __seq.into_iter();\n\
+                     ::std::result::Result::Ok({name}::{variant}(\n"
+                ));
+                for _ in 0..n {
+                    src.push_str("serde::__private::from_content(__it.next().unwrap())?,\n");
+                }
+                src.push_str("))\n},\n");
+            }
+        }
+    }
+    src.push_str(&format!(
+        "__other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+         ::std::format!(\"unknown variant `{{:?}}` for enum {name}\", __other))),\n\
+         }}\n\
+         }},\n"
+    ));
+
+    src.push_str(&format!(
+        "__other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::custom(\
+         ::std::format!(\"unexpected {{}} for enum {name}\", __other.kind()))),\n\
+         }}\n}}\n}}\n"
+    ));
+    src
+}
