@@ -11,6 +11,7 @@
 //!   fig10    Fig. 10   — throughput vs P99 latency curves
 //!   fig12    Fig. 12   — sensitivity to concurrency & write ratio
 //!   ablate             — design-choice ablations (not in the paper)
+//!   chaos              — differential fault-injection suite (robustness)
 //!   all                — everything above, in order
 //! ```
 
@@ -21,7 +22,7 @@ use dcart_bench::{experiments, Scale};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|fig2|fig3|overall|fig7|fig8|fig9|fig11|fig10|fig12|ablate|scans|indexes|fig6|skew|all> \
+        "usage: repro <table1|fig2|fig3|overall|fig7|fig8|fig9|fig11|fig10|fig12|ablate|chaos|scans|indexes|fig6|skew|all> \
          [--scale smoke|default|full] [--out DIR] [--jobs N]"
     );
     ExitCode::FAILURE
@@ -99,6 +100,9 @@ fn main() -> ExitCode {
         "ablate" | "ablations" => {
             experiments::ablate::run(&scale, &out_dir);
         }
+        "chaos" => {
+            experiments::chaos::run(&scale, &out_dir);
+        }
         "scans" => {
             experiments::scans::run(&scale, &out_dir);
         }
@@ -119,6 +123,7 @@ fn main() -> ExitCode {
             experiments::fig10::run(&scale, &out_dir);
             experiments::fig12::run(&scale, &out_dir);
             experiments::ablate::run(&scale, &out_dir);
+            experiments::chaos::run(&scale, &out_dir);
             experiments::scans::run(&scale, &out_dir);
             experiments::indexes::run(&scale, &out_dir);
             experiments::timeline::run(&scale, &out_dir);

@@ -9,12 +9,14 @@
 //! | [`fig10`] | Fig. 10: throughput–latency curves |
 //! | [`fig12`] | Fig. 12(a)(b): sensitivity to concurrency and write ratio |
 //! | [`ablate`] | design-choice ablations (§III-B/C/D/E knobs) |
+//! | [`chaos`] | differential fault-injection suite (robustness extension) |
 //! | [`scans`] | range-scan extension (beyond the paper) |
 //! | [`indexes`] | §V related-work claims, measured (ART vs B+tree vs hash) |
 //! | [`timeline`] | Fig. 6: the PCU/SOU batch-overlap schedule, rendered |
 //! | [`skew`] | extension: sensitivity to operation skew (the §II-C premise) |
 
 pub mod ablate;
+pub mod chaos;
 pub mod fig10;
 pub mod fig12;
 pub mod fig2;

@@ -20,13 +20,20 @@
 use dcart_baselines::{
     ContentionWindow, Counters, IndexEngine, RedundancyWindow, RunConfig, RunReport, TimeBreakdown,
 };
-use dcart_engine::{Clock, LatencyRecorder};
+use dcart_engine::{
+    BoundedQueue, Clock, DegradationController, FaultInjector, FaultPlan, FaultSite,
+    LatencyRecorder, RecoveryStats, RetryOutcome,
+};
 use dcart_mem::{BufferOutcome, BufferPolicy, EnergyModel, MemoryConfig, ObjectBuffer};
 use dcart_workloads::{KeySet, Op, OpKind};
 use serde::{Deserialize, Serialize};
 
 use crate::config::DcartConfig;
-use crate::ctt::{execute_ctt, BatchEvent, CttConsumer, CttOpEvent, LockGroup};
+use crate::ctt::{
+    execute_ctt, fold_digest, key_id, BatchEvent, CttConsumer, CttOpEvent, LockGroup,
+};
+use crate::dispatcher::Dispatch;
+use crate::pcu::{scan_capacity_ops, OP_STREAM_BYTES};
 
 /// Per-batch timing record of the accelerator.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -53,6 +60,14 @@ pub struct AccelDetails {
     pub shortcut_buffer_hit_ratio: f64,
     /// Total cycles including overlap.
     pub total_cycles: u64,
+    /// Order-sensitive digest of every operation's answer. Two runs over
+    /// the same workload must produce equal digests regardless of any
+    /// injected faults — the chaos experiment enforces this.
+    pub answer_digest: u64,
+    /// Digest of the final tree contents (key ids and values in key order).
+    pub tree_digest: u64,
+    /// Injected-fault and recovery counters (all zero on a fault-free run).
+    pub recovery: RecoveryStats,
 }
 
 /// The DCART accelerator engine.
@@ -79,10 +94,6 @@ impl DcartAccel {
         &self.details
     }
 }
-
-/// Bytes of one operation descriptor streamed through the Scan buffer and
-/// one bucket-table entry (key id, op kind, value pointer).
-const OP_STREAM_BYTES: u64 = 48;
 
 /// Outstanding memory requests each SOU sustains (non-blocking MSHRs):
 /// misses of different in-flight operations overlap up to this depth, so a
@@ -111,13 +122,56 @@ struct AccelConsumer {
     current_batch_ops: u64,
     imbalance_sum: f64,
     onchip_accesses: u64,
+    /// Fault-injection plan (inert by default) and its deterministic
+    /// decision streams.
+    plan: FaultPlan,
+    injector: FaultInjector,
+    recovery: RecoveryStats,
+    /// Trips when the off-chip transient-error rate crosses the configured
+    /// threshold; the Tree buffer is then bypassed (every fetch re-reads
+    /// HBM — slower, but no stale on-chip state to trust).
+    buffer_degrade: DegradationController,
+    tree_buffer_active: bool,
+    /// Bucket → SOU routing for the current batch; recomputed around
+    /// injected SOU outages.
+    dispatch: Dispatch,
+    /// `true` while `dispatch` excludes a downed SOU.
+    dispatch_degraded: bool,
+    /// Response queue toward the host; an injected overflow forces the
+    /// rejected tail to be re-streamed under backpressure.
+    response_queue: BoundedQueue,
 }
 
 impl AccelConsumer {
+    /// Charges an injected transient error on one off-chip fetch: bounded
+    /// retry with exponential backoff, failing over to an alternate channel
+    /// when retries are exhausted. Returns the extra cycles spent.
+    fn hbm_transient(&mut self) -> u64 {
+        let mut extra = 0u64;
+        self.recovery.hbm_transient_errors += 1;
+        match self.injector.retry_transient(
+            FaultSite::HbmRead,
+            self.plan.hbm_transient_rate,
+            &self.plan.retry,
+            self.hbm_latency_cycles,
+            &mut extra,
+        ) {
+            RetryOutcome::Recovered { retries } => self.recovery.hbm_retries += u64::from(retries),
+            RetryOutcome::FailedOver => self.recovery.hbm_failovers += 1,
+        }
+        self.recovery.hbm_retry_cycles += extra;
+        extra
+    }
+
     /// Fetches a node through the Tree buffer, returning the cycles the
     /// Traverse_Tree stage spends on it.
     fn fetch_node(&mut self, id: u64, footprint: u32, lines: u32, value: u64) -> u64 {
-        match self.tree_buffer.request(id, footprint, value) {
+        let outcome = if self.tree_buffer_active {
+            self.tree_buffer.request(id, footprint, value)
+        } else {
+            BufferOutcome::MissBypassed
+        };
+        match outcome {
             BufferOutcome::Hit => {
                 self.counters.cache_hits += 1;
                 self.onchip_accesses += 1;
@@ -127,7 +181,19 @@ impl AccelConsumer {
                 self.counters.cache_misses += 1;
                 self.counters.offchip_accesses += 1;
                 self.counters.offchip_bytes += u64::from(lines) * 64;
-                self.hbm_latency_cycles + u64::from(lines.saturating_sub(1))
+                let mut cycles = self.hbm_latency_cycles + u64::from(lines.saturating_sub(1));
+                if self.plan.is_active() {
+                    let errored =
+                        self.injector.fire(FaultSite::HbmRead, self.plan.hbm_transient_rate);
+                    if errored {
+                        cycles += self.hbm_transient();
+                    }
+                    if self.buffer_degrade.record(errored) {
+                        self.tree_buffer_active = false;
+                        self.recovery.tree_buffer_disables += 1;
+                    }
+                }
+                cycles
             }
         }
     }
@@ -143,6 +209,22 @@ impl CttConsumer for AccelConsumer {
         if total > 0 {
             let mean = f64::from(total) / ev.bucket_sizes.len() as f64;
             self.imbalance_sum += f64::from(max) / mean.max(1e-9);
+        }
+        if self.plan.is_active() {
+            if self.injector.fire(FaultSite::TreeBufferStorm, self.plan.evict_storm_rate) {
+                self.recovery.evict_storms += 1;
+                self.recovery.storm_evictions += self.tree_buffer.storm();
+            }
+            let buckets = ev.bucket_sizes.len().max(1);
+            if self.injector.fire(FaultSite::SouOutage, self.plan.sou_outage_rate) {
+                let down = self.injector.pick(FaultSite::SouOutage, self.cfg.sous as u64) as usize;
+                self.recovery.sou_outages += 1;
+                self.dispatch = Dispatch::new_excluding(buckets, self.cfg.sous, &[down]);
+                self.dispatch_degraded = true;
+            } else if self.dispatch_degraded || self.dispatch.sou_of.len() != buckets {
+                self.dispatch = Dispatch::new(buckets, self.cfg.sous);
+                self.dispatch_degraded = false;
+            }
         }
     }
 
@@ -171,7 +253,13 @@ impl CttConsumer for AccelConsumer {
                     _ => {
                         self.counters.offchip_accesses += 1;
                         self.counters.offchip_bytes += 64;
-                        self.hbm_latency_cycles
+                        let mut cycles = self.hbm_latency_cycles;
+                        if self.plan.is_active()
+                            && self.injector.fire(FaultSite::HbmRead, self.plan.hbm_transient_rate)
+                        {
+                            cycles += self.hbm_transient();
+                        }
+                        cycles
                     }
                 }
             } else {
@@ -209,9 +297,23 @@ impl CttConsumer for AccelConsumer {
         // Non-blocking SOU: each node fetch occupies an issue slot for a
         // cycle (plus the pipeline's own work), while full fetch latency is
         // overlapped across up to SOU_OUTSTANDING in-flight operations.
-        let sou = ev.bucket % self.cfg.sous;
-        let occupancy = (ev.visits.len() as u64).max(1);
-        let latency = s1 + s2.max(1) + s3 + s4;
+        let sou = if self.dispatch.sou_of.is_empty() {
+            ev.bucket % self.cfg.sous
+        } else {
+            self.dispatch.sou_of[ev.bucket % self.dispatch.sou_of.len()]
+        };
+        let mut occupancy = (ev.visits.len() as u64).max(1);
+        let mut latency = s1 + s2.max(1) + s3 + s4;
+        if self.plan.is_active()
+            && self.injector.fire(FaultSite::PipelineStall, self.plan.pipeline_stall_rate)
+        {
+            // A bubble holds the issue stage, so it costs occupancy (the
+            // serial resource), not just overlappable latency.
+            self.recovery.pipeline_stalls += 1;
+            self.recovery.pipeline_stall_cycles += self.plan.pipeline_stall_cycles;
+            occupancy += self.plan.pipeline_stall_cycles;
+            latency += self.plan.pipeline_stall_cycles;
+        }
         self.sou_occupancy[sou] += occupancy;
         self.sou_latency[sou] += latency;
         self.onchip_accesses += 2; // scan + bucket buffer streams
@@ -239,9 +341,24 @@ impl CttConsumer for AccelConsumer {
         // Multiple PCUs scan the arriving batch in parallel stripes (an
         // extension knob; Table I uses 1).
         let pcu_throughput = self.cfg.pcus.max(1) as u64;
-        let pcu_cycles =
+        let mut pcu_cycles =
             (self.current_batch_ops / pcu_throughput + 2).max(stream_cycles.ceil() as u64);
         self.counters.offchip_bytes += self.current_batch_ops * OP_STREAM_BYTES;
+        if self.plan.is_active()
+            && self.injector.fire(FaultSite::QueueOverflow, self.plan.queue_overflow_rate)
+        {
+            // The response queue toward the host jams: this batch's results
+            // pile into the bounded queue, the rejected tail is re-streamed
+            // from host memory (one op per cycle) and the queue must drain
+            // before the next batch combines.
+            let rejected = self.response_queue.offer(self.current_batch_ops);
+            let stall = rejected + self.response_queue.depth();
+            self.response_queue.drain(u64::MAX);
+            self.recovery.queue_overflows += 1;
+            self.recovery.backpressure_cycles += stall;
+            self.counters.offchip_bytes += rejected * OP_STREAM_BYTES;
+            pcu_cycles += stall;
+        }
         self.batches.push(BatchTiming { pcu_cycles, sou_cycles, ops: self.current_batch_ops });
     }
 }
@@ -254,6 +371,8 @@ impl IndexEngine for DcartAccel {
     fn run(&mut self, keys: &KeySet, ops: &[Op], run: &RunConfig) -> RunReport {
         let clock = Clock::mhz(self.config.clock_mhz);
         let hbm_latency_cycles = clock.ns_to_cycles(self.hbm.latency_ns);
+        let plan = self.config.faults;
+        let degrade = self.config.degrade;
         let mut consumer = AccelConsumer {
             cfg: self.config,
             clock,
@@ -275,9 +394,20 @@ impl IndexEngine for DcartAccel {
             current_batch_ops: 0,
             imbalance_sum: 0.0,
             onchip_accesses: 0,
+            plan,
+            injector: FaultInjector::for_plan(&plan),
+            recovery: RecoveryStats::default(),
+            buffer_degrade: DegradationController::new(
+                if degrade.enabled { degrade.tree_buffer_error_threshold } else { 0.0 },
+                degrade.window,
+            ),
+            tree_buffer_active: true,
+            dispatch: Dispatch::new(self.config.buckets(), self.config.sous),
+            dispatch_degraded: false,
+            response_queue: BoundedQueue::new(scan_capacity_ops(self.config.scan_buffer_bytes)),
         };
 
-        let (_tree, stats) = execute_ctt(keys, ops, &self.config, run.concurrency, &mut consumer);
+        let (tree, stats) = execute_ctt(keys, ops, &self.config, run.concurrency, &mut consumer);
 
         // Assemble cycle timeline with (or without) PCU/SOU overlap.
         let mut pcu_done: u64 = 0;
@@ -330,6 +460,18 @@ impl IndexEngine for DcartAccel {
             other_s: 0.0,
         };
 
+        // Fold the shortcut-table fault accounting (kept by the functional
+        // CTT layer) into the run-level recovery stats, and digest the
+        // final tree so chaos runs can compare end states.
+        let mut recovery = consumer.recovery;
+        recovery.shortcut_corruptions += stats.shortcut.corruptions_injected;
+        recovery.shortcut_fallbacks += stats.shortcut.corruption_fallbacks;
+        recovery.shortcut_disables += stats.shortcut_disables;
+        let mut tree_digest = 0u64;
+        for (k, &v) in tree.iter() {
+            tree_digest = fold_digest(fold_digest(tree_digest, key_id(k)), v);
+        }
+
         let batches = consumer.batches.len().max(1) as f64;
         self.details = AccelDetails {
             bucket_imbalance: consumer.imbalance_sum / batches,
@@ -337,6 +479,9 @@ impl IndexEngine for DcartAccel {
             shortcut_buffer_hit_ratio: consumer.shortcut_buffer.stats().hit_ratio(),
             batches: consumer.batches,
             total_cycles,
+            answer_digest: stats.answer_digest,
+            tree_digest,
+            recovery,
         };
         debug_assert_eq!(stats.ops, counters.ops);
 
@@ -455,5 +600,111 @@ mod tests {
         assert!(d.total_cycles > 0);
         assert!(r.latency_p99_us >= r.latency_mean_us);
         assert!(r.energy_j > 0.0);
+        assert!(d.answer_digest != 0);
+        assert!(d.tree_digest != 0);
+        assert_eq!(d.recovery, RecoveryStats::default(), "fault-free run injects nothing");
+    }
+
+    /// Runs the same workload under `cfg` and returns (details, time).
+    fn faulted_run(cfg: DcartConfig) -> (AccelDetails, f64) {
+        let (keys, ops, run) = setup(10_000, 40_000);
+        let mut dcart = DcartAccel::new(cfg);
+        let r = dcart.run(&keys, &ops, &run);
+        (dcart.last_details().clone(), r.time_s)
+    }
+
+    #[test]
+    fn every_fault_class_preserves_answers_and_slows_the_run() {
+        let clean_cfg = DcartConfig::default().scaled_for_keys(10_000);
+        let (clean, clean_t) = faulted_run(clean_cfg);
+        let plans: [(&str, FaultPlan); 5] = [
+            ("hbm", FaultPlan { seed: 11, hbm_transient_rate: 0.05, ..FaultPlan::none() }),
+            ("shortcut", FaultPlan { seed: 12, shortcut_corrupt_rate: 0.1, ..FaultPlan::none() }),
+            ("storm", FaultPlan { seed: 13, evict_storm_rate: 0.5, ..FaultPlan::none() }),
+            (
+                "stall",
+                FaultPlan {
+                    seed: 14,
+                    pipeline_stall_rate: 0.1,
+                    pipeline_stall_cycles: 32,
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "overflow+outage",
+                FaultPlan {
+                    seed: 15,
+                    queue_overflow_rate: 0.5,
+                    sou_outage_rate: 0.5,
+                    ..FaultPlan::none()
+                },
+            ),
+        ];
+        for (name, plan) in plans {
+            let mut cfg = clean_cfg;
+            cfg.faults = plan;
+            let (faulty, faulty_t) = faulted_run(cfg);
+            assert_eq!(faulty.answer_digest, clean.answer_digest, "{name}: answers diverged");
+            assert_eq!(faulty.tree_digest, clean.tree_digest, "{name}: end state diverged");
+            assert!(faulty.recovery.total_injected() > 0, "{name}: nothing injected");
+            assert!(
+                faulty_t >= clean_t,
+                "{name}: faults must not speed the run up ({faulty_t} vs {clean_t})"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_reproducible() {
+        let mut cfg = DcartConfig::default().scaled_for_keys(10_000);
+        cfg.faults = FaultPlan {
+            seed: 99,
+            hbm_transient_rate: 0.02,
+            shortcut_corrupt_rate: 0.05,
+            evict_storm_rate: 0.2,
+            pipeline_stall_rate: 0.05,
+            pipeline_stall_cycles: 16,
+            sou_outage_rate: 0.2,
+            queue_overflow_rate: 0.2,
+            ..FaultPlan::none()
+        };
+        let (a, t_a) = faulted_run(cfg);
+        let (b, t_b) = faulted_run(cfg);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(t_a, t_b);
+    }
+
+    #[test]
+    fn heavy_transients_trip_tree_buffer_degradation() {
+        let clean_cfg = DcartConfig::default().scaled_for_keys(10_000);
+        let (clean, _) = faulted_run(clean_cfg);
+        let mut cfg = clean_cfg;
+        cfg.faults = FaultPlan { seed: 21, hbm_transient_rate: 0.9, ..FaultPlan::none() };
+        cfg.degrade.tree_buffer_error_threshold = 0.3;
+        cfg.degrade.window = 64;
+        let (faulty, _) = faulted_run(cfg);
+        assert_eq!(faulty.recovery.tree_buffer_disables, 1, "latch trips once");
+        assert!(faulty.recovery.hbm_retries > 0, "bounded retry ran");
+        assert_eq!(faulty.answer_digest, clean.answer_digest, "degraded mode stays correct");
+        assert_eq!(faulty.tree_digest, clean.tree_digest);
+    }
+
+    #[test]
+    fn sou_outage_remaps_and_overflow_backpressures() {
+        let clean_cfg = DcartConfig::default().scaled_for_keys(10_000);
+        let mut cfg = clean_cfg;
+        cfg.faults = FaultPlan {
+            seed: 31,
+            sou_outage_rate: 1.0,
+            queue_overflow_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let (faulty, faulty_t) = faulted_run(cfg);
+        let (_, clean_t) = faulted_run(clean_cfg);
+        assert!(faulty.recovery.sou_outages > 0);
+        assert!(faulty.recovery.queue_overflows > 0);
+        assert!(faulty.recovery.backpressure_cycles > 0);
+        assert!(faulty_t > clean_t, "losing an SOU every batch must cost time");
     }
 }

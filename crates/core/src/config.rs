@@ -1,5 +1,7 @@
-//! DCART configuration — the parameters of the paper's Table I.
+//! DCART configuration — the parameters of the paper's Table I, plus the
+//! fault-injection plan and graceful-degradation thresholds.
 
+use dcart_engine::FaultPlan;
 use dcart_mem::BufferPolicy;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +46,44 @@ pub struct DcartConfig {
     /// Whether PCU combining overlaps SOU operating across batches
     /// (§III-D, Fig. 6; ablation knob).
     pub overlap_enabled: bool,
+    /// Deterministic fault-injection plan (default: inject nothing). See
+    /// `dcart_engine::faults`.
+    pub faults: FaultPlan,
+    /// Graceful-degradation thresholds (when a component's error rate
+    /// crosses its threshold, the accelerator disables it and falls back to
+    /// the slow-but-correct path).
+    pub degrade: DegradeConfig,
+}
+
+/// Thresholds for the degradation controller in the accelerator model.
+///
+/// Each guarded component (shortcut table, Tree buffer) tracks its error
+/// rate over a sliding window; crossing the threshold trips a sticky
+/// disable latch. Defaults are far above any rate a fault-free run
+/// produces, so degradation never fires without injected faults.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradeConfig {
+    /// Master switch for the degradation controller.
+    pub enabled: bool,
+    /// Shortcut-table disable threshold: fraction of probes in a window
+    /// that were stale/corrupt.
+    pub shortcut_stale_threshold: f64,
+    /// Tree-buffer disable threshold: fraction of off-chip node fetches in
+    /// a window that suffered a (injected) transient error.
+    pub tree_buffer_error_threshold: f64,
+    /// Window length in events for both controllers.
+    pub window: u32,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            enabled: true,
+            shortcut_stale_threshold: 0.75,
+            tree_buffer_error_threshold: 0.75,
+            window: 512,
+        }
+    }
 }
 
 impl Default for DcartConfig {
@@ -62,6 +102,8 @@ impl Default for DcartConfig {
             tree_buffer_policy: BufferPolicy::ValueAware,
             shortcuts_enabled: true,
             overlap_enabled: true,
+            faults: FaultPlan::none(),
+            degrade: DegradeConfig::default(),
         }
     }
 }
@@ -130,6 +172,9 @@ mod tests {
         assert_eq!(c.clock_mhz, 230.0);
         assert_eq!(c.prefix_bits, 8);
         assert_eq!(c.tree_buffer_policy, BufferPolicy::ValueAware);
+        assert!(!c.faults.is_active(), "no faults by default");
+        assert!(c.degrade.enabled);
+        assert!(c.degrade.shortcut_stale_threshold > 0.5, "far above natural stale rates");
     }
 
     #[test]

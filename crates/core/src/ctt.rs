@@ -20,10 +20,12 @@
 use std::collections::HashMap;
 
 use dcart_art::{Art, NodeId, NodeVisit, RecordingTracer};
+use dcart_engine::{DegradationController, FaultInjector, FaultSite};
 use dcart_workloads::{KeySet, Op, OpKind};
 use serde::{Deserialize, Serialize};
 
 use crate::config::DcartConfig;
+use crate::error::DcartError;
 use crate::pcu::combine_batch;
 
 /// Hash buckets of the off-chip Shortcut_Table (for collision accounting).
@@ -35,6 +37,29 @@ pub fn key_id(key: &dcart_art::Key) -> u64 {
     for &b in key.as_bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// One FNV-1a folding step, used for the differential answer digests.
+pub fn fold_digest(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x1000_0000_01b3)
+}
+
+/// Digest of an optional value (read/update/insert/remove results).
+fn digest_option(v: Option<u64>) -> u64 {
+    match v {
+        None => fold_digest(0xcbf2_9ce4_8422_2325, 0),
+        Some(x) => fold_digest(fold_digest(0xcbf2_9ce4_8422_2325, 1), x),
+    }
+}
+
+/// Digest of a scan result set (keys and values, in order).
+fn digest_scan(pairs: &[(&dcart_art::Key, &u64)]) -> u64 {
+    let mut h = fold_digest(0xcbf2_9ce4_8422_2325, pairs.len() as u64);
+    for (k, &v) in pairs {
+        h = fold_digest(h, key_id(k));
+        h = fold_digest(h, v);
     }
     h
 }
@@ -65,6 +90,11 @@ pub struct CttOpEvent<'a> {
     pub bucket_ops: u32,
     /// Whether a shortcut entry was generated/updated after a traversal.
     pub generated_shortcut: bool,
+    /// Digest of the operation's functional answer (value read, previous
+    /// value written over, scan result set). Faults may change *how* an
+    /// operation resolves (shortcut vs. traversal) but never this digest —
+    /// the chaos experiment's differential invariant.
+    pub answer: u64,
 }
 
 /// A coalesced lock: `size` operations of one bucket targeting one node
@@ -136,6 +166,13 @@ pub struct CttStats {
     /// synchronize. This is DCART's residual contention source — the paper
     /// still reports 3.2–19.7 % of the baselines' contentions (Fig. 7).
     pub shortcut_hash_collisions: u64,
+    /// Times the degradation controller disabled the shortcut table for
+    /// the rest of the run (0 or 1; sticky latch).
+    pub shortcut_disables: u64,
+    /// Digest folded over every operation's answer in execution order;
+    /// bit-identical across fault-free and faulted runs of the same
+    /// workload (the differential correctness invariant).
+    pub answer_digest: u64,
 }
 
 /// Executes `ops` over a tree loaded with `keys` under the CTT model,
@@ -164,6 +201,15 @@ pub struct CttStats {
 /// assert!(stats.lock_groups < stats.per_op_locks, "coalescing saves locks");
 /// assert!(tree.len() >= 500);
 /// ```
+///
+/// # Panics
+///
+/// Panics on a zero `batch_size` or keys the tree rejects; use
+/// [`try_execute_ctt`] for a `Result`-returning variant.
+// The one sanctioned panic in this crate: a convenience wrapper whose
+// panicking contract is documented above; all other callers go through
+// `try_execute_ctt`.
+#[allow(clippy::panic)]
 pub fn execute_ctt<C: CttConsumer>(
     keys: &KeySet,
     ops: &[Op],
@@ -172,12 +218,49 @@ pub fn execute_ctt<C: CttConsumer>(
     consumer: &mut C,
 ) -> (Art<u64>, CttStats) {
     assert!(batch_size > 0, "batch size must be positive");
+    match try_execute_ctt(keys, ops, config, batch_size, consumer) {
+        Ok(r) => r,
+        Err(e) => panic!("CTT execution failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`execute_ctt`]: returns [`DcartError`] instead of
+/// panicking on a zero batch size or keys the tree rejects
+/// (prefix-violating or unsorted bulk loads).
+///
+/// # Errors
+///
+/// * [`DcartError::InvalidBatchSize`] when `batch_size == 0`;
+/// * [`DcartError::Art`] when the key set or an insert violates the
+///   tree's prefix-free requirement.
+pub fn try_execute_ctt<C: CttConsumer>(
+    keys: &KeySet,
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    consumer: &mut C,
+) -> Result<(Art<u64>, CttStats), DcartError> {
+    if batch_size == 0 {
+        return Err(DcartError::InvalidBatchSize);
+    }
     let mut art: Art<u64> = Art::new();
-    art.load_indexed(&keys.keys).expect("workload keys are prefix-free");
+    art.load_indexed(&keys.keys)?;
 
     let mut shortcuts = ShortcutTable::new();
     let mut stats = CttStats::default();
     let mut tracer = RecordingTracer::new();
+
+    // Fault injection (inert when the plan is inactive): shortcut-entry
+    // corruption draws from its own deterministic stream, and a windowed
+    // degradation controller can disable the shortcut table entirely once
+    // the observed stale/corrupt rate crosses the configured threshold.
+    let plan = config.faults;
+    let mut injector = FaultInjector::for_plan(&plan);
+    let mut shortcut_degrade = DegradationController::new(
+        if config.degrade.enabled { config.degrade.shortcut_stale_threshold } else { 0.0 },
+        config.degrade.window,
+    );
+    let mut shortcuts_active = config.shortcuts_enabled;
 
     for (batch_idx, batch) in ops.chunks(batch_size).enumerate() {
         let combined = combine_batch(config, batch);
@@ -221,11 +304,27 @@ pub fn execute_ctt<C: CttConsumer>(
                     stats.reads += 1;
                 }
 
-                // Index_Shortcut: probe for reads/updates.
-                let entry = if config.shortcuts_enabled
-                    && matches!(op.kind, OpKind::Read | OpKind::Update)
+                // Index_Shortcut: probe for reads/updates (unless the
+                // degradation controller has disabled the table).
+                let entry = if shortcuts_active && matches!(op.kind, OpKind::Read | OpKind::Update)
                 {
-                    shortcuts.probe(&op.key, &art)
+                    // Injected corruption: poison the key's entry just
+                    // before the probe, so validation catches it and falls
+                    // back to the root traversal.
+                    if injector.fire(FaultSite::ShortcutEntry, plan.shortcut_corrupt_rate) {
+                        shortcuts.corrupt(&op.key);
+                    }
+                    let stale_before = shortcuts.stats().stale_invalidations;
+                    let e = shortcuts.probe(&op.key, &art);
+                    let went_stale = shortcuts.stats().stale_invalidations > stale_before;
+                    if shortcut_degrade.record(went_stale) {
+                        // Error rate over the window crossed the threshold:
+                        // run the rest of the workload without shortcuts
+                        // (slower, never wrong).
+                        shortcuts_active = false;
+                        stats.shortcut_disables += 1;
+                    }
+                    e
                 } else {
                     None
                 };
@@ -242,18 +341,20 @@ pub fn execute_ctt<C: CttConsumer>(
                                 .expect("probe validated the target as live"),
                         );
                     }
-                    match op.kind {
+                    let answer = match op.kind {
                         OpKind::Read => {
-                            let _ = art.read_leaf(entry.target, &op.key);
+                            digest_option(art.read_leaf(entry.target, &op.key).copied())
                         }
                         OpKind::Update => {
-                            art.update_leaf(entry.target, &op.key, op.value)
+                            let prev = art
+                                .update_leaf(entry.target, &op.key, op.value)
                                 .expect("probe validated the target key");
                             *write_targets.entry(entry.target).or_insert(0) += 1;
                             stats.per_op_locks += 1;
+                            digest_option(Some(prev))
                         }
                         _ => unreachable!("shortcuts only serve reads/updates"),
-                    }
+                    };
                     CttOpEvent {
                         batch: batch_idx,
                         bucket: bucket_idx,
@@ -264,34 +365,37 @@ pub fn execute_ctt<C: CttConsumer>(
                         matches: fresh_visits.len() as u64,
                         bucket_ops,
                         generated_shortcut: false,
+                        answer,
                     }
                 } else {
                     // Traverse_Tree: full (but coalesced-by-bucket) search.
                     tracer.clear();
-                    match op.kind {
+                    let answer = match op.kind {
                         OpKind::Read => {
-                            let _ = art.get_traced(&op.key, &mut tracer);
+                            digest_option(art.get_traced(&op.key, &mut tracer).copied())
                         }
-                        OpKind::Update | OpKind::Insert => {
-                            art.insert_traced(op.key.clone(), op.value, &mut tracer)
-                                .expect("workload keys are prefix-free");
-                        }
+                        OpKind::Update | OpKind::Insert => digest_option(art.insert_traced(
+                            op.key.clone(),
+                            op.value,
+                            &mut tracer,
+                        )?),
                         OpKind::Remove => {
-                            let _ = art.remove_traced(&op.key, &mut tracer);
+                            let prev = art.remove_traced(&op.key, &mut tracer);
                             shortcuts.invalidate(&op.key);
+                            digest_option(prev)
                         }
                         OpKind::Scan => {
                             // Range scans always walk the tree from the
                             // start position; the bucket's coalescing
                             // below still dedups nodes shared with other
                             // combined operations.
-                            let _ =
+                            let pairs =
                                 art.scan_traced(op.key.as_bytes(), op.value as usize, &mut tracer);
+                            digest_scan(&pairs)
                         }
-                    }
+                    };
                     let mut generated = false;
-                    if config.shortcuts_enabled && !matches!(op.kind, OpKind::Remove | OpKind::Scan)
-                    {
+                    if shortcuts_active && !matches!(op.kind, OpKind::Remove | OpKind::Scan) {
                         if let Some(target) = tracer.trace.target {
                             // Generate_Shortcut: only leaves are reusable
                             // point-op targets.
@@ -348,8 +452,10 @@ pub fn execute_ctt<C: CttConsumer>(
                         matches,
                         bucket_ops,
                         generated_shortcut: generated,
+                        answer,
                     }
                 };
+                stats.answer_digest = fold_digest(stats.answer_digest, ev.answer);
                 consumer.op(&ev);
             }
         }
@@ -370,7 +476,7 @@ pub fn execute_ctt<C: CttConsumer>(
     }
 
     stats.shortcut = shortcuts.stats();
-    (art, stats)
+    Ok((art, stats))
 }
 
 #[cfg(test)]
@@ -514,5 +620,62 @@ mod tests {
     fn batches_are_sequential() {
         let (_, c) = run(Mix::C, true);
         assert_eq!(c.batches, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_variant_returns_typed_errors() {
+        use crate::error::DcartError;
+        let keys = Workload::Ipgeo.generate(100, 9);
+        let cfg = DcartConfig::default();
+        let err = try_execute_ctt(&keys, &[], &cfg, 0, &mut Collector::default()).unwrap_err();
+        assert!(matches!(err, DcartError::InvalidBatchSize), "{err}");
+    }
+
+    fn digests(mix: Mix, cfg: DcartConfig) -> (CttStats, Vec<(dcart_art::Key, u64)>) {
+        let keys = Workload::Ipgeo.generate(5_000, 1);
+        let ops = generate_ops(&keys, &OpStreamConfig { count: 20_000, mix, ..Default::default() });
+        let (tree, stats) = execute_ctt(&keys, &ops, &cfg, 4096, &mut Collector::default());
+        (stats, tree.iter().map(|(k, &v)| (k.clone(), v)).collect())
+    }
+
+    #[test]
+    fn corruption_faults_never_change_answers() {
+        use dcart_engine::FaultPlan;
+        let clean_cfg = DcartConfig::default();
+        let mut faulty_cfg = clean_cfg;
+        faulty_cfg.faults =
+            FaultPlan { seed: 42, shortcut_corrupt_rate: 0.05, ..FaultPlan::none() };
+        let (clean, clean_tree) = digests(Mix::E, clean_cfg);
+        let (faulty, faulty_tree) = digests(Mix::E, faulty_cfg);
+        assert_eq!(clean.answer_digest, faulty.answer_digest, "answers bit-identical");
+        assert_eq!(clean_tree, faulty_tree, "final tree contents identical");
+        assert_eq!(clean.shortcut.corruptions_injected, 0);
+        assert!(faulty.shortcut.corruptions_injected > 0, "{:?}", faulty.shortcut);
+        assert!(faulty.shortcut.corruption_fallbacks > 0, "validate-then-fallback fired");
+        assert!(faulty.shortcut.hits < clean.shortcut.hits, "corruption costs hits, never answers");
+    }
+
+    #[test]
+    fn heavy_corruption_trips_the_degradation_controller() {
+        use dcart_engine::FaultPlan;
+        let clean_cfg = DcartConfig::default();
+        let mut faulty_cfg = clean_cfg;
+        faulty_cfg.faults = FaultPlan { seed: 7, shortcut_corrupt_rate: 0.6, ..FaultPlan::none() };
+        faulty_cfg.degrade.shortcut_stale_threshold = 0.3;
+        faulty_cfg.degrade.window = 128;
+        let (clean, clean_tree) = digests(Mix::C, clean_cfg);
+        let (faulty, faulty_tree) = digests(Mix::C, faulty_cfg);
+        assert_eq!(faulty.shortcut_disables, 1, "sticky latch trips once");
+        assert_eq!(clean.answer_digest, faulty.answer_digest, "degraded mode stays correct");
+        assert_eq!(clean_tree, faulty_tree);
+        assert_eq!(clean.shortcut_disables, 0);
+    }
+
+    #[test]
+    fn fault_free_runs_never_degrade() {
+        let (stats, _) = digests(Mix::E, DcartConfig::default());
+        assert_eq!(stats.shortcut_disables, 0);
+        assert_eq!(stats.shortcut.corruptions_injected, 0);
+        assert_eq!(stats.shortcut.corruption_fallbacks, 0);
     }
 }

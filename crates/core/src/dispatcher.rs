@@ -28,6 +28,25 @@ impl Dispatch {
         Dispatch { sou_of: (0..buckets).map(|b| b % sous).collect(), sous }
     }
 
+    /// Computes an assignment that routes around downed SOUs: buckets are
+    /// dealt round-robin over the healthy units only, so a batch keeps
+    /// executing (slower) while an SOU is out. The bucket-never-split
+    /// invariant is preserved. If *every* SOU is listed as down, the
+    /// exclusion is ignored — the dispatcher cannot route to nothing, and
+    /// degrading to the full set is the only answer-preserving option.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sous` is zero.
+    pub fn new_excluding(buckets: usize, sous: usize, down: &[usize]) -> Self {
+        assert!(sous > 0, "at least one SOU required");
+        let healthy: Vec<usize> = (0..sous).filter(|s| !down.contains(s)).collect();
+        if healthy.is_empty() {
+            return Self::new(buckets, sous);
+        }
+        Dispatch { sou_of: (0..buckets).map(|b| healthy[b % healthy.len()]).collect(), sous }
+    }
+
     /// Buckets assigned to SOU `s`.
     pub fn buckets_of(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
         self.sou_of.iter().enumerate().filter(move |(_, &sou)| sou == s).map(|(b, _)| b)
@@ -58,5 +77,28 @@ mod tests {
         let d = Dispatch::new(16, 5);
         let covered: usize = (0..5).map(|s| d.buckets_of(s).count()).sum();
         assert_eq!(covered, 16);
+    }
+
+    #[test]
+    fn excluding_routes_around_downed_sous() {
+        let d = Dispatch::new_excluding(16, 16, &[3, 7]);
+        assert_eq!(d.buckets_of(3).count(), 0);
+        assert_eq!(d.buckets_of(7).count(), 0);
+        let covered: usize = (0..16).map(|s| d.buckets_of(s).count()).sum();
+        assert_eq!(covered, 16, "all buckets still handled");
+        // Healthy units absorb the displaced load.
+        assert!(d.buckets_of(0).count() >= 1);
+    }
+
+    #[test]
+    fn excluding_nothing_matches_plain_dispatch() {
+        assert_eq!(Dispatch::new_excluding(16, 16, &[]).sou_of, Dispatch::new(16, 16).sou_of);
+    }
+
+    #[test]
+    fn excluding_everything_falls_back_to_full_set() {
+        let down: Vec<usize> = (0..4).collect();
+        let d = Dispatch::new_excluding(8, 4, &down);
+        assert_eq!(d.sou_of, Dispatch::new(8, 4).sou_of);
     }
 }

@@ -1,0 +1,80 @@
+//! Typed errors for the DCART model crates.
+//!
+//! Library code on fallible paths (workload/trace ingestion, tree
+//! construction, executor entry points) returns [`DcartError`] instead of
+//! panicking, so malformed input or an injected fault surfaces as a value
+//! the caller can handle — a process abort is reserved for genuine
+//! programming errors (violated internal invariants).
+
+use std::fmt;
+
+use dcart_art::ArtError;
+use dcart_workloads::TraceError;
+
+/// Top-level error of the DCART model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DcartError {
+    /// The adaptive radix tree rejected an input (prefix key, unsorted
+    /// bulk load).
+    Art(ArtError),
+    /// An operation trace could not be read (I/O, malformed or truncated
+    /// line, empty file).
+    Trace(TraceError),
+    /// An executor was configured with a zero batch size.
+    InvalidBatchSize,
+}
+
+impl fmt::Display for DcartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcartError::Art(e) => write!(f, "tree error: {e}"),
+            DcartError::Trace(e) => write!(f, "trace error: {e}"),
+            DcartError::InvalidBatchSize => write!(f, "batch size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for DcartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcartError::Art(e) => Some(e),
+            DcartError::Trace(e) => Some(e),
+            DcartError::InvalidBatchSize => None,
+        }
+    }
+}
+
+impl From<ArtError> for DcartError {
+    fn from(e: ArtError) -> Self {
+        DcartError::Art(e)
+    }
+}
+
+impl From<TraceError> for DcartError {
+    fn from(e: TraceError) -> Self {
+        DcartError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = DcartError::from(ArtError::NotSortedUnique);
+        assert!(e.to_string().starts_with("tree error:"), "{e}");
+        let e = DcartError::from(TraceError::Truncated { line: 7 });
+        assert!(e.to_string().contains("line 7"), "{e}");
+        assert!(DcartError::InvalidBatchSize.to_string().contains("batch size"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = DcartError::from(ArtError::NotSortedUnique);
+        assert!(e.source().is_some());
+        assert!(DcartError::InvalidBatchSize.source().is_none());
+    }
+}

@@ -34,17 +34,26 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must not abort under malformed input or injected faults:
+// fallible paths return `Result`s, and intentional invariant panics need an
+// explicit, justified `allow`. Test code (cfg(test)) is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 mod accel;
 mod config;
 mod ctt;
 pub mod dispatcher;
+mod error;
 pub mod pcu;
 mod shortcut;
 mod software;
 
 pub use accel::{AccelDetails, BatchTiming, DcartAccel};
-pub use config::DcartConfig;
-pub use ctt::{execute_ctt, key_id, BatchEvent, CttConsumer, CttOpEvent, CttStats, LockGroup};
+pub use config::{DcartConfig, DegradeConfig};
+pub use ctt::{
+    execute_ctt, key_id, try_execute_ctt, BatchEvent, CttConsumer, CttOpEvent, CttStats, LockGroup,
+};
+pub use dcart_engine::{FaultPlan, RecoveryStats};
+pub use error::DcartError;
 pub use shortcut::{ShortcutEntry, ShortcutStats, ShortcutTable, ENTRY_BYTES};
 pub use software::{DcartSoftware, SoftwareOverheads};

@@ -10,6 +10,18 @@ use dcart_workloads::Op;
 
 use crate::config::DcartConfig;
 
+/// Bytes of one operation descriptor as streamed through the Scan buffer
+/// and stored in a bucket-table entry (key id, op kind, value pointer).
+pub const OP_STREAM_BYTES: u64 = 48;
+
+/// Number of operation descriptors the Scan buffer holds — the depth of
+/// the arrival queue in front of the PCU. When backpressure (e.g. a
+/// response-queue overflow downstream) stalls combining, at most this many
+/// operations are parked on chip; the rest wait in host memory.
+pub fn scan_capacity_ops(scan_buffer_bytes: u64) -> u64 {
+    (scan_buffer_bytes / OP_STREAM_BYTES).max(1)
+}
+
 /// Result of combining one batch: per-bucket operation index lists.
 #[derive(Clone, Debug)]
 pub struct CombinedBatch {
@@ -82,6 +94,12 @@ mod tests {
         let combined = combine_batch(&cfg, &batch);
         let b = cfg.bucket_of(0x10);
         assert_eq!(combined.buckets[b], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scan_capacity_scales_with_buffer() {
+        assert_eq!(scan_capacity_ops(512 * 1024), 512 * 1024 / 48);
+        assert_eq!(scan_capacity_ops(0), 1, "never zero capacity");
     }
 
     #[test]

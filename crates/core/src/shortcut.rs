@@ -12,7 +12,7 @@
 //! checking that the cached address still holds a leaf with the expected
 //! key.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dcart_art::{Art, Key, NodeId};
 use serde::{Deserialize, Serialize};
@@ -43,6 +43,11 @@ pub struct ShortcutStats {
     pub generated: u64,
     /// Entries updated in place after a node change.
     pub updated: u64,
+    /// Entries corrupted by fault injection ([`ShortcutTable::corrupt`]).
+    pub corruptions_injected: u64,
+    /// Probes that caught a corrupted entry during validation and fell
+    /// back to a full root-to-leaf traversal.
+    pub corruption_fallbacks: u64,
 }
 
 /// The shortcut hash table.
@@ -70,6 +75,9 @@ pub struct ShortcutStats {
 #[derive(Clone, Debug, Default)]
 pub struct ShortcutTable {
     entries: HashMap<Key, ShortcutEntry>,
+    /// Entries poisoned by fault injection: validation must fail on their
+    /// next probe regardless of what the tree says.
+    poisoned: HashSet<Key>,
     stats: ShortcutStats,
 }
 
@@ -106,7 +114,16 @@ impl ShortcutTable {
                 None
             }
             Some(&entry) => {
-                if tree.read_leaf(entry.target, key).is_some() {
+                if self.poisoned.remove(key) {
+                    // A corrupted entry never validates: drop it and fall
+                    // back to the root traversal (the same slow-but-correct
+                    // path a naturally stale entry takes).
+                    self.entries.remove(key);
+                    self.stats.corruption_fallbacks += 1;
+                    self.stats.stale_invalidations += 1;
+                    self.stats.misses += 1;
+                    None
+                } else if tree.read_leaf(entry.target, key).is_some() {
                     self.stats.hits += 1;
                     Some(entry)
                 } else {
@@ -116,6 +133,19 @@ impl ShortcutTable {
                     None
                 }
             }
+        }
+    }
+
+    /// Fault injection: corrupts the entry for `key` (models a bit flip in
+    /// the off-chip table or forced staleness). The entry stays present but
+    /// its next probe fails validation and falls back to a full traversal.
+    /// Returns `true` if an entry existed to corrupt.
+    pub fn corrupt(&mut self, key: &Key) -> bool {
+        if self.entries.contains_key(key) && self.poisoned.insert(key.clone()) {
+            self.stats.corruptions_injected += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -133,6 +163,7 @@ impl ShortcutTable {
     /// Drops the entry for `key`, if any (e.g. after a remove).
     pub fn invalidate(&mut self, key: &Key) {
         self.entries.remove(key);
+        self.poisoned.remove(key);
     }
 
     /// Total off-chip footprint of the table in bytes.
@@ -210,6 +241,48 @@ mod tests {
             art.insert(Key::from_u64(b << 8 | 1), b).unwrap(); // grows the node
         }
         assert!(table.probe(&key, &art).is_some());
+    }
+
+    #[test]
+    fn corrupted_entry_fails_validation_and_falls_back() {
+        let art = tree_with(&[30, 31]);
+        let key = Key::from_u64(30);
+        let (leaf, parent) = art.locate_leaf(&key, &mut dcart_art::NoopTracer).unwrap();
+        let mut table = ShortcutTable::new();
+        table.generate(key.clone(), leaf, parent);
+        assert!(table.corrupt(&key));
+        // The poisoned probe must NOT return the (still structurally valid)
+        // entry — it must force the fallback traversal.
+        assert_eq!(table.probe(&key, &art), None);
+        let s = table.stats();
+        assert_eq!(s.corruptions_injected, 1);
+        assert_eq!(s.corruption_fallbacks, 1);
+        assert_eq!(s.stale_invalidations, 1);
+        // Regenerating afterwards works and probes cleanly again.
+        table.generate(key.clone(), leaf, parent);
+        assert!(table.probe(&key, &art).is_some());
+    }
+
+    #[test]
+    fn corrupt_without_entry_is_a_noop() {
+        let mut table = ShortcutTable::new();
+        assert!(!table.corrupt(&Key::from_u64(1)));
+        assert_eq!(table.stats().corruptions_injected, 0);
+    }
+
+    #[test]
+    fn invalidate_clears_poison() {
+        let art = tree_with(&[40]);
+        let key = Key::from_u64(40);
+        let (leaf, parent) = art.locate_leaf(&key, &mut dcart_art::NoopTracer).unwrap();
+        let mut table = ShortcutTable::new();
+        table.generate(key.clone(), leaf, parent);
+        table.corrupt(&key);
+        table.invalidate(&key);
+        // A fresh entry for the same key is not tainted by old poison.
+        table.generate(key.clone(), leaf, parent);
+        assert!(table.probe(&key, &art).is_some());
+        assert_eq!(table.stats().corruption_fallbacks, 0);
     }
 
     #[test]

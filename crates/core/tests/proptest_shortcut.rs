@@ -1,0 +1,119 @@
+//! Property-based test of the shortcut table's safety contract: under any
+//! interleaving of inserts, removes, corruptions, and probes — including
+//! sequences that drive nodes through every adaptive layout
+//! (N4 → N16 → N48 → N256), split paths, and remove nodes — a probe either
+//! returns an entry whose target holds the key's current value, or returns
+//! `None` (miss / stale invalidation / corruption fallback). It must never
+//! be *silently wrong*, and a corrupted entry must never be returned.
+
+use std::collections::{HashMap, HashSet};
+
+use dcart::ShortcutTable;
+use dcart_art::{Art, Key, NoopTracer};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// One scripted step: `action` selects the operation, `b` the key's first
+/// byte (spanning all 256 values forces the root through every layout),
+/// `t` the key's tail byte (shared first bytes force path splits).
+fn step_strategy() -> impl Strategy<Value = (u8, u8, u8)> {
+    (0u8..10, any::<u8>(), 0u8..4)
+}
+
+fn key_of(b: u8, t: u8) -> Key {
+    Key::from_raw(vec![b, t, 1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shortcut_probes_are_never_silently_wrong(
+        steps in proptest::collection::vec(step_strategy(), 1..400),
+    ) {
+        let mut art: Art<u64> = Art::new();
+        let mut truth: HashMap<Vec<u8>, u64> = HashMap::new();
+        let mut table = ShortcutTable::new();
+        // Keys corrupted since their last (re)generation: their next probe
+        // must fall back, never return the entry.
+        let mut poisoned: HashSet<Vec<u8>> = HashSet::new();
+        let mut touched: HashSet<(u8, u8)> = HashSet::new();
+
+        let check_probe = |table: &mut ShortcutTable,
+                           art: &Art<u64>,
+                           truth: &HashMap<Vec<u8>, u64>,
+                           poisoned: &mut HashSet<Vec<u8>>,
+                           key: &Key|
+         -> Result<(), TestCaseError> {
+            let was_poisoned = poisoned.remove(key.as_bytes());
+            // A `None` probe (absent, stale, or corrupted) sends the op
+            // down the slow-but-correct traversal: always safe.
+            if let Some(entry) = table.probe(key, art) {
+                prop_assert!(
+                    !was_poisoned,
+                    "a corrupted entry was returned instead of falling back"
+                );
+                let via_shortcut = art.read_leaf(entry.target, key).copied();
+                prop_assert!(
+                    via_shortcut.is_some(),
+                    "probe returned an entry that does not validate"
+                );
+                prop_assert_eq!(
+                    via_shortcut,
+                    truth.get(key.as_bytes()).copied(),
+                    "shortcut answered with a wrong value"
+                );
+            }
+            Ok(())
+        };
+
+        for (i, &(action, b, t)) in steps.iter().enumerate() {
+            let key = key_of(b, t);
+            touched.insert((b, t));
+            match action {
+                // Insert/update, then publish a shortcut for the key.
+                0..=4 => {
+                    let v = i as u64;
+                    prop_assert!(art.insert(key.clone(), v).is_ok());
+                    truth.insert(key.as_bytes().to_vec(), v);
+                    if let Some((leaf, parent)) = art.locate_leaf(&key, &mut NoopTracer) {
+                        table.generate(key.clone(), leaf, parent);
+                        poisoned.remove(key.as_bytes());
+                    }
+                }
+                // Remove WITHOUT invalidating the table: the stale entry
+                // must be caught by validation on its next probe.
+                5..=6 => {
+                    art.remove(&key);
+                    truth.remove(key.as_bytes());
+                }
+                // Remove with explicit invalidation (the executor's path).
+                7 => {
+                    art.remove(&key);
+                    truth.remove(key.as_bytes());
+                    table.invalidate(&key);
+                    poisoned.remove(key.as_bytes());
+                }
+                // Inject corruption: the entry stays present but its next
+                // probe must fall back.
+                8 => {
+                    if table.corrupt(&key) {
+                        poisoned.insert(key.as_bytes().to_vec());
+                    }
+                }
+                // Probe.
+                _ => check_probe(&mut table, &art, &truth, &mut poisoned, &key)?,
+            }
+        }
+
+        // Final sweep: probe every key ever touched, then re-check stats.
+        for &(b, t) in &touched {
+            let key = key_of(b, t);
+            check_probe(&mut table, &art, &truth, &mut poisoned, &key)?;
+        }
+        prop_assert!(art.check_invariants().is_empty());
+        let s = table.stats();
+        prop_assert!(s.corruption_fallbacks <= s.corruptions_injected);
+        prop_assert!(s.corruption_fallbacks <= s.stale_invalidations);
+    }
+}

@@ -9,17 +9,31 @@
 //! * [`LatencyRecorder`] / [`mdc_wait`] — latency percentiles and open-loop
 //!   queueing for throughput–latency curves (paper Fig. 10);
 //! * [`EventQueue`] / [`NonBlockingUnit`] — discrete-event primitives that
-//!   validate the accelerator's closed-form SOU timing.
+//!   validate the accelerator's closed-form SOU timing;
+//! * [`faults`] — deterministic seed-driven fault injection
+//!   ([`FaultPlan`], [`FaultInjector`]), bounded retry ([`RetryPolicy`]),
+//!   graceful degradation ([`DegradationController`]) and recovery
+//!   accounting ([`RecoveryStats`]) shared by the memory and accelerator
+//!   models.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must not abort under malformed input or injected faults:
+// fallible paths return `Result`s, and intentional invariant panics need an
+// explicit, justified `allow`. Test code (cfg(test)) is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 mod clock;
 mod event;
+pub mod faults;
 mod pipeline;
 mod queueing;
 
 pub use clock::Clock;
 pub use event::{EventQueue, NonBlockingUnit};
+pub use faults::{
+    DegradationController, FaultInjector, FaultPlan, FaultSite, RecoveryStats, RetryOutcome,
+    RetryPolicy,
+};
 pub use pipeline::{Pipeline, PipelineRun};
-pub use queueing::{mdc_wait, LatencyRecorder};
+pub use queueing::{mdc_wait, BoundedQueue, LatencyRecorder};

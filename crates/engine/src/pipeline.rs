@@ -123,6 +123,18 @@ impl Pipeline {
         ready
     }
 
+    /// Injects a stall bubble into stage `s`: the stage is unavailable for
+    /// `cycles` extra cycles, delaying every later item that passes through
+    /// it (fault injection; the cycles are *not* counted as busy work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= stages`.
+    pub fn stall(&mut self, s: usize, cycles: u64) {
+        assert!(s < self.stages, "stage {s} out of range");
+        self.finish[s] += cycles;
+    }
+
     /// Cycle at which the pipeline fully drains with the items seen so far.
     pub fn drain_cycle(&self) -> u64 {
         self.finish.last().copied().unwrap_or(0)
@@ -190,6 +202,20 @@ mod tests {
         let run = p.finish();
         assert!(run.stage_utilization(1) > run.stage_utilization(0));
         assert!(run.stage_utilization(1) <= 1.0);
+    }
+
+    #[test]
+    fn stall_delays_subsequent_items() {
+        let mut clean = Pipeline::new(3);
+        let mut faulty = Pipeline::new(3);
+        clean.push(&[1, 1, 1]);
+        faulty.push(&[1, 1, 1]);
+        faulty.stall(1, 7); // bubble in the middle stage
+        let c = clean.push(&[1, 1, 1]);
+        let f = faulty.push(&[1, 1, 1]);
+        assert_eq!(f, c + 7, "next item pays the full bubble");
+        // Busy cycles unchanged: a stall is idle time, not work.
+        assert_eq!(clean.stage_busy, faulty.stage_busy);
     }
 
     #[test]

@@ -94,9 +94,94 @@ pub fn mdc_wait(rate: f64, service: f64, servers: f64) -> Option<f64> {
     Some(rho * service / (2.0 * (1.0 - rho)))
 }
 
+/// A bounded FIFO occupancy model with overflow accounting, used to model
+/// queue-overflow backpressure: arrivals beyond the free space are rejected
+/// and must be re-offered after the queue drains, costing stall cycles.
+///
+/// This is an occupancy counter, not an element store — items are
+/// indistinguishable, only depth matters for timing.
+#[derive(Clone, Debug)]
+pub struct BoundedQueue {
+    capacity: u64,
+    depth: u64,
+    overflows: u64,
+    rejected: u64,
+}
+
+impl BoundedQueue {
+    /// Creates an empty queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "a queue needs nonzero capacity");
+        BoundedQueue { capacity, depth: 0, overflows: 0, rejected: 0 }
+    }
+
+    /// Offers `items` arrivals at once; accepts up to the free space and
+    /// returns the number rejected (the overflow). A nonzero overflow
+    /// increments the overflow-event counter once.
+    pub fn offer(&mut self, items: u64) -> u64 {
+        let free = self.capacity - self.depth;
+        let accepted = items.min(free);
+        self.depth += accepted;
+        let over = items - accepted;
+        if over > 0 {
+            self.overflows += 1;
+            self.rejected += over;
+        }
+        over
+    }
+
+    /// Drains up to `items` from the queue, returning how many were removed.
+    pub fn drain(&mut self, items: u64) -> u64 {
+        let removed = items.min(self.depth);
+        self.depth -= removed;
+        removed
+    }
+
+    /// Current occupancy.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Number of offers that overflowed (≥ 1 rejection).
+    pub fn overflow_events(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Total items rejected across all offers.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bounded_queue_accepts_until_full_then_overflows() {
+        let mut q = BoundedQueue::new(10);
+        assert_eq!(q.offer(6), 0);
+        assert_eq!(q.offer(6), 2, "only 4 slots free");
+        assert_eq!(q.depth(), 10);
+        assert_eq!(q.overflow_events(), 1);
+        assert_eq!(q.rejected(), 2);
+        assert_eq!(q.drain(7), 7);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.offer(3), 0);
+        assert_eq!(q.overflow_events(), 1, "no new overflow");
+    }
+
+    #[test]
+    fn bounded_queue_drain_caps_at_depth() {
+        let mut q = BoundedQueue::new(4);
+        q.offer(2);
+        assert_eq!(q.drain(100), 2);
+        assert_eq!(q.depth(), 0);
+    }
 
     #[test]
     fn percentiles_nearest_rank() {

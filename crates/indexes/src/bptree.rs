@@ -123,8 +123,13 @@ impl<V> BPlusTree<V> {
             .sum()
     }
 
+    /// Arena access. Every `NodeRef` stored in the tree points at a live
+    /// slot — `dealloc` is only called on nodes that have already been
+    /// unlinked — so a dead slot here is a programming error, not a data
+    /// condition; read-only entry points (`get`, `range`) additionally
+    /// degrade to "absent" instead of asserting.
     fn node(&self, id: NodeRef) -> &BNode<V> {
-        self.nodes[id].as_ref().expect("live node")
+        self.nodes[id].as_ref().expect("arena invariant: linked node is live")
     }
 
     fn alloc(&mut self, node: BNode<V>) -> NodeRef {
@@ -139,7 +144,7 @@ impl<V> BPlusTree<V> {
 
     fn dealloc(&mut self, id: NodeRef) -> BNode<V> {
         self.free.push(id);
-        self.nodes[id].take().expect("double free")
+        self.nodes[id].take().expect("arena invariant: dealloc target is live (double free)")
     }
 
     /// Index of the child to descend into for `key`.
@@ -171,18 +176,18 @@ impl<V> BPlusTree<V> {
                 }
                 None => {
                     self.stats.comparisons += 4; // binary search in the leaf
-                    match self.nodes[cur].as_ref().expect("live node") {
-                        BNode::Leaf { entries, .. } => {
-                            return entries
-                                .binary_search_by(|(k, _)| k.as_bytes().cmp(key.as_bytes()))
-                                .ok()
-                                .map(|i| match self.nodes[cur].as_ref().unwrap() {
-                                    BNode::Leaf { entries, .. } => &entries[i].1,
-                                    BNode::Internal { .. } => unreachable!(),
-                                });
+                    return match self.nodes[cur].as_ref() {
+                        Some(BNode::Leaf { entries, .. }) => entries
+                            .binary_search_by(|(k, _)| k.as_bytes().cmp(key.as_bytes()))
+                            .ok()
+                            .map(|i| &entries[i].1),
+                        // A lookup must never abort on a broken arena slot;
+                        // report the key as absent (and flag it in debug).
+                        _ => {
+                            debug_assert!(false, "get descended to a dead or non-leaf slot");
+                            None
                         }
-                        BNode::Internal { .. } => unreachable!(),
-                    }
+                    };
                 }
             }
         }
@@ -216,7 +221,7 @@ impl<V> BPlusTree<V> {
         value: V,
     ) -> (Option<V>, Option<(Key, NodeRef)>) {
         self.stats.node_accesses += 1;
-        match self.nodes[node].as_mut().expect("live node") {
+        match self.nodes[node].as_mut().expect("arena invariant: insert target is live") {
             BNode::Leaf { entries, .. } => {
                 match entries.binary_search_by(|(k, _)| k.as_bytes().cmp(key.as_bytes())) {
                     Ok(i) => {
@@ -242,7 +247,10 @@ impl<V> BPlusTree<V> {
                 let (old, split) = self.insert_rec(child, key, value);
                 if let Some((sep, right)) = split {
                     self.stats.bytes_written += sep.len() as u64 + 8;
-                    match self.nodes[node].as_mut().expect("live node") {
+                    match self.nodes[node]
+                        .as_mut()
+                        .expect("arena invariant: parent outlives child split")
+                    {
                         BNode::Internal { separators, children } => {
                             let i = separators.partition_point(|s| s.as_bytes() <= sep.as_bytes());
                             separators.insert(i, sep);
@@ -259,18 +267,19 @@ impl<V> BPlusTree<V> {
 
     fn maybe_split_leaf(&mut self, node: NodeRef) -> Option<(Key, NodeRef)> {
         let order = self.order;
-        let (right_entries, old_next, sep, moved) = match self.nodes[node].as_mut().expect("live") {
-            BNode::Leaf { entries, next } if entries.len() > order => {
-                let right = entries.split_off(entries.len() / 2);
-                let sep = right[0].0.clone();
-                let moved: u64 = right.iter().map(|(k, _)| entry_bytes(k)).sum();
-                (right, *next, sep, moved)
-            }
-            _ => return None,
-        };
+        let (right_entries, old_next, sep, moved) =
+            match self.nodes[node].as_mut().expect("arena invariant: split target is live") {
+                BNode::Leaf { entries, next } if entries.len() > order => {
+                    let right = entries.split_off(entries.len() / 2);
+                    let sep = right[0].0.clone();
+                    let moved: u64 = right.iter().map(|(k, _)| entry_bytes(k)).sum();
+                    (right, *next, sep, moved)
+                }
+                _ => return None,
+            };
         self.stats.bytes_written += moved;
         let right_id = self.alloc(BNode::Leaf { entries: right_entries, next: old_next });
-        match self.nodes[node].as_mut().expect("live") {
+        match self.nodes[node].as_mut().expect("arena invariant: split target is live") {
             BNode::Leaf { next, .. } => *next = Some(right_id),
             BNode::Internal { .. } => unreachable!(),
         }
@@ -280,7 +289,7 @@ impl<V> BPlusTree<V> {
     fn maybe_split_internal(&mut self, node: NodeRef) -> Option<(Key, NodeRef)> {
         let order = self.order;
         let (right_seps, right_children, sep, moved) =
-            match self.nodes[node].as_mut().expect("live") {
+            match self.nodes[node].as_mut().expect("arena invariant: split target is live") {
                 BNode::Internal { separators, children } if separators.len() > order => {
                     let mid = separators.len() / 2;
                     let sep = separators[mid].clone();
@@ -319,24 +328,26 @@ impl<V> BPlusTree<V> {
 
     fn remove_rec(&mut self, node: NodeRef, key: &Key) -> Option<V> {
         self.stats.node_accesses += 1;
-        let child_i = match self.nodes[node].as_mut().expect("live") {
-            BNode::Leaf { entries, .. } => {
-                return match entries.binary_search_by(|(k, _)| k.as_bytes().cmp(key.as_bytes())) {
-                    Ok(i) => {
-                        let shifted: u64 =
-                            entries[i + 1..].iter().map(|(k, _)| entry_bytes(k)).sum();
-                        self.stats.bytes_written += shifted;
-                        Some(entries.remove(i).1)
-                    }
-                    Err(_) => None,
-                };
-            }
-            BNode::Internal { separators, .. } => {
-                let seps: Vec<Key> = separators.clone();
-                self.stats.comparisons += (seps.len().max(1)).ilog2() as u64 + 1;
-                seps.partition_point(|s| s.as_bytes() <= key.as_bytes())
-            }
-        };
+        let child_i =
+            match self.nodes[node].as_mut().expect("arena invariant: remove target is live") {
+                BNode::Leaf { entries, .. } => {
+                    return match entries.binary_search_by(|(k, _)| k.as_bytes().cmp(key.as_bytes()))
+                    {
+                        Ok(i) => {
+                            let shifted: u64 =
+                                entries[i + 1..].iter().map(|(k, _)| entry_bytes(k)).sum();
+                            self.stats.bytes_written += shifted;
+                            Some(entries.remove(i).1)
+                        }
+                        Err(_) => None,
+                    };
+                }
+                BNode::Internal { separators, .. } => {
+                    let seps: Vec<Key> = separators.clone();
+                    self.stats.comparisons += (seps.len().max(1)).ilog2() as u64 + 1;
+                    seps.partition_point(|s| s.as_bytes() <= key.as_bytes())
+                }
+            };
         let child = match self.node(node) {
             BNode::Internal { children, .. } => children[child_i],
             BNode::Leaf { .. } => unreachable!(),
@@ -383,12 +394,15 @@ impl<V> BPlusTree<V> {
             return;
         }
         // Merge right into left. The separator between them comes down.
-        let parent_sep = match self.nodes[node].as_ref().expect("live") {
+        let parent_sep = match self.nodes[node].as_ref().expect("arena invariant: parent is live") {
             BNode::Internal { separators, .. } => separators[left_i].clone(),
             BNode::Leaf { .. } => unreachable!(),
         };
         let right_node = self.dealloc(right);
-        let moved = match (self.nodes[left].as_mut().expect("live"), right_node) {
+        let moved = match (
+            self.nodes[left].as_mut().expect("arena invariant: merge target is live"),
+            right_node,
+        ) {
             (BNode::Leaf { entries, next }, BNode::Leaf { entries: mut re, next: rn }) => {
                 let moved: u64 = re.iter().map(|(k, _)| entry_bytes(k)).sum();
                 entries.append(&mut re);
@@ -410,7 +424,7 @@ impl<V> BPlusTree<V> {
             _ => unreachable!("siblings are at the same level"),
         };
         self.stats.bytes_written += moved;
-        match self.nodes[node].as_mut().expect("live") {
+        match self.nodes[node].as_mut().expect("arena invariant: parent is live") {
             BNode::Internal { separators, children } => {
                 separators.remove(left_i);
                 children.remove(right_i);
@@ -429,8 +443,8 @@ impl<V> BPlusTree<V> {
     /// Evens out two leaf/internal siblings and refreshes their separator.
     fn borrow_between(&mut self, node: NodeRef, left_i: usize, left: NodeRef, right: NodeRef) {
         // Take both siblings out, rebalance, put them back.
-        let l = self.nodes[left].take().expect("live");
-        let r = self.nodes[right].take().expect("live");
+        let l = self.nodes[left].take().expect("arena invariant: borrow sibling is live");
+        let r = self.nodes[right].take().expect("arena invariant: borrow sibling is live");
         let (l, r, new_sep, moved) = match (l, r) {
             (
                 BNode::Leaf { entries: mut le, next: ln },
@@ -456,10 +470,11 @@ impl<V> BPlusTree<V> {
                 BNode::Internal { separators: rs, children: rc },
             ) => {
                 // Flatten through the parent separator, then re-split.
-                let parent_sep = match self.nodes[node].as_ref().expect("live") {
-                    BNode::Internal { separators, .. } => separators[left_i].clone(),
-                    BNode::Leaf { .. } => unreachable!(),
-                };
+                let parent_sep =
+                    match self.nodes[node].as_ref().expect("arena invariant: parent is live") {
+                        BNode::Internal { separators, .. } => separators[left_i].clone(),
+                        BNode::Leaf { .. } => unreachable!(),
+                    };
                 let mut seps = ls;
                 seps.push(parent_sep);
                 seps.extend(rs);
@@ -484,7 +499,7 @@ impl<V> BPlusTree<V> {
         self.stats.bytes_written += moved;
         self.nodes[left] = Some(l);
         self.nodes[right] = Some(r);
-        match self.nodes[node].as_mut().expect("live") {
+        match self.nodes[node].as_mut().expect("arena invariant: parent is live") {
             BNode::Internal { separators, .. } => separators[left_i] = new_sep,
             BNode::Leaf { .. } => unreachable!(),
         }
@@ -528,9 +543,14 @@ impl<V> BPlusTree<V> {
         }
         self.stats.node_accesses += accesses;
         hits.into_iter()
-            .map(|(id, i)| match self.nodes[id].as_ref().expect("live") {
-                BNode::Leaf { entries, .. } => &entries[i].1,
-                BNode::Internal { .. } => unreachable!(),
+            .filter_map(|(id, i)| match self.nodes[id].as_ref() {
+                Some(BNode::Leaf { entries, .. }) => entries.get(i).map(|(_, v)| v),
+                // A scan must never abort on a broken arena slot; skip the
+                // hit (and flag it in debug builds).
+                _ => {
+                    debug_assert!(false, "range hit a dead or non-leaf slot");
+                    None
+                }
             })
             .collect()
     }

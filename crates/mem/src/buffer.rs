@@ -226,6 +226,19 @@ impl ObjectBuffer {
         self.order.clear();
         self.used = 0;
     }
+
+    /// An eviction storm (fault injection): every resident object is
+    /// displaced at once, as if a conflict burst or SEU scrubbing pass wiped
+    /// the BRAM. Unlike [`ObjectBuffer::clear`], the displaced objects are
+    /// counted as evictions. Returns how many objects were dropped.
+    pub fn storm(&mut self) -> u64 {
+        let dropped = self.entries.len() as u64;
+        self.stats.evictions += dropped;
+        self.entries.clear();
+        self.order.clear();
+        self.used = 0;
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +320,20 @@ mod tests {
         buf.invalidate(1);
         assert_eq!(buf.used_bytes(), 0);
         assert_eq!(buf.request(2, 100, 0), BufferOutcome::MissFilled);
+    }
+
+    #[test]
+    fn storm_drops_everything_and_counts_evictions() {
+        let mut buf = ObjectBuffer::new(300, BufferPolicy::ValueAware);
+        buf.request(1, 100, 10);
+        buf.request(2, 100, 20);
+        assert_eq!(buf.storm(), 2);
+        assert_eq!(buf.used_bytes(), 0);
+        assert!(!buf.contains(1) && !buf.contains(2));
+        assert_eq!(buf.stats().evictions, 2);
+        // The buffer keeps working after the storm.
+        assert_eq!(buf.request(1, 100, 10), BufferOutcome::MissFilled);
+        assert_eq!(buf.request(1, 100, 10), BufferOutcome::Hit);
     }
 
     #[test]

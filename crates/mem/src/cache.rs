@@ -138,6 +138,20 @@ impl SetAssocCache {
         misses
     }
 
+    /// Invalidates every resident line (fault injection: an eviction storm
+    /// or coherence flush). Valid lines are counted as evictions; stats and
+    /// geometry are kept. Returns how many lines were dropped.
+    pub fn flush(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        for tag in &mut self.tags {
+            if tag.take().is_some() {
+                dropped += 1;
+            }
+        }
+        self.stats.evictions += dropped;
+        dropped
+    }
+
     /// The accumulated statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -210,6 +224,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn flush_invalidates_everything_and_counts() {
+        let mut c = SetAssocCache::new(4096, 4);
+        c.access(0);
+        c.access(64);
+        assert_eq!(c.flush(), 2);
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.access(0), Access::Miss, "cold after flush");
+        assert_eq!(c.access(0), Access::Hit, "refills normally");
+        assert_eq!(c.flush(), 1);
     }
 
     #[test]

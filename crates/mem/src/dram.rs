@@ -9,6 +9,7 @@
 //! well-designed accelerator streams batched requests and is
 //! *bandwidth-bound*.
 
+use dcart_engine::faults::{FaultInjector, FaultPlan, FaultSite, RecoveryStats, RetryOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an off-chip memory system.
@@ -55,18 +56,73 @@ pub struct MemoryModel {
     /// Accesses on the *critical path* (serially dependent, e.g. pointer
     /// chases down a tree); these cannot be overlapped at all.
     dependent_accesses: u64,
+    /// Extra latency accumulated from injected transient errors (retry +
+    /// backoff + failover), ns. Overlaps across streams like dependent
+    /// latency does.
+    fault_ns: f64,
+    faults: Option<(FaultPlan, FaultInjector, RecoveryStats)>,
 }
 
 impl MemoryModel {
     /// Creates an empty accumulator over `config`.
     pub fn new(config: MemoryConfig) -> Self {
-        MemoryModel { config, accesses: 0, bytes: 0, dependent_accesses: 0 }
+        MemoryModel {
+            config,
+            accesses: 0,
+            bytes: 0,
+            dependent_accesses: 0,
+            fault_ns: 0.0,
+            faults: None,
+        }
+    }
+
+    /// Creates an accumulator that injects transient read errors per
+    /// `plan.hbm_transient_rate`, recovering each with bounded
+    /// retry-with-backoff (retry time folds into [`MemoryModel::time_ns`]).
+    /// An inactive plan behaves exactly like [`MemoryModel::new`].
+    pub fn with_faults(config: MemoryConfig, plan: FaultPlan) -> Self {
+        let mut m = MemoryModel::new(config);
+        if plan.is_active() {
+            m.faults = Some((plan, FaultInjector::for_plan(&plan), RecoveryStats::default()));
+        }
+        m
+    }
+
+    /// Recovery counters accumulated so far (zeros when no plan is active).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.faults.as_ref().map(|(_, _, r)| *r).unwrap_or_default()
+    }
+
+    fn maybe_inject_transient(&mut self) {
+        if let Some((plan, inj, rec)) = &mut self.faults {
+            if inj.fire(FaultSite::HbmRead, plan.hbm_transient_rate) {
+                rec.hbm_transient_errors += 1;
+                let base = self.config.latency_ns.ceil() as u64;
+                let mut extra = 0u64;
+                match inj.retry_transient(
+                    FaultSite::HbmRead,
+                    plan.hbm_transient_rate,
+                    &plan.retry,
+                    base,
+                    &mut extra,
+                ) {
+                    RetryOutcome::Recovered { retries } => rec.hbm_retries += u64::from(retries),
+                    RetryOutcome::FailedOver => {
+                        rec.hbm_retries += u64::from(plan.retry.max_retries);
+                        rec.hbm_failovers += 1;
+                    }
+                }
+                rec.hbm_retry_cycles += extra;
+                self.fault_ns += extra as f64;
+            }
+        }
     }
 
     /// Records an independent access of `bytes` (batched/streamed traffic).
     pub fn access(&mut self, bytes: u64) {
         self.accesses += 1;
         self.bytes += bytes;
+        self.maybe_inject_transient();
     }
 
     /// Records a serially dependent access (the next address is only known
@@ -75,6 +131,7 @@ impl MemoryModel {
         self.accesses += 1;
         self.dependent_accesses += 1;
         self.bytes += bytes;
+        self.maybe_inject_transient();
     }
 
     /// Total accesses recorded.
@@ -111,7 +168,10 @@ impl MemoryModel {
             0.0
         };
         let bw_time = self.bytes as f64 / self.config.peak_bw_gbps;
-        bw_time.max(dep_time + indep_time)
+        // Retry latency from injected transients serializes within a
+        // stream, overlapping only across streams (like dependent hops).
+        let fault_time = self.fault_ns / streams.max(1.0);
+        bw_time.max(dep_time + indep_time) + fault_time
     }
 
     /// The configuration in use.
@@ -171,6 +231,38 @@ mod tests {
         // 1000 streams offered, but channel count caps pipelined overlap at
         // 4; one trailing latency for the last request.
         assert!((m.time_ns(1000.0) - (100.0 * 50.0 / 4.0 + 100.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn inactive_plan_leaves_time_unchanged() {
+        let mut clean = MemoryModel::new(MemoryConfig::hbm_u280());
+        let mut faulty = MemoryModel::with_faults(MemoryConfig::hbm_u280(), FaultPlan::none());
+        for _ in 0..1000 {
+            clean.dependent_access(64);
+            faulty.dependent_access(64);
+        }
+        assert_eq!(clean.time_ns(8.0), faulty.time_ns(8.0));
+        assert_eq!(faulty.recovery(), RecoveryStats::default());
+    }
+
+    #[test]
+    fn transient_errors_add_bounded_retry_time() {
+        let plan = FaultPlan { seed: 9, hbm_transient_rate: 0.05, ..FaultPlan::none() };
+        let mut clean = MemoryModel::new(MemoryConfig::hbm_u280());
+        let mut faulty = MemoryModel::with_faults(MemoryConfig::hbm_u280(), plan);
+        for _ in 0..10_000 {
+            clean.dependent_access(64);
+            faulty.dependent_access(64);
+        }
+        let r = faulty.recovery();
+        assert!(r.hbm_transient_errors > 0);
+        assert!(r.hbm_retries >= r.hbm_transient_errors);
+        let clean_t = clean.time_ns(1.0);
+        let faulty_t = faulty.time_ns(1.0);
+        assert!(faulty_t > clean_t, "{faulty_t} vs {clean_t}");
+        // Bounded recovery: even at 5% error rate the overhead stays small
+        // relative to the clean run (retries are per-error, not unbounded).
+        assert!(faulty_t < clean_t * 2.0, "{faulty_t} vs {clean_t}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! Addresses map to channels by address-interleaving, as on the U280
 //! (256-byte granularity across 32 pseudo-channels).
 
+use dcart_engine::faults::{FaultInjector, FaultPlan, FaultSite, RecoveryStats, RetryOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the channel-level simulator.
@@ -77,6 +78,15 @@ pub struct HbmSim {
     bytes: u64,
     busy_ns_total: f64,
     last_done_ns: f64,
+    faults: Option<FaultState>,
+}
+
+/// Fault-injection state (present only when a plan is active).
+#[derive(Clone, Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    injector: FaultInjector,
+    recovery: RecoveryStats,
 }
 
 impl HbmSim {
@@ -94,7 +104,30 @@ impl HbmSim {
             bytes: 0,
             busy_ns_total: 0.0,
             last_done_ns: 0.0,
+            faults: None,
         }
+    }
+
+    /// Creates an idle memory with deterministic fault injection per
+    /// `plan`: per-channel stalls (`hbm_stall_rate` / `hbm_stall_ns`) and
+    /// transient read errors (`hbm_transient_rate`) recovered by bounded
+    /// retry-with-backoff, failing over to a doubled re-issue when retries
+    /// are exhausted. An inactive plan behaves exactly like [`HbmSim::new`].
+    pub fn with_faults(config: HbmSimConfig, plan: FaultPlan) -> Self {
+        let mut sim = HbmSim::new(config);
+        if plan.is_active() {
+            sim.faults = Some(FaultState {
+                plan,
+                injector: FaultInjector::for_plan(&plan),
+                recovery: RecoveryStats::default(),
+            });
+        }
+        sim
+    }
+
+    /// Recovery counters accumulated so far (zeros when no plan is active).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.faults.as_ref().map(|f| f.recovery).unwrap_or_default()
     }
 
     /// Channel an address interleaves to.
@@ -111,11 +144,52 @@ impl HbmSim {
     pub fn request(&mut self, issue_ns: f64, addr: u64, bytes: u32) -> Completion {
         assert!(bytes > 0, "empty request");
         let ch = self.channel_of(addr);
+        // Injected channel stall: the channel is unavailable for a while
+        // (refresh collision / retraining), delaying this and later
+        // requests that land on it.
+        if let Some(fs) = &mut self.faults {
+            if fs.injector.fire(FaultSite::HbmChannel, fs.plan.hbm_stall_rate) {
+                self.channel_free_ns[ch] =
+                    self.channel_free_ns[ch].max(issue_ns) + fs.plan.hbm_stall_ns;
+                fs.recovery.hbm_channel_stalls += 1;
+                fs.recovery.hbm_stall_ns += fs.plan.hbm_stall_ns;
+            }
+        }
         let transfer_ns = f64::from(bytes) / self.config.channel_bw_gbps;
         let occupancy = self.config.service_ns.max(transfer_ns);
         let start = issue_ns.max(self.channel_free_ns[ch]);
         self.channel_free_ns[ch] = start + occupancy;
-        let done = start + occupancy + self.config.latency_ns;
+        let mut done = start + occupancy + self.config.latency_ns;
+        // Injected transient read error: bounded retry-with-backoff on the
+        // same channel; on exhaustion, fail over (re-issue at double cost).
+        // Either way the data arrives — correctness is never affected.
+        if let Some(fs) = &mut self.faults {
+            if fs.injector.fire(FaultSite::HbmRead, fs.plan.hbm_transient_rate) {
+                fs.recovery.hbm_transient_errors += 1;
+                let base = self.config.latency_ns.ceil() as u64;
+                let mut extra = 0u64;
+                match fs.injector.retry_transient(
+                    FaultSite::HbmRead,
+                    fs.plan.hbm_transient_rate,
+                    &fs.plan.retry,
+                    base,
+                    &mut extra,
+                ) {
+                    RetryOutcome::Recovered { retries } => {
+                        fs.recovery.hbm_retries += u64::from(retries)
+                    }
+                    RetryOutcome::FailedOver => {
+                        fs.recovery.hbm_retries += u64::from(fs.plan.retry.max_retries);
+                        fs.recovery.hbm_failovers += 1;
+                    }
+                }
+                fs.recovery.hbm_retry_cycles += extra;
+                let extra_ns = extra as f64;
+                done += extra_ns;
+                // The retried transfers re-occupy the channel.
+                self.channel_free_ns[ch] += extra_ns;
+            }
+        }
         self.requests += 1;
         self.bytes += u64::from(bytes);
         self.busy_ns_total += occupancy;
@@ -226,6 +300,72 @@ mod tests {
             (0.7..1.3).contains(&ratio),
             "serial: analytic {model} vs simulated {sim} (ratio {ratio})"
         );
+    }
+
+    #[test]
+    fn inactive_fault_plan_matches_clean_sim_exactly() {
+        let cfg = HbmSimConfig::u280();
+        let mut clean = HbmSim::new(cfg);
+        let mut faulty = HbmSim::with_faults(cfg, FaultPlan::none());
+        for i in 0..5_000u64 {
+            let a = clean.request(0.0, i * 192, 64);
+            let b = faulty.request(0.0, i * 192, 64);
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulty.recovery(), RecoveryStats::default());
+    }
+
+    #[test]
+    fn transient_errors_retry_and_slow_the_run() {
+        let cfg = HbmSimConfig::u280();
+        let plan = FaultPlan { seed: 7, hbm_transient_rate: 0.02, ..FaultPlan::none() };
+        let mut clean = HbmSim::new(cfg);
+        let mut faulty = HbmSim::with_faults(cfg, plan);
+        for i in 0..20_000u64 {
+            clean.request(0.0, i * 256, 64);
+            faulty.request(0.0, i * 256, 64);
+        }
+        let r = faulty.recovery();
+        assert!(r.hbm_transient_errors > 0, "{r:?}");
+        assert!(r.hbm_retries >= r.hbm_transient_errors, "every error retries at least once");
+        assert!(r.hbm_retry_cycles > 0);
+        assert!(faulty.drain_ns() > clean.drain_ns(), "retries cost time");
+    }
+
+    #[test]
+    fn channel_stalls_are_counted_and_delay_their_channel() {
+        let cfg = HbmSimConfig::u280();
+        let plan =
+            FaultPlan { seed: 11, hbm_stall_rate: 1.0, hbm_stall_ns: 500.0, ..FaultPlan::none() };
+        let mut faulty = HbmSim::with_faults(cfg, plan);
+        let c = faulty.request(0.0, 0, 64);
+        assert!((c.done_ns - (500.0 + 4.5 + 106.0)).abs() < 1e-6, "{c:?}");
+        let r = faulty.recovery();
+        assert_eq!(r.hbm_channel_stalls, 1);
+        assert!((r.hbm_stall_ns - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let cfg = HbmSimConfig::u280();
+        let plan = FaultPlan {
+            seed: 3,
+            hbm_transient_rate: 0.05,
+            hbm_stall_rate: 0.01,
+            hbm_stall_ns: 200.0,
+            ..FaultPlan::none()
+        };
+        let run = |p: FaultPlan| {
+            let mut sim = HbmSim::with_faults(cfg, p);
+            for i in 0..10_000u64 {
+                sim.request(0.0, i * 320, 64);
+            }
+            (sim.drain_ns(), sim.recovery())
+        };
+        let (t1, r1) = run(plan);
+        let (t2, r2) = run(plan);
+        assert_eq!(t1, t2);
+        assert_eq!(r1, r2);
     }
 
     #[test]

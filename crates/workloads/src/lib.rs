@@ -10,6 +10,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must not abort under malformed input or injected faults:
+// fallible paths return `Result`s, and intentional invariant panics need an
+// explicit, justified `allow`. Test code (cfg(test)) is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod dict;
 pub mod email;
@@ -24,5 +28,5 @@ mod zipf;
 pub use keyset::KeySet;
 pub use ops::{batches, generate_ops, Mix, Op, OpKind, OpStreamConfig};
 pub use spec::Workload;
-pub use trace_io::{read_trace, write_trace};
+pub use trace_io::{read_trace, write_trace, TraceError};
 pub use zipf::Zipfian;

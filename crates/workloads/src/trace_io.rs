@@ -5,9 +5,74 @@
 //! replay byte-identical workloads. Traces are JSON-lines: one [`Op`] per
 //! line.
 
+use std::fmt;
 use std::io::{BufRead, Write};
 
 use crate::Op;
+
+/// A typed error from [`read_trace`], carrying the 1-based line number of
+/// the offending input where applicable.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A line held invalid JSON (or valid JSON that is not an [`Op`]).
+    Malformed {
+        /// 1-based line number of the bad line.
+        line: usize,
+        /// Parser diagnostics.
+        reason: String,
+    },
+    /// The final line was cut off mid-record (no trailing newline and not
+    /// parseable) — the classic partial-write signature.
+    Truncated {
+        /// 1-based line number of the truncated line.
+        line: usize,
+    },
+    /// The trace contained no operations at all (empty file or only blank
+    /// lines) — almost certainly the wrong file.
+    Empty,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Malformed { line, reason } => {
+                write!(f, "trace line {line}: malformed record: {reason}")
+            }
+            TraceError::Truncated { line } => {
+                write!(f, "trace line {line}: truncated record (partial write?)")
+            }
+            TraceError::Empty => write!(f, "trace contains no operations"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<TraceError> for std::io::Error {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 /// Writes `ops` to `w` as JSON-lines.
 ///
@@ -28,22 +93,35 @@ pub fn write_trace<W: Write>(mut w: W, ops: &[Op]) -> std::io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns any I/O error from the reader; malformed lines are reported as
-/// `io::ErrorKind::InvalidData` with the offending line number.
-pub fn read_trace<R: BufRead>(r: R) -> std::io::Result<Vec<Op>> {
+/// * [`TraceError::Malformed`] for an unparseable line (1-based number);
+/// * [`TraceError::Truncated`] when the *final* line is unparseable *and*
+///   missing its newline — the signature of a partial write;
+/// * [`TraceError::Empty`] when no operations were found at all;
+/// * [`TraceError::Io`] for reader failures.
+pub fn read_trace<R: BufRead>(mut r: R) -> Result<Vec<Op>, TraceError> {
     let mut ops = Vec::new();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        let complete = line.ends_with('\n');
+        let text = line.trim();
+        if text.is_empty() {
             continue;
         }
-        let op: Op = serde_json::from_str(&line).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("trace line {}: {e}", i + 1),
-            )
-        })?;
-        ops.push(op);
+        match serde_json::from_str::<Op>(text) {
+            Ok(op) => ops.push(op),
+            Err(_) if !complete => return Err(TraceError::Truncated { line: lineno }),
+            Err(e) => return Err(TraceError::Malformed { line: lineno, reason: e.to_string() }),
+        }
+    }
+    if ops.is_empty() {
+        return Err(TraceError::Empty);
     }
     Ok(ops)
 }
@@ -81,7 +159,46 @@ mod tests {
     fn malformed_line_reports_position() {
         let data = b"{\"kind\":\"Read\",\"key\":[1],\"value\":0}\nnot json\n";
         let err = read_trace(std::io::Cursor::new(&data[..])).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        match &err {
+            TraceError::Malformed { line, .. } => assert_eq!(*line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn truncated_final_line_is_typed_with_position() {
+        // A valid record, then a record cut off mid-write (no newline).
+        let data = b"{\"kind\":\"Read\",\"key\":[1],\"value\":0}\n{\"kind\":\"Rea";
+        let err = read_trace(std::io::Cursor::new(&data[..])).unwrap_err();
+        match err {
+            TraceError::Truncated { line } => assert_eq!(line, 2),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_but_valid_final_line_still_parses() {
+        // A missing trailing newline alone is not an error if the record
+        // is complete.
+        let data = b"{\"kind\":\"Read\",\"key\":[1],\"value\":0}";
+        let back = read_trace(std::io::Cursor::new(&data[..])).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn empty_file_is_a_typed_error() {
+        let err = read_trace(std::io::Cursor::new(&b""[..])).unwrap_err();
+        assert!(matches!(err, TraceError::Empty), "{err:?}");
+        let err = read_trace(std::io::Cursor::new(&b"\n\n  \n"[..])).unwrap_err();
+        assert!(matches!(err, TraceError::Empty), "blank-only file: {err:?}");
+    }
+
+    #[test]
+    fn trace_error_converts_to_io_error_for_legacy_callers() {
+        let err = read_trace(std::io::Cursor::new(&b"garbage\n"[..])).unwrap_err();
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+        assert!(io.to_string().contains("line 1"), "{io}");
     }
 }
