@@ -798,8 +798,24 @@ impl<V> Art<V> {
         tracer: &mut T,
     ) -> Vec<(&Key, &V)> {
         let mut out = Vec::new();
+        self.scan_traced_into(start, limit, tracer, &mut out);
+        out
+    }
+
+    /// [`scan_traced`](Art::scan_traced) into a caller-provided buffer:
+    /// `out` is cleared and refilled, keeping its allocation. The hot-path
+    /// variant for callers that scan in a loop (the CTT executor's
+    /// batch-end scan merge probes every bucket subtree per scan).
+    pub fn scan_traced_into<'a, T: Tracer>(
+        &'a self,
+        start: &[u8],
+        limit: usize,
+        tracer: &mut T,
+        out: &mut Vec<(&'a Key, &'a V)>,
+    ) {
+        out.clear();
         if limit == 0 {
-            return out;
+            return;
         }
         let mut stack: Vec<(NodeId, PathBytes)> = Vec::new();
         if let Some(root) = self.root {
@@ -836,7 +852,6 @@ impl<V> Art<V> {
                 }
             }
         }
-        out
     }
 
     /// Counts nodes reachable from the root; equals

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the CTT executor's hot path: the per-batch
+//! combining step (allocating vs. arena-reusing) and the full
+//! bucket-execution inner loop at several SOU worker counts.
+//!
+//! These are the paths the zero-allocation overhaul targets; run with
+//! `cargo bench --bench ctt_hot_path` and compare `combine/into` against
+//! `combine/alloc`, and the `execute/threads-N` series against each other.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcart::pcu::{combine_batch, combine_batch_into, CombinedBatch};
+use dcart::{execute_ctt_threaded, CttConsumer, DcartConfig};
+use dcart_workloads::{generate_ops, KeySet, Mix, Op, OpStreamConfig, Workload};
+
+fn fixture(keys: usize, ops: usize) -> (KeySet, Vec<Op>, DcartConfig) {
+    let keys = Workload::Ipgeo.generate(keys, 1);
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: ops, mix: Mix::C, theta: 0.99, seed: 1 });
+    let cfg = DcartConfig::default().with_auto_prefix_skip(&keys);
+    (keys, ops, cfg)
+}
+
+/// The allocating combiner against the arena-reusing one, over the same
+/// 64k-operation batch (the executor calls this once per batch, so the
+/// delta is pure per-batch allocation churn).
+fn bench_combine(c: &mut Criterion) {
+    let (_, ops, cfg) = fixture(20_000, 65_536);
+    let mut g = c.benchmark_group("ctt/combine");
+    g.throughput(Throughput::Elements(ops.len() as u64));
+    g.bench_function("alloc", |b| {
+        b.iter(|| combine_batch(&cfg, &ops).scanned);
+    });
+    g.bench_function("into", |b| {
+        let mut out = CombinedBatch { buckets: Vec::new(), scanned: 0 };
+        b.iter(|| {
+            combine_batch_into(&cfg, &ops, &mut out);
+            out.scanned
+        });
+    });
+    g.finish();
+}
+
+/// Consumes events without attaching costs, so the measurement is the
+/// executor itself (traversal, shortcut probes, record replay).
+struct Sink {
+    visits: u64,
+}
+
+impl CttConsumer for Sink {
+    fn op(&mut self, ev: &dcart::CttOpEvent<'_>) {
+        self.visits += ev.visits.len() as u64;
+    }
+}
+
+/// The full bucket-execution inner loop — bulk load, combine, worker
+/// fan-out, scan merge, serial replay — at 1, 2, and 4 SOU workers.
+/// Identical results at every width; only wall-clock may move (and on a
+/// single-core container the threaded rows just measure pool overhead).
+fn bench_execute(c: &mut Criterion) {
+    let (keys, ops, cfg) = fixture(10_000, 40_000);
+    let mut g = c.benchmark_group("ctt/execute");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ops.len() as u64));
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let mut sink = Sink { visits: 0 };
+                let (_, stats) = execute_ctt_threaded(&keys, &ops, &cfg, 4_096, threads, &mut sink);
+                (stats.ops, sink.visits)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_combine, bench_execute);
+criterion_main!(benches);

@@ -6,11 +6,14 @@
 //!
 //! ```text
 //! bench [--scale smoke|default|full] [--out DIR] [--jobs N]
+//!       [--sou-threads N] [--check-baseline FILE]
 //! ```
 //!
 //! Defaults to the smoke scale (the harness measures the *host*, not the
 //! simulated platforms, so a few seconds of signal suffices) and writes
-//! into the current directory.
+//! into the current directory. With `--check-baseline`, the freshly
+//! measured report is compared against a committed baseline and the run
+//! fails on a large regression.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,7 +21,10 @@ use std::process::ExitCode;
 use dcart_bench::{perf, Scale};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench [--scale smoke|default|full] [--out DIR] [--jobs N]");
+    eprintln!(
+        "usage: bench [--scale smoke|default|full] [--out DIR] [--jobs N] \
+         [--sou-threads N] [--check-baseline FILE]"
+    );
     ExitCode::FAILURE
 }
 
@@ -26,6 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::smoke();
     let mut out_dir = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +59,20 @@ fn main() -> ExitCode {
                 dcart_bench::parallel::set_jobs(n);
                 i += 2;
             }
+            "--sou-threads" => {
+                let Some(n) = args.get(i + 1) else { return usage() };
+                let Ok(n) = n.parse::<usize>() else {
+                    eprintln!("--sou-threads expects a positive integer, got {n}");
+                    return usage();
+                };
+                dcart::set_sou_threads(n);
+                i += 2;
+            }
+            "--check-baseline" => {
+                let Some(path) = args.get(i + 1) else { return usage() };
+                baseline = Some(PathBuf::from(path));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option: {other}");
                 return usage();
@@ -60,13 +81,23 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "perf harness | {} keys, {} ops per cell | {} worker(s)\n",
+        "perf harness | {} keys, {} ops per cell | {} worker(s) | {} SOU thread(s)\n",
         scale.keys,
         scale.ops,
-        dcart_bench::parallel::jobs()
+        dcart_bench::parallel::jobs(),
+        dcart::sou_threads()
     );
     let t0 = std::time::Instant::now();
-    perf::run(&scale, &out_dir);
+    let report = perf::run(&scale, &out_dir);
     println!("done in {:.2} s wall", t0.elapsed().as_secs_f64());
+    if let Some(path) = baseline {
+        match perf::check_baseline(&report, &path) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("perf regression check failed:\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <exhibit> [--scale smoke|default|full] [--out DIR] [--jobs N]
+//!                 [--sou-threads N]
 //!
 //! exhibits:
 //!   table1   Table I   — DCART configuration
@@ -23,7 +24,7 @@ use dcart_bench::{experiments, Scale};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table1|fig2|fig3|overall|fig7|fig8|fig9|fig11|fig10|fig12|ablate|chaos|scans|indexes|fig6|skew|all> \
-         [--scale smoke|default|full] [--out DIR] [--jobs N]"
+         [--scale smoke|default|full] [--out DIR] [--jobs N] [--sou-threads N]"
     );
     ExitCode::FAILURE
 }
@@ -61,6 +62,15 @@ fn main() -> ExitCode {
                 dcart_bench::parallel::set_jobs(n);
                 i += 2;
             }
+            "--sou-threads" => {
+                let Some(n) = args.get(i + 1) else { return usage() };
+                let Ok(n) = n.parse::<usize>() else {
+                    eprintln!("--sou-threads expects a positive integer, got {n}");
+                    return usage();
+                };
+                dcart::set_sou_threads(n);
+                i += 2;
+            }
             other => {
                 eprintln!("unknown option: {other}");
                 return usage();
@@ -69,11 +79,13 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "DCART reproduction | scale: {} keys, {} ops, {} in flight | {} worker(s) | reports: {}\n",
+        "DCART reproduction | scale: {} keys, {} ops, {} in flight | {} worker(s) \
+         | {} SOU thread(s) | reports: {}\n",
         scale.keys,
         scale.ops,
         scale.concurrency,
         dcart_bench::parallel::jobs(),
+        dcart::sou_threads(),
         out_dir.display()
     );
 

@@ -77,6 +77,10 @@ pub struct PerfReport {
     pub ops: usize,
     /// Worker threads the cells were fanned over.
     pub jobs: usize,
+    /// SOU worker threads inside each CTT execution
+    /// ([`dcart::sou_threads`]) — results are identical at any setting,
+    /// only the CTT cells' wall-clock moves.
+    pub sou_threads: usize,
     /// Every timed executor × workload cell.
     pub cells: Vec<PerfCell>,
     /// The N16 search micro-bench.
@@ -300,11 +304,66 @@ pub fn run(scale: &Scale, out_dir: &Path) -> PerfReport {
         keys: scale.keys,
         ops: scale.ops,
         jobs: crate::parallel::jobs(),
+        sou_threads: dcart::sou_threads(),
         cells,
         n16_search,
     };
     write_report(out_dir, "BENCH_ctt", &report);
     report
+}
+
+/// Per-cell throughput slack before [`check_baseline`] flags a regression.
+///
+/// CI runners are noisy and unevenly loaded, so the gate is deliberately
+/// loose: a cell fails only when it runs more than this factor *slower*
+/// than the committed baseline — an order that hot-path churn (re-intro-
+/// duced cloning, per-batch allocation) produces and scheduler jitter
+/// does not. Faster-than-baseline is always fine.
+pub const BASELINE_TOLERANCE: f64 = 2.0;
+
+/// Compares a freshly measured report against a committed baseline file
+/// (`BENCH_baseline.json`) and reports any cell whose throughput fell by
+/// more than [`BASELINE_TOLERANCE`]×.
+///
+/// # Errors
+///
+/// Returns a human-readable description of every offending cell (or of an
+/// unreadable/invalid baseline file). On success, returns a one-line
+/// summary for the log.
+pub fn check_baseline(report: &PerfReport, baseline_path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let baseline: PerfReport = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse baseline {}: {e}", baseline_path.display()))?;
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for base in &baseline.cells {
+        let Some(fresh) =
+            report.cells.iter().find(|c| c.engine == base.engine && c.workload == base.workload)
+        else {
+            failures.push(format!(
+                "cell {}/{} present in the baseline but missing from the fresh report",
+                base.engine, base.workload
+            ));
+            continue;
+        };
+        checked += 1;
+        if fresh.ops_per_sec * BASELINE_TOLERANCE < base.ops_per_sec {
+            failures.push(format!(
+                "{}/{}: {:.0} ops/sec regressed more than {BASELINE_TOLERANCE}x \
+                 below the baseline's {:.0}",
+                fresh.engine, fresh.workload, fresh.ops_per_sec, base.ops_per_sec
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "baseline check: {checked} cells within {BASELINE_TOLERANCE}x of {}",
+            baseline_path.display()
+        ))
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 #[cfg(test)]
@@ -336,5 +395,29 @@ mod tests {
         assert!(n16.speedup > 0.2, "masked search >5x slower than binary: {:.3}x", n16.speedup);
         let json = std::fs::read_to_string(tmp.join("BENCH_ctt.json")).unwrap();
         assert!(json.contains("n16_search"));
+        assert!(json.contains("sou_threads"));
+    }
+
+    #[test]
+    fn baseline_check_accepts_itself_and_flags_collapses() {
+        let scale = Scale { keys: 500, ops: 1_000, concurrency: 1_024, seed: 3 };
+        let tmp = std::env::temp_dir().join("dcart-baseline-test");
+        let report = run(&scale, &tmp);
+        let path = tmp.join("BENCH_ctt.json");
+
+        // A report always passes against its own measurements.
+        let summary = check_baseline(&report, &path).expect("self-comparison passes");
+        assert!(summary.contains("cells within"));
+
+        // A run that collapsed to a small fraction of the baseline fails.
+        let mut slow = report.clone();
+        for c in &mut slow.cells {
+            c.ops_per_sec /= 10.0 * BASELINE_TOLERANCE;
+        }
+        let err = check_baseline(&slow, &path).expect_err("collapse must be flagged");
+        assert!(err.contains("regressed"), "{err}");
+
+        // Missing or malformed baselines surface as readable errors.
+        assert!(check_baseline(&report, &tmp.join("nope.json")).is_err());
     }
 }

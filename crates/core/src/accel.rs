@@ -200,9 +200,13 @@ impl AccelConsumer {
 }
 
 impl CttConsumer for AccelConsumer {
-    fn batch_start(&mut self, ev: &BatchEvent) {
-        self.sou_occupancy = vec![0; self.cfg.sous];
-        self.sou_latency = vec![0; self.cfg.sous];
+    fn batch_start(&mut self, ev: &BatchEvent<'_>) {
+        // Reuse the per-SOU accumulators across batches instead of
+        // reallocating two `Vec`s per batch.
+        self.sou_occupancy.resize(self.cfg.sous, 0);
+        self.sou_occupancy.iter_mut().for_each(|c| *c = 0);
+        self.sou_latency.resize(self.cfg.sous, 0);
+        self.sou_latency.iter_mut().for_each(|c| *c = 0);
         self.current_batch_ops = 0;
         let total: u32 = ev.bucket_sizes.iter().sum();
         let max = ev.bucket_sizes.iter().copied().max().unwrap_or(0);

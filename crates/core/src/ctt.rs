@@ -13,27 +13,71 @@
 //!    under a single lock: the per-bucket *lock group* replaces per-op
 //!    locking, which is where the Fig. 7 contention reduction comes from.
 //!
+//! # Parallel execution
+//!
+//! Buckets are prefix-disjoint, so each SOU owns a disjoint key range.
+//! The executor mirrors that ownership on the host: every bucket gets its
+//! own *shard* — subtree, shortcut-table shard, fault stream, and scratch
+//! arenas — and a batch's buckets run concurrently on a scoped worker pool
+//! ([`dcart_engine::par_for_each_mut`], sized by [`set_sou_threads`]).
+//! Workers record per-operation outcomes instead of talking to the
+//! consumer directly; after the pool joins, a serial *replay* walks the
+//! records in the canonical round-robin bucket order and emits the exact
+//! event stream a single-threaded run produces. Shards share nothing, so
+//! stats, digests, and report JSON are byte-identical at any thread count.
+//!
+//! Range scans are the one cross-bucket operation: they are deferred to the
+//! end of their batch and answered by a k-way merge over every shard's
+//! subtree (weakly consistent: a scan observes the end-of-batch state).
+//!
 //! Consumers receive every resolved operation (with its *effective* node
 //! visits — one direct fetch on a shortcut hit, the full path otherwise)
 //! and every lock group, and attach platform-specific costs.
 
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use dcart_art::{Art, NodeId, NodeVisit, RecordingTracer};
-use dcart_engine::{DegradationController, FaultInjector, FaultSite};
+use dcart_art::{Art, Key, NodeId, NodeVisit, NoopTracer, RecordingTracer};
+use dcart_engine::{par_for_each_mut, DegradationController, FaultInjector, FaultPlan, FaultSite};
 use dcart_workloads::{KeySet, Op, OpKind};
 use serde::{Deserialize, Serialize};
 
 use crate::config::DcartConfig;
 use crate::error::DcartError;
-use crate::pcu::combine_batch;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::pcu::{combine_batch_into, CombinedBatch};
+use crate::shortcut::{ShortcutStats, ShortcutTable};
 
 /// Hash buckets of the off-chip Shortcut_Table (for collision accounting).
 const SHORTCUT_HASH_BUCKETS: u64 = 1 << 16;
 
+/// FNV-1a offset basis, the seed of every digest in this module.
+const DIGEST_BASE: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Worker threads the SOU bucket executor fans a batch's shards over.
+///
+/// Defaults to 1 (not host parallelism): the harness already fans whole
+/// experiments over `--jobs` workers, and nesting both at full width would
+/// oversubscribe the host. Binaries raise it via `--sou-threads`.
+static SOU_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-global SOU worker-thread count (clamped to at least 1).
+///
+/// Results are byte-identical at any setting; only wall-clock speed
+/// changes. Tests that need a specific count without racing on the global
+/// should call [`execute_ctt_threaded`] instead.
+pub fn set_sou_threads(n: usize) {
+    SOU_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current SOU worker-thread count.
+pub fn sou_threads() -> usize {
+    SOU_THREADS.load(Ordering::Relaxed)
+}
+
 /// FNV-1a over the key bytes: the hardware's Key_ID.
-pub fn key_id(key: &dcart_art::Key) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+pub fn key_id(key: &Key) -> u64 {
+    let mut h: u64 = DIGEST_BASE;
     for &b in key.as_bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x1000_0000_01b3);
@@ -49,21 +93,28 @@ pub fn fold_digest(h: u64, x: u64) -> u64 {
 /// Digest of an optional value (read/update/insert/remove results).
 fn digest_option(v: Option<u64>) -> u64 {
     match v {
-        None => fold_digest(0xcbf2_9ce4_8422_2325, 0),
-        Some(x) => fold_digest(fold_digest(0xcbf2_9ce4_8422_2325, 1), x),
+        None => fold_digest(DIGEST_BASE, 0),
+        Some(x) => fold_digest(fold_digest(DIGEST_BASE, 1), x),
     }
 }
 
-/// Digest of a scan result set (keys and values, in order).
-fn digest_scan(pairs: &[(&dcart_art::Key, &u64)]) -> u64 {
-    let mut h = fold_digest(0xcbf2_9ce4_8422_2325, pairs.len() as u64);
-    for (k, &v) in pairs {
-        h = fold_digest(h, key_id(k));
-        h = fold_digest(h, v);
-    }
-    h
+/// Bits of a namespaced node id that address the node within its shard;
+/// the bits above carry the bucket index. 24 bits ≈ 16.7 M nodes per shard
+/// and up to 256 buckets — far beyond any configuration in the repo
+/// (`sous` tops out at 32 in the ablations).
+const SHARD_NODE_BITS: u32 = 24;
+
+/// Namespaces a shard-local node id with its bucket, so visits and lock
+/// groups from different shards never alias in consumer-side maps (the
+/// accelerator's tree buffer and contention windows key on `NodeId`).
+fn namespaced(bucket: usize, node: NodeId) -> NodeId {
+    let local = node.index();
+    debug_assert!(local < (1 << SHARD_NODE_BITS), "shard node index overflow: {local}");
+    debug_assert!(bucket < (1 << (32 - SHARD_NODE_BITS)), "bucket index overflow: {bucket}");
+    NodeId::from_index(
+        ((bucket as u32) << SHARD_NODE_BITS) | (local & ((1 << SHARD_NODE_BITS) - 1)),
+    )
 }
-use crate::shortcut::{ShortcutStats, ShortcutTable};
 
 /// One resolved operation, as seen by a CTT consumer.
 #[derive(Debug)]
@@ -111,19 +162,21 @@ pub struct LockGroup {
     pub size: u32,
 }
 
-/// Per-batch combining summary.
-#[derive(Clone, Debug)]
-pub struct BatchEvent {
+/// Per-batch combining summary. Borrows the executor's per-batch bucket
+/// size table — consumers that need it past `batch_start` copy what they
+/// use (they all reduce it to sums/maxima anyway).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchEvent<'a> {
     /// Batch index.
     pub index: usize,
     /// Operations per bucket.
-    pub bucket_sizes: Vec<u32>,
+    pub bucket_sizes: &'a [u32],
 }
 
 /// Observer of a CTT execution. All methods default to no-ops.
 pub trait CttConsumer {
     /// A batch was combined and is about to be operated on.
-    fn batch_start(&mut self, ev: &BatchEvent) {
+    fn batch_start(&mut self, ev: &BatchEvent<'_>) {
         let _ = ev;
     }
 
@@ -154,7 +207,7 @@ pub struct CttStats {
     pub writes: u64,
     /// Batches processed.
     pub batches: u64,
-    /// Shortcut-table statistics.
+    /// Shortcut-table statistics (summed over the per-bucket shards).
     pub shortcut: ShortcutStats,
     /// Coalesced locks acquired.
     pub lock_groups: u64,
@@ -166,8 +219,8 @@ pub struct CttStats {
     /// synchronize. This is DCART's residual contention source — the paper
     /// still reports 3.2–19.7 % of the baselines' contentions (Fig. 7).
     pub shortcut_hash_collisions: u64,
-    /// Times the degradation controller disabled the shortcut table for
-    /// the rest of the run (0 or 1; sticky latch).
+    /// Times a degradation controller disabled a shortcut shard for the
+    /// rest of the run (sticky per-bucket latches; at most one per bucket).
     pub shortcut_disables: u64,
     /// Digest folded over every operation's answer in execution order;
     /// bit-identical across fault-free and faulted runs of the same
@@ -175,8 +228,482 @@ pub struct CttStats {
     pub answer_digest: u64,
 }
 
+/// What one worker recorded about one operation, replayed serially in
+/// round-robin bucket order to reconstruct the canonical event stream.
+struct OpRecord {
+    /// Index into the batch slice.
+    op_index: u32,
+    /// Cached Key_ID (saves re-hashing the key during replay).
+    key_id: u64,
+    /// Answer digest (see [`CttOpEvent::answer`]).
+    answer: u64,
+    /// Partial-key comparisons charged to this op.
+    matches: u64,
+    /// Fresh-visit range into the shard's visit arena.
+    visits_start: u32,
+    /// Length of the fresh-visit range.
+    visits_len: u32,
+    /// Per-op locks an operation-centric protocol would have taken.
+    locks: u32,
+    /// Shortcut hash bucket written on generation (`u32::MAX` = none).
+    hash_bucket: u32,
+    /// Whether the shortcut table resolved the target.
+    shortcut_hit: bool,
+    /// Whether a shortcut entry was generated after a traversal.
+    generated: bool,
+}
+
+/// A deferred range scan: its position within the bucket and the record
+/// (already holding a placeholder) to fill in at batch end.
+struct ScanRef {
+    pos: u32,
+    record: u32,
+}
+
+/// Everything one bucket owns: its subtree, shortcut shard, fault stream,
+/// and reusable per-batch scratch. Shards share nothing, which is what
+/// makes the worker pool deterministic (and lock-free) by construction.
+struct BucketShard {
+    bucket: usize,
+    art: Art<u64>,
+    shortcuts: ShortcutTable,
+    injector: FaultInjector,
+    degrade: DegradationController,
+    shortcuts_active: bool,
+    disables: u64,
+    // Per-batch scratch: cleared (capacity retained) at batch start.
+    visited: FxHashSet<NodeId>,
+    write_target_index: FxHashMap<NodeId, usize>,
+    write_targets: Vec<(NodeId, u32)>,
+    visit_arena: Vec<NodeVisit>,
+    records: Vec<OpRecord>,
+    scans: Vec<ScanRef>,
+    tracer: RecordingTracer,
+    error: Option<(u32, DcartError)>,
+}
+
+/// Derives a per-bucket fault seed: each shard draws an independent,
+/// deterministic stream whose per-site counters advance only with the
+/// shard's own operations — thread-schedule-independent by construction.
+fn shard_seed(seed: u64, bucket: usize) -> u64 {
+    seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(bucket as u64 + 1)
+}
+
+/// Counts `node` into the shard's insertion-ordered lock-group table.
+fn note_write_target(
+    index: &mut FxHashMap<NodeId, usize>,
+    targets: &mut Vec<(NodeId, u32)>,
+    node: NodeId,
+) {
+    match index.entry(node) {
+        Entry::Occupied(e) => targets[*e.get()].1 += 1,
+        Entry::Vacant(e) => {
+            e.insert(targets.len());
+            targets.push((node, 1));
+        }
+    }
+}
+
+impl BucketShard {
+    fn new(bucket: usize, config: &DcartConfig) -> Self {
+        BucketShard {
+            bucket,
+            art: Art::new(),
+            shortcuts: ShortcutTable::new(),
+            injector: FaultInjector::new(shard_seed(config.faults.seed, bucket)),
+            degrade: DegradationController::new(
+                if config.degrade.enabled { config.degrade.shortcut_stale_threshold } else { 0.0 },
+                config.degrade.window,
+            ),
+            shortcuts_active: config.shortcuts_enabled,
+            disables: 0,
+            visited: FxHashSet::default(),
+            write_target_index: FxHashMap::default(),
+            write_targets: Vec::new(),
+            visit_arena: Vec::new(),
+            records: Vec::new(),
+            scans: Vec::new(),
+            tracer: RecordingTracer::new(),
+            error: None,
+        }
+    }
+
+    fn begin_batch(&mut self) {
+        self.visited.clear();
+        self.write_target_index.clear();
+        self.write_targets.clear();
+        self.visit_arena.clear();
+        self.records.clear();
+        self.scans.clear();
+    }
+
+    /// Runs this bucket's slice of a batch: Traverse + Trigger against the
+    /// shard's own subtree, recording outcomes for the serial replay.
+    fn run_batch(&mut self, batch: &[Op], ops_idx: &[u32], plan: &FaultPlan) {
+        self.begin_batch();
+        for (pos, &op_i) in ops_idx.iter().enumerate() {
+            let op = &batch[op_i as usize];
+            let kid = key_id(&op.key);
+
+            if matches!(op.kind, OpKind::Scan) {
+                // Scans cross bucket boundaries; defer to the batch-end
+                // merge (the placeholder is completed there).
+                self.scans.push(ScanRef { pos: pos as u32, record: self.records.len() as u32 });
+                self.records.push(OpRecord {
+                    op_index: op_i,
+                    key_id: kid,
+                    answer: 0,
+                    matches: 0,
+                    visits_start: 0,
+                    visits_len: 0,
+                    locks: 0,
+                    hash_bucket: u32::MAX,
+                    shortcut_hit: false,
+                    generated: false,
+                });
+                continue;
+            }
+
+            // Index_Shortcut: probe for reads/updates (unless this shard's
+            // degradation controller has disabled its table).
+            let entry = if self.shortcuts_active && matches!(op.kind, OpKind::Read | OpKind::Update)
+            {
+                // Injected corruption: poison the key's entry just before
+                // the probe, so validation catches it and falls back to
+                // the root traversal.
+                if self.injector.fire(FaultSite::ShortcutEntry, plan.shortcut_corrupt_rate) {
+                    self.shortcuts.corrupt(&op.key);
+                }
+                let stale_before = self.shortcuts.stats().stale_invalidations;
+                let e = self.shortcuts.probe(&op.key, &self.art);
+                let went_stale = self.shortcuts.stats().stale_invalidations > stale_before;
+                if self.degrade.record(went_stale) {
+                    // Error rate over the window crossed the threshold:
+                    // run the rest of the workload without this shard's
+                    // shortcuts (slower, never wrong).
+                    self.shortcuts_active = false;
+                    self.disables += 1;
+                }
+                e
+            } else {
+                None
+            };
+
+            let visits_start = self.visit_arena.len() as u32;
+            let record = if let Some(entry) = entry {
+                // Shortcut hit: direct target fetch, one validation
+                // compare, no traversal. If a combined operation of this
+                // bucket already fetched the target this batch, the access
+                // is free (it is triggered together).
+                let target = namespaced(self.bucket, entry.target);
+                if self.visited.insert(target) {
+                    let v = self
+                        .art
+                        .visit_for(entry.target)
+                        .expect("probe validated the target as live");
+                    self.visit_arena.push(NodeVisit { node: target, ..v });
+                }
+                let mut locks = 0u32;
+                let answer = match op.kind {
+                    OpKind::Read => {
+                        digest_option(self.art.read_leaf(entry.target, &op.key).copied())
+                    }
+                    OpKind::Update => {
+                        let prev = self
+                            .art
+                            .update_leaf(entry.target, &op.key, op.value)
+                            .expect("probe validated the target key");
+                        note_write_target(
+                            &mut self.write_target_index,
+                            &mut self.write_targets,
+                            target,
+                        );
+                        locks = 1;
+                        digest_option(Some(prev))
+                    }
+                    _ => unreachable!("shortcuts only serve reads/updates"),
+                };
+                let visits_len = self.visit_arena.len() as u32 - visits_start;
+                OpRecord {
+                    op_index: op_i,
+                    key_id: kid,
+                    answer,
+                    matches: u64::from(visits_len),
+                    visits_start,
+                    visits_len,
+                    locks,
+                    hash_bucket: u32::MAX,
+                    shortcut_hit: true,
+                    generated: false,
+                }
+            } else {
+                // Traverse_Tree: full (but coalesced-by-bucket) search of
+                // the shard's subtree.
+                self.tracer.clear();
+                let answer = match op.kind {
+                    OpKind::Read => {
+                        digest_option(self.art.get_traced(&op.key, &mut self.tracer).copied())
+                    }
+                    OpKind::Update | OpKind::Insert => {
+                        match self.art.insert_traced(op.key.clone(), op.value, &mut self.tracer) {
+                            Ok(prev) => digest_option(prev),
+                            Err(e) => {
+                                self.error = Some((pos as u32, DcartError::from(e)));
+                                return;
+                            }
+                        }
+                    }
+                    OpKind::Remove => {
+                        let prev = self.art.remove_traced(&op.key, &mut self.tracer);
+                        self.shortcuts.invalidate(&op.key);
+                        digest_option(prev)
+                    }
+                    OpKind::Scan => unreachable!("scans are deferred above"),
+                };
+                let mut generated = false;
+                let mut hash_bucket = u32::MAX;
+                if self.shortcuts_active && !matches!(op.kind, OpKind::Remove | OpKind::Scan) {
+                    if let Some(target) = self.tracer.trace.target {
+                        // Generate_Shortcut: only leaves are reusable
+                        // point-op targets.
+                        if self.art.read_leaf(target, &op.key).is_some() {
+                            self.shortcuts.generate(
+                                op.key.clone(),
+                                target,
+                                self.tracer.trace.parent,
+                            );
+                            generated = true;
+                            hash_bucket = (kid % SHORTCUT_HASH_BUCKETS) as u32;
+                        }
+                    }
+                }
+                let mut locks = 0u32;
+                if op.kind.is_write() {
+                    // Every node the write locks joins a coalesced group —
+                    // including structural locks on upper nodes of the
+                    // shard's subtree.
+                    let Self { tracer, write_target_index, write_targets, bucket, .. } = self;
+                    if tracer.trace.locks.is_empty() {
+                        if let Some(target) = tracer.trace.target {
+                            note_write_target(
+                                write_target_index,
+                                write_targets,
+                                namespaced(*bucket, target),
+                            );
+                        }
+                    } else {
+                        for &node in &tracer.trace.locks {
+                            note_write_target(
+                                write_target_index,
+                                write_targets,
+                                namespaced(*bucket, node),
+                            );
+                        }
+                    }
+                    locks = tracer.trace.locks.len().max(1) as u32;
+                }
+                // Coalesce the traversal: only first-touch nodes cost a
+                // fetch and their share of the partial-key matching; path
+                // segments another combined op already walked are shared
+                // (paper: "each node ... traversed only once").
+                let Self { tracer, visited, visit_arena, bucket, .. } = self;
+                for v in &tracer.trace.visits {
+                    let node = namespaced(*bucket, v.node);
+                    if visited.insert(node) {
+                        visit_arena.push(NodeVisit { node, ..*v });
+                    }
+                }
+                let visits_len = self.visit_arena.len() as u32 - visits_start;
+                let total_visits = self.tracer.trace.visits.len().max(1) as u64;
+                let matches =
+                    self.tracer.trace.partial_key_matches * u64::from(visits_len) / total_visits;
+                OpRecord {
+                    op_index: op_i,
+                    key_id: kid,
+                    answer,
+                    matches,
+                    visits_start,
+                    visits_len,
+                    locks,
+                    hash_bucket,
+                    shortcut_hit: false,
+                    generated,
+                }
+            };
+            self.records.push(record);
+        }
+    }
+}
+
+/// Reusable buffers for the batch-end scan merge.
+#[derive(Default)]
+struct ScanScratch {
+    /// `(pos, bucket, record)` of every deferred scan, sorted into the
+    /// canonical round-robin order.
+    order: Vec<(u32, u32, u32)>,
+    /// Merged `(key_id, value)` items of the scan under resolution.
+    items: Vec<(u64, u64)>,
+    cursors: Vec<usize>,
+    consumed: Vec<u32>,
+    /// Namespaced visits of every resolved scan, flat; per-scan ranges are
+    /// carried by `resolved`, per-shard sub-ranges by `segments`.
+    visit_buf: Vec<NodeVisit>,
+    /// `(visit count, partial-key matches)` per contributing shard.
+    segments: Vec<(usize, u64)>,
+    /// Per-scan merge outcome awaiting commit:
+    /// `(answer, segments range start, segments range len)`.
+    resolved: Vec<(u64, u32, u32)>,
+    tracer: RecordingTracer,
+}
+
+/// Resolves every scan deferred during the worker phase: answers come from
+/// a k-way merge over all shard subtrees (end-of-batch state), visit costs
+/// from re-walking exactly the shards the merge consumed from.
+///
+/// Runs in two passes — merge every scan against the (now immutable)
+/// shard subtrees, then commit every outcome — so the per-shard scan
+/// buffers can be reused across scans instead of reallocated per scan.
+fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScratch) {
+    scratch.order.clear();
+    for (b, shard) in shards.iter().enumerate() {
+        for s in &shard.scans {
+            scratch.order.push((s.pos, b as u32, s.record));
+        }
+    }
+    if scratch.order.is_empty() {
+        return;
+    }
+    scratch.order.sort_unstable();
+    scratch.cursors.resize(shards.len(), 0);
+    scratch.consumed.resize(shards.len(), 0);
+    scratch.visit_buf.clear();
+    scratch.segments.clear();
+    scratch.resolved.clear();
+
+    // Pass 1 — merge: shards are only read, so the scan buffers (which
+    // borrow the shard trees) persist across the whole pass.
+    let mut parts: Vec<Vec<(&Key, &u64)>> = vec![Vec::new(); shards.len()];
+    for &(_, b32, rec) in &scratch.order {
+        let b = b32 as usize;
+        let op = &batch[shards[b].records[rec as usize].op_index as usize];
+        let start = op.key.as_bytes();
+        let limit = op.value as usize;
+
+        // Phase A — answer: merge the per-shard scans by key and keep the
+        // first `limit` items, counting how many each shard contributed.
+        scratch.items.clear();
+        scratch.cursors.iter_mut().for_each(|c| *c = 0);
+        scratch.consumed.iter_mut().for_each(|c| *c = 0);
+        for (s, part) in shards.iter().zip(parts.iter_mut()) {
+            s.art.scan_traced_into(start, limit, &mut NoopTracer, part);
+        }
+        while scratch.items.len() < limit {
+            let mut best: Option<(usize, &[u8])> = None;
+            for (i, part) in parts.iter().enumerate() {
+                if let Some(&(k, _)) = part.get(scratch.cursors[i]) {
+                    let kb = k.as_bytes();
+                    if best.is_none_or(|(_, bb)| kb < bb) {
+                        best = Some((i, kb));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let (k, &v) = parts[i][scratch.cursors[i]];
+            scratch.items.push((key_id(k), v));
+            scratch.cursors[i] += 1;
+            scratch.consumed[i] += 1;
+        }
+        // Same digest formula as a single-tree scan: length first, then
+        // every (key id, value) pair in key order.
+        let mut answer = fold_digest(DIGEST_BASE, scratch.items.len() as u64);
+        for &(kid, v) in &scratch.items {
+            answer = fold_digest(answer, kid);
+            answer = fold_digest(answer, v);
+        }
+
+        // Phase B — cost: re-walk the shards the merge consumed from (and
+        // always the scan's own SOU, which at minimum descends to the
+        // start position), collecting namespaced visits.
+        let seg_start = scratch.segments.len() as u32;
+        for (i, src) in shards.iter().enumerate() {
+            let consumed = scratch.consumed[i];
+            if consumed == 0 && i != b {
+                continue;
+            }
+            scratch.tracer.clear();
+            let _ = src.art.scan_traced(start, (consumed as usize).max(1), &mut scratch.tracer);
+            let before = scratch.visit_buf.len();
+            for v in &scratch.tracer.trace.visits {
+                scratch.visit_buf.push(NodeVisit { node: namespaced(i, v.node), ..*v });
+            }
+            scratch
+                .segments
+                .push((scratch.visit_buf.len() - before, scratch.tracer.trace.partial_key_matches));
+        }
+        scratch.resolved.push((answer, seg_start, scratch.segments.len() as u32 - seg_start));
+    }
+
+    // Pass 2 — commit, in the same scan order: dedup each scan's visits
+    // against the owning shard's batch-local visited set (coalescing
+    // applies to scans too) and complete the placeholder records.
+    let mut off = 0usize;
+    for (&(_, b32, rec), &(answer, seg_start, seg_len)) in
+        scratch.order.iter().zip(&scratch.resolved)
+    {
+        let shard = &mut shards[b32 as usize];
+        let visits_start = shard.visit_arena.len() as u32;
+        let mut matches = 0u64;
+        for &(len, pkm) in &scratch.segments[seg_start as usize..(seg_start + seg_len) as usize] {
+            let seg = &scratch.visit_buf[off..off + len];
+            off += len;
+            let mut fresh = 0u64;
+            for v in seg {
+                if shard.visited.insert(v.node) {
+                    shard.visit_arena.push(*v);
+                    fresh += 1;
+                }
+            }
+            matches += pkm * fresh / (len.max(1) as u64);
+        }
+        let record = &mut shard.records[rec as usize];
+        record.answer = answer;
+        record.matches = matches;
+        record.visits_start = visits_start;
+        record.visits_len = shard.visit_arena.len() as u32 - visits_start;
+    }
+}
+
+/// Merges the shard subtrees back into the one logical tree the run
+/// produces: a k-way merge by key (bucket key ranges interleave modulo the
+/// bucket count) bulk-loaded through the validating sorted constructor,
+/// which also enforces the *global* prefix-free invariant that per-shard
+/// inserts cannot see.
+fn merge_shard_trees(shards: &[BucketShard]) -> Result<Art<u64>, DcartError> {
+    let total: usize = shards.iter().map(|s| s.art.len()).sum();
+    let mut pairs: Vec<(Key, u64)> = Vec::with_capacity(total);
+    let mut iters: Vec<_> = shards.iter().map(|s| s.art.iter()).collect();
+    let mut heads: Vec<Option<(&Key, &u64)>> = iters.iter_mut().map(Iterator::next).collect();
+    loop {
+        let mut best: Option<(usize, &[u8])> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some((k, _)) = head {
+                let kb = k.as_bytes();
+                if best.is_none_or(|(_, bb)| kb < bb) {
+                    best = Some((i, kb));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        if let Some((k, &v)) = heads[i] {
+            pairs.push((k.clone(), v));
+        }
+        heads[i] = iters[i].next();
+    }
+    Ok(Art::from_sorted(pairs)?)
+}
+
 /// Executes `ops` over a tree loaded with `keys` under the CTT model,
-/// streaming events to `consumer`.
+/// streaming events to `consumer`. Buckets run on [`sou_threads`] workers.
 ///
 /// Returns the final tree and the aggregate statistics.
 ///
@@ -224,6 +751,29 @@ pub fn execute_ctt<C: CttConsumer>(
     }
 }
 
+/// [`execute_ctt`] with an explicit worker-thread count, bypassing the
+/// process-global [`sou_threads`] knob (useful for tests that must not
+/// race on global state).
+///
+/// # Panics
+///
+/// Panics on a zero `batch_size` or keys the tree rejects.
+#[allow(clippy::panic)]
+pub fn execute_ctt_threaded<C: CttConsumer>(
+    keys: &KeySet,
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    threads: usize,
+    consumer: &mut C,
+) -> (Art<u64>, CttStats) {
+    assert!(batch_size > 0, "batch size must be positive");
+    match try_execute_ctt_threaded(keys, ops, config, batch_size, threads, consumer) {
+        Ok(r) => r,
+        Err(e) => panic!("CTT execution failed: {e}"),
+    }
+}
+
 /// Fallible variant of [`execute_ctt`]: returns [`DcartError`] instead of
 /// panicking on a zero batch size or keys the tree rejects
 /// (prefix-violating or unsorted bulk loads).
@@ -240,242 +790,147 @@ pub fn try_execute_ctt<C: CttConsumer>(
     batch_size: usize,
     consumer: &mut C,
 ) -> Result<(Art<u64>, CttStats), DcartError> {
+    try_execute_ctt_threaded(keys, ops, config, batch_size, sou_threads(), consumer)
+}
+
+/// Fallible variant of [`execute_ctt_threaded`].
+///
+/// Single-threaded (`threads <= 1`) runs execute the identical sharded
+/// code inline, so any two thread counts produce byte-identical stats,
+/// digests, and event streams.
+///
+/// # Errors
+///
+/// * [`DcartError::InvalidBatchSize`] when `batch_size == 0`;
+/// * [`DcartError::Art`] when the key set or an insert violates the
+///   tree's prefix-free requirement.
+pub fn try_execute_ctt_threaded<C: CttConsumer>(
+    keys: &KeySet,
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    threads: usize,
+    consumer: &mut C,
+) -> Result<(Art<u64>, CttStats), DcartError> {
     if batch_size == 0 {
         return Err(DcartError::InvalidBatchSize);
     }
-    let mut art: Art<u64> = Art::new();
-    art.load_indexed(&keys.keys)?;
-
-    let mut shortcuts = ShortcutTable::new();
-    let mut stats = CttStats::default();
-    let mut tracer = RecordingTracer::new();
-
-    // Fault injection (inert when the plan is inactive): shortcut-entry
-    // corruption draws from its own deterministic stream, and a windowed
-    // degradation controller can disable the shortcut table entirely once
-    // the observed stale/corrupt rate crosses the configured threshold.
     let plan = config.faults;
-    let mut injector = FaultInjector::for_plan(&plan);
-    let mut shortcut_degrade = DegradationController::new(
-        if config.degrade.enabled { config.degrade.shortcut_stale_threshold } else { 0.0 },
-        config.degrade.window,
-    );
-    let mut shortcuts_active = config.shortcuts_enabled;
+    let buckets = config.buckets();
+    let mut shards: Vec<BucketShard> = (0..buckets).map(|b| BucketShard::new(b, config)).collect();
+
+    // Partitioned bulk load: every key goes to the shard its combining
+    // prefix selects (the same routing the PCU applies to operations), with
+    // its *global* load index as the value — identical values to a
+    // single-tree `load_indexed`.
+    for (i, key) in keys.keys.iter().enumerate() {
+        let prefix = key.prefix_bits_at(config.prefix_skip_bytes, config.prefix_bits);
+        shards[config.bucket_of(prefix)].art.insert(key.clone(), i as u64)?;
+    }
+
+    let mut stats = CttStats::default();
+    // Whole-run scratch, reused across batches.
+    let mut combined = CombinedBatch { buckets: Vec::new(), scanned: 0 };
+    let mut bucket_sizes: Vec<u32> = Vec::new();
+    let mut shortcut_writers: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut scan_scratch = ScanScratch::default();
 
     for (batch_idx, batch) in ops.chunks(batch_size).enumerate() {
-        let combined = combine_batch(config, batch);
-        let bucket_sizes: Vec<u32> = combined.buckets.iter().map(|b| b.len() as u32).collect();
-        consumer.batch_start(&BatchEvent { index: batch_idx, bucket_sizes: bucket_sizes.clone() });
-        stats.batches += 1;
+        combine_batch_into(config, batch, &mut combined);
+        bucket_sizes.clear();
+        bucket_sizes.extend(combined.buckets.iter().map(|b| b.len() as u32));
 
-        // The SOUs process their buckets in parallel; we interleave the
-        // buckets round-robin so shared resources (the Tree buffer above
-        // all) see the same mixed access stream the hardware does. This is
-        // what makes value-aware replacement earn its keep: under a pure
-        // bucket-sequential order, recency alone would look artificially
-        // good (no cross-SOU interference).
-        let mut write_targets: Vec<HashMap<NodeId, u32>> =
-            (0..combined.buckets.len()).map(|_| HashMap::new()).collect();
-        // Traversal coalescing (Observation 1): within a bucket-batch, each
-        // tree node is traversed once and drives *all* combined operations
-        // that pass through it — later operations ride the shared
-        // traversal. `visited` tracks the nodes this bucket has already
-        // fetched in this batch.
-        let mut visited: Vec<std::collections::HashSet<NodeId>> =
-            (0..combined.buckets.len()).map(|_| std::collections::HashSet::new()).collect();
-        let mut fresh_visits: Vec<NodeVisit> = Vec::new();
-        // hash bucket of the Shortcut_Table -> combining bucket that last
-        // wrote it this batch (for cross-SOU collision counting).
-        let mut shortcut_writers: HashMap<u64, usize> = HashMap::new();
-        let mut cursors = vec![0usize; combined.buckets.len()];
-        let mut remaining: u64 = u64::from(combined.scanned);
-        while remaining > 0 {
-            for (bucket_idx, bucket) in combined.buckets.iter().enumerate() {
-                let Some(&op_i) = bucket.get(cursors[bucket_idx]) else { continue };
-                cursors[bucket_idx] += 1;
-                remaining -= 1;
-                let bucket_ops = bucket_sizes[bucket_idx];
-                let write_targets = &mut write_targets[bucket_idx];
-                let op = &batch[op_i as usize];
+        // Traverse + Trigger: the prefix-disjoint shards run concurrently;
+        // outcomes land in per-shard records, not in shared state.
+        {
+            let bucket_ops = &combined.buckets;
+            par_for_each_mut(&mut shards, threads, |b, shard| {
+                shard.run_batch(batch, &bucket_ops[b], &plan);
+            });
+        }
+
+        // A failed insert aborts the run; pick the failure a serial
+        // round-robin sweep would have hit first so the error (like every
+        // other observable) is thread-count-independent. No events are
+        // emitted for the aborted batch.
+        let mut first_error: Option<(u32, u32, DcartError)> = None;
+        for (b, shard) in shards.iter_mut().enumerate() {
+            if let Some((pos, e)) = shard.error.take() {
+                if first_error.as_ref().is_none_or(|(p, fb, _)| (pos, b as u32) < (*p, *fb)) {
+                    first_error = Some((pos, b as u32, e));
+                }
+            }
+        }
+        if let Some((_, _, e)) = first_error {
+            return Err(e);
+        }
+
+        resolve_scans(&mut shards, batch, &mut scan_scratch);
+
+        // Serial replay: walk the records in the canonical round-robin
+        // bucket order, so shared consumer-side resources (the Tree buffer
+        // above all) see the same mixed access stream the hardware does —
+        // and the stream is identical at any worker count.
+        consumer.batch_start(&BatchEvent { index: batch_idx, bucket_sizes: &bucket_sizes });
+        stats.batches += 1;
+        shortcut_writers.clear();
+        for round in 0..combined.max_bucket_len() {
+            for (b, shard) in shards.iter().enumerate() {
+                let Some(record) = shard.records.get(round) else { continue };
+                let op = &batch[record.op_index as usize];
                 stats.ops += 1;
                 if op.kind.is_write() {
                     stats.writes += 1;
                 } else {
                     stats.reads += 1;
                 }
-
-                // Index_Shortcut: probe for reads/updates (unless the
-                // degradation controller has disabled the table).
-                let entry = if shortcuts_active && matches!(op.kind, OpKind::Read | OpKind::Update)
-                {
-                    // Injected corruption: poison the key's entry just
-                    // before the probe, so validation catches it and falls
-                    // back to the root traversal.
-                    if injector.fire(FaultSite::ShortcutEntry, plan.shortcut_corrupt_rate) {
-                        shortcuts.corrupt(&op.key);
-                    }
-                    let stale_before = shortcuts.stats().stale_invalidations;
-                    let e = shortcuts.probe(&op.key, &art);
-                    let went_stale = shortcuts.stats().stale_invalidations > stale_before;
-                    if shortcut_degrade.record(went_stale) {
-                        // Error rate over the window crossed the threshold:
-                        // run the rest of the workload without shortcuts
-                        // (slower, never wrong).
-                        shortcuts_active = false;
-                        stats.shortcut_disables += 1;
-                    }
-                    e
-                } else {
-                    None
-                };
-
-                let ev = if let Some(entry) = entry {
-                    // Shortcut hit: direct target fetch, one validation
-                    // compare, no traversal. If a combined operation of
-                    // this bucket already fetched the target this batch,
-                    // the access is free (it is triggered together).
-                    fresh_visits.clear();
-                    if visited[bucket_idx].insert(entry.target) {
-                        fresh_visits.push(
-                            art.visit_for(entry.target)
-                                .expect("probe validated the target as live"),
-                        );
-                    }
-                    let answer = match op.kind {
-                        OpKind::Read => {
-                            digest_option(art.read_leaf(entry.target, &op.key).copied())
-                        }
-                        OpKind::Update => {
-                            let prev = art
-                                .update_leaf(entry.target, &op.key, op.value)
-                                .expect("probe validated the target key");
-                            *write_targets.entry(entry.target).or_insert(0) += 1;
-                            stats.per_op_locks += 1;
-                            digest_option(Some(prev))
-                        }
-                        _ => unreachable!("shortcuts only serve reads/updates"),
-                    };
-                    CttOpEvent {
-                        batch: batch_idx,
-                        bucket: bucket_idx,
-                        kind: op.kind,
-                        key_id: key_id(&op.key),
-                        shortcut_hit: true,
-                        visits: &fresh_visits,
-                        matches: fresh_visits.len() as u64,
-                        bucket_ops,
-                        generated_shortcut: false,
-                        answer,
-                    }
-                } else {
-                    // Traverse_Tree: full (but coalesced-by-bucket) search.
-                    tracer.clear();
-                    let answer = match op.kind {
-                        OpKind::Read => {
-                            digest_option(art.get_traced(&op.key, &mut tracer).copied())
-                        }
-                        OpKind::Update | OpKind::Insert => digest_option(art.insert_traced(
-                            op.key.clone(),
-                            op.value,
-                            &mut tracer,
-                        )?),
-                        OpKind::Remove => {
-                            let prev = art.remove_traced(&op.key, &mut tracer);
-                            shortcuts.invalidate(&op.key);
-                            digest_option(prev)
-                        }
-                        OpKind::Scan => {
-                            // Range scans always walk the tree from the
-                            // start position; the bucket's coalescing
-                            // below still dedups nodes shared with other
-                            // combined operations.
-                            let pairs =
-                                art.scan_traced(op.key.as_bytes(), op.value as usize, &mut tracer);
-                            digest_scan(&pairs)
-                        }
-                    };
-                    let mut generated = false;
-                    if shortcuts_active && !matches!(op.kind, OpKind::Remove | OpKind::Scan) {
-                        if let Some(target) = tracer.trace.target {
-                            // Generate_Shortcut: only leaves are reusable
-                            // point-op targets.
-                            if art.read_leaf(target, &op.key).is_some() {
-                                shortcuts.generate(op.key.clone(), target, tracer.trace.parent);
-                                generated = true;
-                                let hb = key_id(&op.key) % SHORTCUT_HASH_BUCKETS;
-                                if let Some(&writer) = shortcut_writers.get(&hb) {
-                                    if writer != bucket_idx {
-                                        stats.shortcut_hash_collisions += 1;
-                                    }
-                                }
-                                shortcut_writers.insert(hb, bucket_idx);
-                            }
+                stats.per_op_locks += u64::from(record.locks);
+                if record.generated {
+                    // Cross-SOU hash-bucket collisions on the shared
+                    // off-chip Shortcut_Table, counted over the canonical
+                    // interleaved order.
+                    let hb = u64::from(record.hash_bucket);
+                    if let Some(&writer) = shortcut_writers.get(&hb) {
+                        if writer != b {
+                            stats.shortcut_hash_collisions += 1;
                         }
                     }
-                    if op.kind.is_write() {
-                        // Every node the write locks joins a coalesced
-                        // group — including structural locks on upper
-                        // nodes, which are the only nodes two buckets can
-                        // share (and hence DCART's only residual
-                        // contention source, Fig. 7).
-                        if tracer.trace.locks.is_empty() {
-                            if let Some(target) = tracer.trace.target {
-                                *write_targets.entry(target).or_insert(0) += 1;
-                            }
-                        } else {
-                            for &node in &tracer.trace.locks {
-                                *write_targets.entry(node).or_insert(0) += 1;
-                            }
-                        }
-                        stats.per_op_locks += tracer.trace.locks.len().max(1) as u64;
-                    }
-                    // Coalesce the traversal: only first-touch nodes cost a
-                    // fetch and their share of the partial-key matching;
-                    // path segments another combined op already walked are
-                    // shared (paper: "each node ... traversed only once").
-                    fresh_visits.clear();
-                    for v in &tracer.trace.visits {
-                        if visited[bucket_idx].insert(v.node) {
-                            fresh_visits.push(*v);
-                        }
-                    }
-                    let total_visits = tracer.trace.visits.len().max(1) as u64;
-                    let matches =
-                        tracer.trace.partial_key_matches * fresh_visits.len() as u64 / total_visits;
-                    CttOpEvent {
-                        batch: batch_idx,
-                        bucket: bucket_idx,
-                        kind: op.kind,
-                        key_id: key_id(&op.key),
-                        shortcut_hit: false,
-                        visits: &fresh_visits,
-                        matches,
-                        bucket_ops,
-                        generated_shortcut: generated,
-                        answer,
-                    }
-                };
-                stats.answer_digest = fold_digest(stats.answer_digest, ev.answer);
-                consumer.op(&ev);
+                    shortcut_writers.insert(hb, b);
+                }
+                stats.answer_digest = fold_digest(stats.answer_digest, record.answer);
+                let visits = &shard.visit_arena[record.visits_start as usize
+                    ..(record.visits_start + record.visits_len) as usize];
+                consumer.op(&CttOpEvent {
+                    batch: batch_idx,
+                    bucket: b,
+                    kind: op.kind,
+                    key_id: record.key_id,
+                    shortcut_hit: record.shortcut_hit,
+                    visits,
+                    matches: record.matches,
+                    bucket_ops: bucket_sizes[b],
+                    generated_shortcut: record.generated,
+                    answer: record.answer,
+                });
             }
         }
 
-        // Trigger_Operation: one lock per (bucket, target) group.
-        for (bucket_idx, targets) in write_targets.into_iter().enumerate() {
-            for (node, size) in targets {
+        // Trigger_Operation: one lock per (bucket, target) group, emitted
+        // in bucket order and first-write order within a bucket.
+        for (b, shard) in shards.iter().enumerate() {
+            for &(node, size) in &shard.write_targets {
                 stats.lock_groups += 1;
-                consumer.lock_group(&LockGroup {
-                    batch: batch_idx,
-                    bucket: bucket_idx,
-                    node,
-                    size,
-                });
+                consumer.lock_group(&LockGroup { batch: batch_idx, bucket: b, node, size });
             }
         }
         consumer.batch_end(batch_idx);
     }
 
-    stats.shortcut = shortcuts.stats();
+    for shard in &shards {
+        stats.shortcut.accumulate(&shard.shortcuts.stats());
+        stats.shortcut_disables += shard.disables;
+    }
+    let art = merge_shard_trees(&shards)?;
     Ok((art, stats))
 }
 
@@ -631,7 +1086,70 @@ mod tests {
         assert!(matches!(err, DcartError::InvalidBatchSize), "{err}");
     }
 
-    fn digests(mix: Mix, cfg: DcartConfig) -> (CttStats, Vec<(dcart_art::Key, u64)>) {
+    /// Folds every observable of the event stream into one digest, so two
+    /// runs can be compared event-for-event without storing the streams.
+    #[derive(Default)]
+    struct StreamDigest {
+        h: u64,
+    }
+
+    impl CttConsumer for StreamDigest {
+        fn batch_start(&mut self, ev: &BatchEvent<'_>) {
+            self.h = fold_digest(self.h, ev.index as u64);
+            for &s in ev.bucket_sizes {
+                self.h = fold_digest(self.h, u64::from(s));
+            }
+        }
+
+        fn op(&mut self, ev: &CttOpEvent<'_>) {
+            self.h = fold_digest(self.h, ev.bucket as u64);
+            self.h = fold_digest(self.h, ev.key_id);
+            self.h = fold_digest(self.h, u64::from(ev.shortcut_hit));
+            self.h = fold_digest(self.h, ev.matches);
+            self.h = fold_digest(self.h, ev.answer);
+            for v in ev.visits {
+                self.h = fold_digest(self.h, u64::from(v.node.index()));
+                self.h = fold_digest(self.h, u64::from(v.footprint));
+            }
+        }
+
+        fn lock_group(&mut self, group: &LockGroup) {
+            self.h = fold_digest(self.h, u64::from(group.node.index()));
+            self.h = fold_digest(self.h, u64::from(group.size));
+        }
+
+        fn batch_end(&mut self, index: usize) {
+            self.h = fold_digest(self.h, !(index as u64));
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_observationally_identical() {
+        // The tentpole invariant: stats, tree, and the full event stream
+        // must not depend on the worker count. Mix E exercises scans and
+        // writes, the two paths with the most cross-bucket machinery.
+        let keys = Workload::Ipgeo.generate(3_000, 5);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 12_000, mix: Mix::E, ..Default::default() },
+        );
+        let cfg = DcartConfig::default().with_auto_prefix_skip(&keys);
+        let mut runs = [1usize, 2, 8].map(|threads| {
+            let mut d = StreamDigest::default();
+            let (tree, stats) = execute_ctt_threaded(&keys, &ops, &cfg, 1024, threads, &mut d);
+            let pairs: Vec<(Key, u64)> = tree.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            (format!("{stats:?}"), d.h, pairs)
+        });
+        let (base_stats, base_digest, base_pairs) = runs[0].clone();
+        assert!(base_digest != 0, "stream digest actually folded events");
+        for (stats, digest, pairs) in runs.iter_mut().skip(1) {
+            assert_eq!(*stats, base_stats, "stats identical across thread counts");
+            assert_eq!(*digest, base_digest, "event stream identical across thread counts");
+            assert_eq!(*pairs, base_pairs, "final tree identical across thread counts");
+        }
+    }
+
+    fn digests(mix: Mix, cfg: DcartConfig) -> (CttStats, Vec<(Key, u64)>) {
         let keys = Workload::Ipgeo.generate(5_000, 1);
         let ops = generate_ops(&keys, &OpStreamConfig { count: 20_000, mix, ..Default::default() });
         let (tree, stats) = execute_ctt(&keys, &ops, &cfg, 4096, &mut Collector::default());
@@ -665,7 +1183,14 @@ mod tests {
         faulty_cfg.degrade.window = 128;
         let (clean, clean_tree) = digests(Mix::C, clean_cfg);
         let (faulty, faulty_tree) = digests(Mix::C, faulty_cfg);
-        assert_eq!(faulty.shortcut_disables, 1, "sticky latch trips once");
+        // Sticky per-bucket latches: at least one shard trips, none more
+        // than once.
+        assert!(faulty.shortcut_disables >= 1, "at least one shard latches");
+        assert!(
+            faulty.shortcut_disables <= DcartConfig::default().buckets() as u64,
+            "at most one latch per bucket: {}",
+            faulty.shortcut_disables
+        );
         assert_eq!(clean.answer_digest, faulty.answer_digest, "degraded mode stays correct");
         assert_eq!(clean_tree, faulty_tree);
         assert_eq!(clean.shortcut_disables, 0);

@@ -5,6 +5,15 @@
 //! buckets, buckets are dealt round-robin. The invariant the design rests
 //! on — *operations targeting the same node are handled by a single SOU* —
 //! holds either way, because a bucket is never split.
+//!
+//! The host-side executor ([`crate::execute_ctt`]) leans on the same
+//! invariant: each bucket's state (subtree, shortcut shard, scratch) is
+//! owned by exactly one worker for the duration of a batch, so the
+//! `--sou-threads` pool needs no locks and its outcome is independent of
+//! how the scheduler interleaves workers. This module stays the *timing*
+//! assignment of buckets onto modelled SOUs; the host pool sizes
+//! independently of it (a machine rarely has 16 spare cores, and the
+//! timing model must not change when the host thread count does).
 
 use serde::{Deserialize, Serialize};
 

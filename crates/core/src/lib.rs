@@ -44,6 +44,7 @@ mod config;
 mod ctt;
 pub mod dispatcher;
 mod error;
+pub mod fxhash;
 pub mod pcu;
 mod shortcut;
 mod software;
@@ -51,7 +52,8 @@ mod software;
 pub use accel::{AccelDetails, BatchTiming, DcartAccel};
 pub use config::{DcartConfig, DegradeConfig};
 pub use ctt::{
-    execute_ctt, key_id, try_execute_ctt, BatchEvent, CttConsumer, CttOpEvent, CttStats, LockGroup,
+    execute_ctt, execute_ctt_threaded, key_id, set_sou_threads, sou_threads, try_execute_ctt,
+    try_execute_ctt_threaded, BatchEvent, CttConsumer, CttOpEvent, CttStats, LockGroup,
 };
 pub use dcart_engine::{FaultPlan, RecoveryStats};
 pub use error::DcartError;

@@ -47,12 +47,28 @@ impl CombinedBatch {
 
 /// Combines a batch of operations into disjoint per-prefix buckets.
 pub fn combine_batch(config: &DcartConfig, batch: &[Op]) -> CombinedBatch {
-    let mut buckets = vec![Vec::new(); config.buckets()];
+    let mut out = CombinedBatch { buckets: Vec::new(), scanned: 0 };
+    combine_batch_into(config, batch, &mut out);
+    out
+}
+
+/// Combines a batch into `out`, reusing its bucket allocations.
+///
+/// The hot-path variant of [`combine_batch`]: the executor combines one
+/// batch per `batch_size` operations, and re-allocating 16 bucket `Vec`s
+/// each time is pure churn. `out` is cleared (buckets emptied, not freed)
+/// and refilled; it is resized if the configured bucket count changed.
+pub fn combine_batch_into(config: &DcartConfig, batch: &[Op], out: &mut CombinedBatch) {
+    out.buckets.resize_with(config.buckets(), Vec::new);
+    out.buckets.truncate(config.buckets());
+    for b in &mut out.buckets {
+        b.clear();
+    }
     for (i, op) in batch.iter().enumerate() {
         let prefix = op.key.prefix_bits_at(config.prefix_skip_bytes, config.prefix_bits);
-        buckets[config.bucket_of(prefix)].push(i as u32);
+        out.buckets[config.bucket_of(prefix)].push(i as u32);
     }
-    CombinedBatch { buckets, scanned: batch.len() as u32 }
+    out.scanned = batch.len() as u32;
 }
 
 #[cfg(test)]
@@ -94,6 +110,20 @@ mod tests {
         let combined = combine_batch(&cfg, &batch);
         let b = cfg.bucket_of(0x10);
         assert_eq!(combined.buckets[b], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reused_combine_matches_the_allocating_one() {
+        let cfg = DcartConfig::default();
+        let batch_a: Vec<Op> = (0..=255u8).map(op).collect();
+        let batch_b = vec![op(0x67), op(0x20), op(0x67)];
+        let mut reused = combine_batch(&cfg, &batch_a);
+        // Refill with a different (smaller) batch: stale indices must not
+        // survive the reuse.
+        combine_batch_into(&cfg, &batch_b, &mut reused);
+        let fresh = combine_batch(&cfg, &batch_b);
+        assert_eq!(reused.scanned, fresh.scanned);
+        assert_eq!(reused.buckets, fresh.buckets);
     }
 
     #[test]

@@ -50,6 +50,24 @@ pub struct ShortcutStats {
     pub corruption_fallbacks: u64,
 }
 
+impl ShortcutStats {
+    /// Adds `other`'s counters into `self`.
+    ///
+    /// The parallel executor shards the shortcut table per combining bucket
+    /// (each SOU owns its prefix-disjoint key range, so probes never cross
+    /// shards); run-level statistics are the shard sums, accumulated in
+    /// bucket order.
+    pub fn accumulate(&mut self, other: &ShortcutStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale_invalidations += other.stale_invalidations;
+        self.generated += other.generated;
+        self.updated += other.updated;
+        self.corruptions_injected += other.corruptions_injected;
+        self.corruption_fallbacks += other.corruption_fallbacks;
+    }
+}
+
 /// The shortcut hash table.
 ///
 /// Lives in off-chip memory in the hardware design (with hot entries cached
@@ -283,6 +301,33 @@ mod tests {
         table.generate(key.clone(), leaf, parent);
         assert!(table.probe(&key, &art).is_some());
         assert_eq!(table.stats().corruption_fallbacks, 0);
+    }
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let a = ShortcutStats {
+            hits: 1,
+            misses: 2,
+            stale_invalidations: 3,
+            generated: 4,
+            updated: 5,
+            corruptions_injected: 6,
+            corruption_fallbacks: 7,
+        };
+        let mut total = a;
+        total.accumulate(&a);
+        assert_eq!(
+            total,
+            ShortcutStats {
+                hits: 2,
+                misses: 4,
+                stale_invalidations: 6,
+                generated: 8,
+                updated: 10,
+                corruptions_injected: 12,
+                corruption_fallbacks: 14,
+            }
+        );
     }
 
     #[test]

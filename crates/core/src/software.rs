@@ -138,8 +138,11 @@ impl SoftwareConsumer {
 }
 
 impl CttConsumer for SoftwareConsumer {
-    fn batch_start(&mut self, ev: &BatchEvent) {
-        self.bucket_ns = vec![0.0; ev.bucket_sizes.len()];
+    fn batch_start(&mut self, ev: &BatchEvent<'_>) {
+        // Reuse the per-bucket accumulator across batches (the executor
+        // only lends us `bucket_sizes` for the callback's duration anyway).
+        self.bucket_ns.resize(ev.bucket_sizes.len(), 0.0);
+        self.bucket_ns.iter_mut().for_each(|ns| *ns = 0.0);
         self.ns.combine += self.overheads.batch_ns;
         self.combine_serial_ns += self.overheads.batch_ns;
         // The scan/hash/append of every operation in the batch happens on

@@ -10,6 +10,9 @@
 //!   queueing for throughput–latency curves (paper Fig. 10);
 //! * [`EventQueue`] / [`NonBlockingUnit`] — discrete-event primitives that
 //!   validate the accelerator's closed-form SOU timing;
+//! * [`par_for_each_mut`] — a scoped worker pool over disjoint `&mut`
+//!   shards, used by the CTT executor to run prefix-disjoint buckets on
+//!   host threads with deterministic (thread-count-independent) outcomes;
 //! * [`faults`] — deterministic seed-driven fault injection
 //!   ([`FaultPlan`], [`FaultInjector`]), bounded retry ([`RetryPolicy`]),
 //!   graceful degradation ([`DegradationController`]) and recovery
@@ -27,6 +30,7 @@ mod clock;
 mod event;
 pub mod faults;
 mod pipeline;
+mod pool;
 mod queueing;
 
 pub use clock::Clock;
@@ -36,4 +40,5 @@ pub use faults::{
     RetryPolicy,
 };
 pub use pipeline::{Pipeline, PipelineRun};
+pub use pool::par_for_each_mut;
 pub use queueing::{mdc_wait, BoundedQueue, LatencyRecorder};

@@ -123,6 +123,17 @@ impl Pipeline {
         ready
     }
 
+    /// Resets the pipeline to idle without releasing its buffers, so a
+    /// caller timing many batches can reuse one `Pipeline` instead of
+    /// allocating per batch (the same reuse discipline as the CTT
+    /// executor's scratch arenas).
+    pub fn reset(&mut self) {
+        self.finish.iter_mut().for_each(|f| *f = 0);
+        self.stage_busy.iter_mut().for_each(|b| *b = 0);
+        self.items = 0;
+        self.completions.clear();
+    }
+
     /// Injects a stall bubble into stage `s`: the stage is unavailable for
     /// `cycles` extra cycles, delaying every later item that passes through
     /// it (fault injection; the cycles are *not* counted as busy work).
@@ -216,6 +227,22 @@ mod tests {
         assert_eq!(f, c + 7, "next item pays the full bubble");
         // Busy cycles unchanged: a stall is idle time, not work.
         assert_eq!(clean.stage_busy, faulty.stage_busy);
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_pipeline() {
+        let mut p = Pipeline::new(3).record_completions();
+        for _ in 0..10 {
+            p.push(&[1, 5, 1]);
+        }
+        p.reset();
+        for _ in 0..4 {
+            p.push(&[1, 1, 1]);
+        }
+        let run = p.finish();
+        assert_eq!(run.items, 4);
+        assert_eq!(run.total_cycles, 6, "identical to a brand-new pipeline");
+        assert_eq!(run.completions, vec![3, 4, 5, 6]);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Thread-count determinism of the data-parallel CTT executor.
+//!
+//! The executor fans a batch's prefix-disjoint buckets over a worker pool
+//! and replays the recorded outcomes serially, so **every** observable —
+//! stats, answer digest, final tree, serialized report JSON — must be
+//! byte-identical whether the pool has 1, 2, or 8 threads. These tests pin
+//! that contract on the three tier-1 workloads, fault-free and under
+//! injected shortcut corruption.
+
+use dcart::{execute_ctt_threaded, CttConsumer, CttStats, DcartConfig, FaultPlan};
+use dcart_art::Key;
+use dcart_workloads::{generate_ops, Mix, OpStreamConfig, Workload};
+
+struct Sink;
+impl CttConsumer for Sink {}
+
+/// One full execution: serialized stats JSON plus the final tree contents.
+fn run(
+    workload: Workload,
+    threads: usize,
+    faults: FaultPlan,
+) -> (String, CttStats, Vec<(Key, u64)>) {
+    let keys = workload.generate(4_000, 17);
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 16_000, mix: Mix::E, theta: 0.99, seed: 17 });
+    let mut cfg = DcartConfig::default().with_auto_prefix_skip(&keys);
+    cfg.faults = faults;
+    let (tree, stats) = execute_ctt_threaded(&keys, &ops, &cfg, 2_048, threads, &mut Sink);
+    let json = serde_json::to_string_pretty(&stats).expect("stats serialize");
+    (json, stats, tree.iter().map(|(k, &v)| (k.clone(), v)).collect())
+}
+
+const WORKLOADS: [Workload; 3] = [Workload::Ipgeo, Workload::Dict, Workload::DenseInt];
+
+#[test]
+fn stats_json_and_tree_are_byte_identical_across_thread_counts() {
+    for workload in WORKLOADS {
+        let (base_json, base_stats, base_tree) = run(workload, 1, FaultPlan::none());
+        assert!(base_stats.ops == 16_000, "{workload:?} executed every op");
+        for threads in [2usize, 8] {
+            let (json, _, tree) = run(workload, threads, FaultPlan::none());
+            assert_eq!(
+                json, base_json,
+                "{workload:?}: serialized stats differ at {threads} threads"
+            );
+            assert_eq!(tree, base_tree, "{workload:?}: final tree differs at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn fault_injection_stays_deterministic_and_correct_under_threading() {
+    // Per-bucket fault streams make the injected-fault draw sequence a
+    // function of the operation stream alone, so faulted runs must be as
+    // thread-count-stable as clean ones — and still answer-identical to
+    // the clean run (the chaos suite's differential invariant).
+    let plan = FaultPlan { seed: 99, shortcut_corrupt_rate: 0.05, ..FaultPlan::none() };
+    for workload in WORKLOADS {
+        let (_, clean, clean_tree) = run(workload, 8, FaultPlan::none());
+        let (base_json, base_stats, base_tree) = run(workload, 1, plan);
+        assert!(
+            base_stats.shortcut.corruptions_injected > 0,
+            "{workload:?}: the fault plan actually fired"
+        );
+        assert!(
+            base_stats.shortcut.corruption_fallbacks > 0,
+            "{workload:?}: validate-then-fallback recovered"
+        );
+        assert_eq!(
+            base_stats.answer_digest, clean.answer_digest,
+            "{workload:?}: faults never change answers"
+        );
+        assert_eq!(base_tree, clean_tree, "{workload:?}: faults never change the tree");
+        for threads in [2usize, 8] {
+            let (json, _, tree) = run(workload, threads, plan);
+            assert_eq!(json, base_json, "{workload:?}: faulted stats differ at {threads} threads");
+            assert_eq!(tree, base_tree);
+        }
+    }
+}
