@@ -48,6 +48,7 @@ mod validate;
 
 pub use key::Key;
 pub use node::{NodeId, NodeType};
+pub use serde_impl::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use sync::{LockStats, SyncArt};
 pub use trace::{NodeVisit, NoopTracer, OpTrace, RecordingTracer, Tracer, VisitKind};
 pub use tree::{Art, ArtError, Range, TypeHistogram};

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <exhibit> [--scale smoke|default|full] [--out DIR] [--jobs N]
-//!                 [--sou-threads N]
+//!                 [--sou-threads N] [--batches N] [--seed S]
 //!
 //! exhibits:
 //!   table1   Table I   — DCART configuration
@@ -13,6 +13,8 @@
 //!   fig12    Fig. 12   — sensitivity to concurrency & write ratio
 //!   ablate             — design-choice ablations (not in the paper)
 //!   chaos              — differential fault-injection suite (robustness)
+//!   crash              — crash-point recovery matrix (durability)
+//!   soak               — crash/recover soak under chaos faults (durability)
 //!   all                — everything above, in order
 //! ```
 
@@ -21,61 +23,144 @@ use std::process::ExitCode;
 
 use dcart_bench::{experiments, Scale};
 
-fn usage() -> ExitCode {
+const EXHIBITS: &str = "table1|fig2|fig3|overall|fig7|fig8|fig9|fig11|fig10|fig12|ablate|\
+                        chaos|crash|soak|scans|indexes|fig6|skew|all";
+
+fn print_usage() {
     eprintln!(
-        "usage: repro <table1|fig2|fig3|overall|fig7|fig8|fig9|fig11|fig10|fig12|ablate|chaos|scans|indexes|fig6|skew|all> \
-         [--scale smoke|default|full] [--out DIR] [--jobs N] [--sou-threads N]"
+        "usage: repro <{EXHIBITS}> \
+         [--scale smoke|default|full] [--out DIR] [--jobs N] [--sou-threads N] \
+         [--batches N] [--seed S]"
     );
+}
+
+/// One-line actionable failure: say what was wrong AND what would be right.
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("repro: {msg}");
+    print_usage();
     ExitCode::FAILURE
+}
+
+fn is_known_exhibit(name: &str) -> bool {
+    matches!(
+        name,
+        "table1"
+            | "fig2"
+            | "fig2a"
+            | "fig2b"
+            | "fig2c"
+            | "fig2d"
+            | "fig2e"
+            | "fig3"
+            | "overall"
+            | "fig7"
+            | "fig8"
+            | "fig9"
+            | "fig11"
+            | "fig10"
+            | "fig12"
+            | "fig12a"
+            | "fig12b"
+            | "ablate"
+            | "ablations"
+            | "chaos"
+            | "crash"
+            | "soak"
+            | "scans"
+            | "indexes"
+            | "timeline"
+            | "fig6"
+            | "skew"
+            | "all"
+    )
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(exhibit) = args.first().cloned() else {
-        return usage();
+        return fail("missing exhibit (pick one of the subcommands below)");
     };
+    if matches!(exhibit.as_str(), "help" | "--help" | "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    if !is_known_exhibit(&exhibit) {
+        return fail(&format!("unknown exhibit '{exhibit}'"));
+    }
     let mut scale = Scale::default_scale();
     let mut out_dir = PathBuf::from("reports");
+    let mut batches: u64 = 32;
+    let mut seed_override: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                let Some(name) = args.get(i + 1) else { return usage() };
+                let Some(name) = args.get(i + 1) else {
+                    return fail("--scale needs a value: smoke, default, or full");
+                };
                 let Some(s) = Scale::from_name(name) else {
-                    eprintln!("unknown scale: {name}");
-                    return usage();
+                    return fail(&format!("unknown scale '{name}' (want smoke, default, or full)"));
                 };
                 scale = s;
                 i += 2;
             }
             "--out" => {
-                let Some(dir) = args.get(i + 1) else { return usage() };
+                let Some(dir) = args.get(i + 1) else {
+                    return fail("--out needs a directory path");
+                };
                 out_dir = PathBuf::from(dir);
                 i += 2;
             }
             "--jobs" => {
-                let Some(n) = args.get(i + 1) else { return usage() };
+                let Some(n) = args.get(i + 1) else {
+                    return fail("--jobs needs a positive integer");
+                };
                 let Ok(n) = n.parse::<usize>() else {
-                    eprintln!("--jobs expects a positive integer, got {n}");
-                    return usage();
+                    return fail(&format!("--jobs expects a positive integer, got '{n}'"));
                 };
                 dcart_bench::parallel::set_jobs(n);
                 i += 2;
             }
             "--sou-threads" => {
-                let Some(n) = args.get(i + 1) else { return usage() };
+                let Some(n) = args.get(i + 1) else {
+                    return fail("--sou-threads needs a positive integer");
+                };
                 let Ok(n) = n.parse::<usize>() else {
-                    eprintln!("--sou-threads expects a positive integer, got {n}");
-                    return usage();
+                    return fail(&format!("--sou-threads expects a positive integer, got '{n}'"));
                 };
                 dcart::set_sou_threads(n);
                 i += 2;
             }
+            "--batches" => {
+                let Some(n) = args.get(i + 1) else {
+                    return fail("--batches needs a positive integer (soak length)");
+                };
+                let Ok(n) = n.parse::<u64>() else {
+                    return fail(&format!("--batches expects a positive integer, got '{n}'"));
+                };
+                if n == 0 {
+                    return fail("--batches must be at least 1");
+                }
+                batches = n;
+                i += 2;
+            }
+            "--seed" => {
+                let Some(n) = args.get(i + 1) else {
+                    return fail("--seed needs an integer");
+                };
+                let Ok(n) = n.parse::<u64>() else {
+                    return fail(&format!("--seed expects an unsigned integer, got '{n}'"));
+                };
+                seed_override = Some(n);
+                i += 2;
+            }
             other => {
-                eprintln!("unknown option: {other}");
-                return usage();
+                return fail(&format!("unknown option '{other}'"));
             }
         }
+    }
+    if let Some(s) = seed_override {
+        scale.seed = s;
     }
 
     println!(
@@ -115,6 +200,12 @@ fn main() -> ExitCode {
         "chaos" => {
             experiments::chaos::run(&scale, &out_dir);
         }
+        "crash" => {
+            experiments::crash::run(&scale, &out_dir);
+        }
+        "soak" => {
+            experiments::soak::run(&scale, &out_dir, batches, scale.seed);
+        }
         "scans" => {
             experiments::scans::run(&scale, &out_dir);
         }
@@ -136,12 +227,16 @@ fn main() -> ExitCode {
             experiments::fig12::run(&scale, &out_dir);
             experiments::ablate::run(&scale, &out_dir);
             experiments::chaos::run(&scale, &out_dir);
+            experiments::crash::run(&scale, &out_dir);
+            experiments::soak::run(&scale, &out_dir, batches, scale.seed);
             experiments::scans::run(&scale, &out_dir);
             experiments::indexes::run(&scale, &out_dir);
             experiments::timeline::run(&scale, &out_dir);
             experiments::skew::run(&scale, &out_dir);
         }
-        _ => return usage(),
+        other => {
+            return fail(&format!("unknown exhibit '{other}'"));
+        }
     }
     println!(
         "done: {exhibit} in {:.2} s wall with {} worker(s)",

@@ -10,6 +10,8 @@
 //! | [`fig12`] | Fig. 12(a)(b): sensitivity to concurrency and write ratio |
 //! | [`ablate`] | design-choice ablations (§III-B/C/D/E knobs) |
 //! | [`chaos`] | differential fault-injection suite (robustness extension) |
+//! | [`crash`] | crash-point recovery matrix (durability extension) |
+//! | [`soak`] | crash/recover soak under chaos faults (durability extension) |
 //! | [`scans`] | range-scan extension (beyond the paper) |
 //! | [`indexes`] | §V related-work claims, measured (ART vs B+tree vs hash) |
 //! | [`timeline`] | Fig. 6: the PCU/SOU batch-overlap schedule, rendered |
@@ -17,6 +19,7 @@
 
 pub mod ablate;
 pub mod chaos;
+pub mod crash;
 pub mod fig10;
 pub mod fig12;
 pub mod fig2;
@@ -25,5 +28,6 @@ pub mod indexes;
 pub mod overall;
 pub mod scans;
 pub mod skew;
+pub mod soak;
 pub mod table1;
 pub mod timeline;

@@ -1,0 +1,78 @@
+//! Shell-out tests for the `repro` CLI contract: bad invocations exit
+//! non-zero with a one-line actionable message, good ones exit zero.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("spawn repro")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn no_arguments_is_an_error_with_guidance() {
+    let out = repro(&[]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("missing exhibit"), "names the problem: {err}");
+    assert!(err.contains("usage: repro"), "shows the fix: {err}");
+}
+
+#[test]
+fn unknown_exhibit_is_an_error_naming_the_input() {
+    let out = repro(&["fig99"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown exhibit 'fig99'"), "echoes the bad input: {err}");
+    assert!(err.contains("crash"), "usage lists the durability exhibits: {err}");
+}
+
+#[test]
+fn unknown_flag_is_an_error_naming_the_flag() {
+    let out = repro(&["table1", "--bogus"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("unknown option '--bogus'"));
+}
+
+#[test]
+fn invalid_flag_values_are_errors_with_the_expected_type() {
+    for (args, needle) in [
+        (vec!["table1", "--scale", "gigantic"], "unknown scale 'gigantic'"),
+        (vec!["table1", "--scale"], "--scale needs a value"),
+        (vec!["table1", "--jobs", "many"], "positive integer"),
+        (vec!["table1", "--sou-threads", "-1"], "positive integer"),
+        (vec!["soak", "--batches", "0"], "--batches must be at least 1"),
+        (vec!["soak", "--batches", "x"], "positive integer"),
+        (vec!["crash", "--seed", "abc"], "unsigned integer"),
+        (vec!["table1", "--out"], "--out needs a directory"),
+    ] {
+        let out = repro(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr_of(&out);
+        assert!(err.contains(needle), "{args:?}: expected '{needle}' in: {err}");
+        assert_eq!(
+            err.lines().take_while(|l| !l.starts_with("usage:")).count(),
+            1,
+            "{args:?}: the diagnostic itself is one line: {err}"
+        );
+    }
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    for flag in ["help", "--help", "-h"] {
+        let out = repro(&[flag]);
+        assert!(out.status.success(), "{flag} is not an error");
+        assert!(stderr_of(&out).contains("usage: repro"));
+    }
+}
+
+#[test]
+fn a_real_exhibit_exits_zero() {
+    let tmp = std::env::temp_dir().join("dcart-cli-test");
+    let out = repro(&["table1", "--out", tmp.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    assert!(tmp.join("table1.json").exists());
+}

@@ -29,9 +29,7 @@ use dcart_workloads::{KeySet, Op, OpKind};
 use serde::{Deserialize, Serialize};
 
 use crate::config::DcartConfig;
-use crate::ctt::{
-    execute_ctt, fold_digest, key_id, BatchEvent, CttConsumer, CttOpEvent, LockGroup,
-};
+use crate::ctt::{execute_ctt, tree_digest, BatchEvent, CttConsumer, CttOpEvent, LockGroup};
 use crate::dispatcher::Dispatch;
 use crate::pcu::{scan_capacity_ops, OP_STREAM_BYTES};
 
@@ -471,10 +469,7 @@ impl IndexEngine for DcartAccel {
         recovery.shortcut_corruptions += stats.shortcut.corruptions_injected;
         recovery.shortcut_fallbacks += stats.shortcut.corruption_fallbacks;
         recovery.shortcut_disables += stats.shortcut_disables;
-        let mut tree_digest = 0u64;
-        for (k, &v) in tree.iter() {
-            tree_digest = fold_digest(fold_digest(tree_digest, key_id(k)), v);
-        }
+        let tree_digest = tree_digest(&tree);
 
         let batches = consumer.batches.len().max(1) as f64;
         self.details = AccelDetails {

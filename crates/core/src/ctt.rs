@@ -90,6 +90,18 @@ pub fn fold_digest(h: u64, x: u64) -> u64 {
     (h ^ x).wrapping_mul(0x1000_0000_01b3)
 }
 
+/// Digest of a tree's full contents: one FNV-1a fold over every
+/// `(Key_ID, value)` pair in key order, starting from 0. This is the
+/// end-state fingerprint the chaos and crash experiments compare — two
+/// equal digests mean (with overwhelming probability) identical contents.
+pub fn tree_digest(art: &Art<u64>) -> u64 {
+    let mut h = 0u64;
+    for (k, &v) in art.iter() {
+        h = fold_digest(fold_digest(h, key_id(k)), v);
+    }
+    h
+}
+
 /// Digest of an optional value (read/update/insert/remove results).
 fn digest_option(v: Option<u64>) -> u64 {
     match v {
@@ -193,6 +205,15 @@ pub trait CttConsumer {
     /// All buckets of batch `index` finished.
     fn batch_end(&mut self, index: usize) {
         let _ = index;
+    }
+
+    /// Whether execution should stop before combining the next batch
+    /// (polled once per batch, after [`batch_end`](CttConsumer::batch_end)).
+    /// A durability consumer whose log died (injected crash, I/O failure)
+    /// returns `true` here so the executor does not run batches it can no
+    /// longer make durable.
+    fn abort(&mut self) -> bool {
+        false
     }
 }
 
@@ -815,20 +836,75 @@ pub fn try_execute_ctt_threaded<C: CttConsumer>(
     if batch_size == 0 {
         return Err(DcartError::InvalidBatchSize);
     }
-    let plan = config.faults;
-    let buckets = config.buckets();
-    let mut shards: Vec<BucketShard> = (0..buckets).map(|b| BucketShard::new(b, config)).collect();
-
     // Partitioned bulk load: every key goes to the shard its combining
     // prefix selects (the same routing the PCU applies to operations), with
     // its *global* load index as the value — identical values to a
     // single-tree `load_indexed`.
-    for (i, key) in keys.keys.iter().enumerate() {
-        let prefix = key.prefix_bits_at(config.prefix_skip_bytes, config.prefix_bits);
-        shards[config.bucket_of(prefix)].art.insert(key.clone(), i as u64)?;
-    }
+    let shards = load_shards(config, keys.keys.iter().enumerate().map(|(i, k)| (k, i as u64)))?;
+    run_batches(shards, ops, config, batch_size, threads, 0, consumer)
+}
 
-    let mut stats = CttStats::default();
+/// Resumes a CTT execution from a known tree state instead of a fresh key
+/// set: the shards are seeded with `pairs` (routed by the same combining
+/// prefixes as a bulk load) and the answer digest continues folding from
+/// `initial_digest`.
+///
+/// This is the durability layer's replay entry point: running a prefix of
+/// an op stream, capturing the merged tree and digest, and resuming over
+/// the suffix produces the *same final tree and cumulative answer digest*
+/// as one uninterrupted run — answers depend only on tree contents, never
+/// on shortcut-table, fault-stream, or degradation state (which reset at
+/// the seam; timing and hit-rate stats therefore differ, answers cannot).
+///
+/// # Errors
+///
+/// * [`DcartError::InvalidBatchSize`] when `batch_size == 0`;
+/// * [`DcartError::Art`] when `pairs` or an insert violates the tree's
+///   prefix-free requirement.
+pub fn try_execute_ctt_resumed<C: CttConsumer>(
+    pairs: &[(Key, u64)],
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    threads: usize,
+    initial_digest: u64,
+    consumer: &mut C,
+) -> Result<(Art<u64>, CttStats), DcartError> {
+    if batch_size == 0 {
+        return Err(DcartError::InvalidBatchSize);
+    }
+    let shards = load_shards(config, pairs.iter().map(|(k, v)| (k, *v)))?;
+    run_batches(shards, ops, config, batch_size, threads, initial_digest, consumer)
+}
+
+/// Builds the per-bucket shards and routes every `(key, value)` entry to
+/// the shard its combining prefix selects.
+fn load_shards<'a>(
+    config: &DcartConfig,
+    entries: impl Iterator<Item = (&'a Key, u64)>,
+) -> Result<Vec<BucketShard>, DcartError> {
+    let buckets = config.buckets();
+    let mut shards: Vec<BucketShard> = (0..buckets).map(|b| BucketShard::new(b, config)).collect();
+    for (key, value) in entries {
+        let prefix = key.prefix_bits_at(config.prefix_skip_bytes, config.prefix_bits);
+        shards[config.bucket_of(prefix)].art.insert(key.clone(), value)?;
+    }
+    Ok(shards)
+}
+
+/// The batch loop shared by the fresh and resumed entry points: Combine,
+/// Traverse + Trigger on the worker pool, serial replay, batch-end merge.
+fn run_batches<C: CttConsumer>(
+    mut shards: Vec<BucketShard>,
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    threads: usize,
+    initial_digest: u64,
+    consumer: &mut C,
+) -> Result<(Art<u64>, CttStats), DcartError> {
+    let plan = config.faults;
+    let mut stats = CttStats { answer_digest: initial_digest, ..CttStats::default() };
     // Whole-run scratch, reused across batches.
     let mut combined = CombinedBatch { buckets: Vec::new(), scanned: 0 };
     let mut bucket_sizes: Vec<u32> = Vec::new();
@@ -924,6 +1000,13 @@ pub fn try_execute_ctt_threaded<C: CttConsumer>(
             }
         }
         consumer.batch_end(batch_idx);
+        if consumer.abort() {
+            // The consumer can no longer make further batches durable
+            // (crash, dead log): stop here rather than execute work whose
+            // effects would be lost. Everything up to and including this
+            // batch is already reflected in the shards and stats.
+            break;
+        }
     }
 
     for shard in &shards {

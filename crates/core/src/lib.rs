@@ -43,6 +43,7 @@ mod accel;
 mod config;
 mod ctt;
 pub mod dispatcher;
+pub mod durable;
 mod error;
 pub mod fxhash;
 pub mod pcu;
@@ -52,10 +53,13 @@ mod software;
 pub use accel::{AccelDetails, BatchTiming, DcartAccel};
 pub use config::{DcartConfig, DegradeConfig};
 pub use ctt::{
-    execute_ctt, execute_ctt_threaded, key_id, set_sou_threads, sou_threads, try_execute_ctt,
-    try_execute_ctt_threaded, BatchEvent, CttConsumer, CttOpEvent, CttStats, LockGroup,
+    execute_ctt, execute_ctt_threaded, fold_digest, key_id, set_sou_threads, sou_threads,
+    tree_digest, try_execute_ctt, try_execute_ctt_resumed, try_execute_ctt_threaded, BatchEvent,
+    CttConsumer, CttOpEvent, CttStats, LockGroup,
 };
-pub use dcart_engine::{FaultPlan, RecoveryStats};
+pub use dcart_engine::{CrashInjector, CrashPlan, CrashSite, FaultPlan, RecoveryStats, WalError};
+pub use dcart_mem::PersistStats;
+pub use durable::{recover, run_durable, DurabilityConfig, DurableOutcome, RecoveredState};
 pub use error::DcartError;
 pub use shortcut::{ShortcutEntry, ShortcutStats, ShortcutTable, ENTRY_BYTES};
 pub use software::{DcartSoftware, SoftwareOverheads};

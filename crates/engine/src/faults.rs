@@ -349,6 +349,137 @@ impl DegradationController {
     }
 }
 
+/// Where the durability layer can be killed mid-flight. Each site models a
+/// distinct torn state a real process crash (or power cut) leaves on disk;
+/// the crash-point matrix in `crates/bench` iterates every site at several
+/// offsets and asserts digest-identical recovery for each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashSite {
+    /// Die while a WAL record's bytes are being appended: only a
+    /// deterministic prefix of the record reaches the file (torn tail).
+    MidRecord,
+    /// Die after a batch's ops record is fully on disk but before its
+    /// commit mark is appended: the batch must NOT be replayed.
+    BeforeCommit,
+    /// Die while the checkpoint temp file is being written: only a prefix
+    /// of the snapshot reaches `checkpoint.tmp`.
+    MidCheckpoint,
+    /// Die after the checkpoint temp file is complete and synced but
+    /// before the atomic rename: the previous checkpoint stays live.
+    BeforeSwap,
+    /// Die after the rename but before the WAL is reset: the new
+    /// checkpoint is live and the WAL still holds already-absorbed
+    /// batches, which recovery must skip.
+    AfterSwap,
+}
+
+impl CrashSite {
+    /// Every crash site, in matrix order.
+    pub const ALL: [CrashSite; 5] = [
+        CrashSite::MidRecord,
+        CrashSite::BeforeCommit,
+        CrashSite::MidCheckpoint,
+        CrashSite::BeforeSwap,
+        CrashSite::AfterSwap,
+    ];
+
+    /// Stable lowercase name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashSite::MidRecord => "mid-record",
+            CrashSite::BeforeCommit => "before-commit",
+            CrashSite::MidCheckpoint => "mid-checkpoint",
+            CrashSite::BeforeSwap => "before-swap",
+            CrashSite::AfterSwap => "after-swap",
+        }
+    }
+
+    /// Stable position in [`CrashSite::ALL`] (report ordering, seed
+    /// derivation).
+    pub fn index(self) -> usize {
+        match self {
+            CrashSite::MidRecord => 0,
+            CrashSite::BeforeCommit => 1,
+            CrashSite::MidCheckpoint => 2,
+            CrashSite::BeforeSwap => 3,
+            CrashSite::AfterSwap => 4,
+        }
+    }
+}
+
+/// A deterministic "kill the process here" instruction: die at the
+/// `at`-th opportunity (0-based) of `site`. The `seed` additionally picks
+/// *how much* of a torn write lands on disk for the partial-write sites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// The durability-layer site to kill.
+    pub site: CrashSite,
+    /// 0-based opportunity index at which the crash fires.
+    pub at: u64,
+    /// Seed for the torn-write length draw.
+    pub seed: u64,
+}
+
+/// Counts opportunities per [`CrashSite`] and fires the planned crash
+/// exactly once. Without a plan it still counts, so a clean run can be
+/// used to enumerate the crash-point matrix ("how many opportunities does
+/// each site have on this workload?").
+#[derive(Clone, Debug)]
+pub struct CrashInjector {
+    plan: Option<CrashPlan>,
+    counters: [u64; CrashSite::ALL.len()],
+    fired: bool,
+}
+
+impl CrashInjector {
+    /// An injector that never crashes but still counts opportunities.
+    pub fn counting() -> Self {
+        CrashInjector { plan: None, counters: [0; CrashSite::ALL.len()], fired: false }
+    }
+
+    /// An injector that fires `plan` once, at its site's `at`-th
+    /// opportunity.
+    pub fn for_plan(plan: CrashPlan) -> Self {
+        CrashInjector { plan: Some(plan), counters: [0; CrashSite::ALL.len()], fired: false }
+    }
+
+    /// Records one opportunity at `site`; returns `true` exactly when the
+    /// planned crash fires here (at most once per injector).
+    pub fn should_crash(&mut self, site: CrashSite) -> bool {
+        let n = self.counters[site.index()];
+        self.counters[site.index()] = n + 1;
+        match self.plan {
+            Some(p) if !self.fired && p.site == site && p.at == n => {
+                self.fired = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Opportunities seen so far at `site`.
+    pub fn opportunities(&self, site: CrashSite) -> u64 {
+        self.counters[site.index()]
+    }
+
+    /// `true` once the planned crash has fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// How many bytes of a torn `total`-byte write reach the disk: a
+    /// deterministic draw in `[0, total)` from the plan seed, so
+    /// "mid-record" and "mid-checkpoint" cells tear at reproducible but
+    /// varied offsets (header-only, mid-payload, all-but-checksum, ...).
+    pub fn torn_len(&self, total: usize) -> usize {
+        if total == 0 {
+            return 0;
+        }
+        let seed = self.plan.map_or(0, |p| p.seed ^ (p.at << 8) ^ p.site.index() as u64);
+        (splitmix64(seed ^ total as u64) % total as u64) as usize
+    }
+}
+
 /// Counters for injected faults and the recovery actions they triggered.
 /// Zero everywhere on a fault-free run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -588,5 +719,50 @@ mod tests {
         let p = FaultPlan::default();
         assert!(!p.is_active());
         assert_eq!(p, FaultPlan::none());
+    }
+
+    #[test]
+    fn crash_injector_fires_exactly_once_at_the_planned_opportunity() {
+        let plan = CrashPlan { site: CrashSite::MidRecord, at: 3, seed: 1 };
+        let mut inj = CrashInjector::for_plan(plan);
+        let fires: Vec<bool> = (0..8).map(|_| inj.should_crash(CrashSite::MidRecord)).collect();
+        assert_eq!(fires, [false, false, false, true, false, false, false, false]);
+        assert!(inj.fired());
+        assert_eq!(inj.opportunities(CrashSite::MidRecord), 8);
+    }
+
+    #[test]
+    fn crash_sites_count_independently() {
+        let plan = CrashPlan { site: CrashSite::BeforeSwap, at: 0, seed: 9 };
+        let mut inj = CrashInjector::for_plan(plan);
+        assert!(!inj.should_crash(CrashSite::MidRecord));
+        assert!(!inj.should_crash(CrashSite::MidCheckpoint));
+        assert!(inj.should_crash(CrashSite::BeforeSwap));
+        assert_eq!(inj.opportunities(CrashSite::MidRecord), 1);
+        assert_eq!(inj.opportunities(CrashSite::BeforeSwap), 1);
+    }
+
+    #[test]
+    fn counting_injector_never_fires() {
+        let mut inj = CrashInjector::counting();
+        for _ in 0..100 {
+            for site in CrashSite::ALL {
+                assert!(!inj.should_crash(site));
+            }
+        }
+        assert!(!inj.fired());
+        assert_eq!(inj.opportunities(CrashSite::AfterSwap), 100);
+    }
+
+    #[test]
+    fn torn_len_is_deterministic_and_bounded() {
+        let inj = CrashInjector::for_plan(CrashPlan { site: CrashSite::MidRecord, at: 2, seed: 7 });
+        for total in [1usize, 8, 64, 4096] {
+            let a = inj.torn_len(total);
+            let b = inj.torn_len(total);
+            assert_eq!(a, b);
+            assert!(a < total, "torn write must be a strict prefix: {a} of {total}");
+        }
+        assert_eq!(inj.torn_len(0), 0);
     }
 }

@@ -15,9 +15,13 @@
 //!   host threads with deterministic (thread-count-independent) outcomes;
 //! * [`faults`] — deterministic seed-driven fault injection
 //!   ([`FaultPlan`], [`FaultInjector`]), bounded retry ([`RetryPolicy`]),
-//!   graceful degradation ([`DegradationController`]) and recovery
-//!   accounting ([`RecoveryStats`]) shared by the memory and accelerator
-//!   models.
+//!   graceful degradation ([`DegradationController`]), recovery
+//!   accounting ([`RecoveryStats`]) and deterministic crash planning
+//!   ([`CrashPlan`], [`CrashInjector`]) shared by the memory, accelerator
+//!   and durability models;
+//! * [`wal`] — a write-ahead log with length-prefixed, checksummed batch
+//!   records and torn-tail detection, the persistence substrate of the
+//!   durable executor in `crates/core`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,13 +36,15 @@ pub mod faults;
 mod pipeline;
 mod pool;
 mod queueing;
+pub mod wal;
 
 pub use clock::Clock;
 pub use event::{EventQueue, NonBlockingUnit};
 pub use faults::{
-    DegradationController, FaultInjector, FaultPlan, FaultSite, RecoveryStats, RetryOutcome,
-    RetryPolicy,
+    CrashInjector, CrashPlan, CrashSite, DegradationController, FaultInjector, FaultPlan,
+    FaultSite, RecoveryStats, RetryOutcome, RetryPolicy,
 };
 pub use pipeline::{Pipeline, PipelineRun};
 pub use pool::par_for_each_mut;
 pub use queueing::{mdc_wait, BoundedQueue, LatencyRecorder};
+pub use wal::{WalBatch, WalError, WalScan, WalWriter};

@@ -10,7 +10,9 @@
 //! * [`MemoryModel`] — off-chip DDR/HBM latency+bandwidth accounting,
 //!   cross-validated by the event-driven [`HbmSim`] channel simulator;
 //! * [`LineUtilization`] — the Fig. 2(c) useful-bytes-per-line metric;
-//! * [`EnergyModel`] — per-platform power models behind Fig. 11.
+//! * [`EnergyModel`] — per-platform power models behind Fig. 11;
+//! * [`PersistStats`] — byte accounting for the durability layer (WAL and
+//!   checkpoint traffic, set against the on-chip buffer capacities).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +23,7 @@ mod dram;
 mod energy;
 mod hbm_sim;
 mod line;
+mod persist;
 
 pub use buffer::{BufferOutcome, BufferPolicy, BufferStats, ObjectBuffer};
 pub use cache::{Access, CacheStats, SetAssocCache, LINE_BYTES};
@@ -28,3 +31,4 @@ pub use dram::{MemoryConfig, MemoryModel};
 pub use energy::EnergyModel;
 pub use hbm_sim::{Completion, HbmSim, HbmSimConfig};
 pub use line::LineUtilization;
+pub use persist::PersistStats;
