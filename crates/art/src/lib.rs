@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 mod arena;
 mod inline;

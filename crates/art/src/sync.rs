@@ -414,7 +414,9 @@ impl<V> SyncArt<V> {
                 drop(owner);
                 match &mut *g {
                     SyncNode::Leaf { value: v, .. } => Ok(Some(std::mem::replace(v, value))),
-                    SyncNode::Inner { .. } => unreachable!(),
+                    SyncNode::Inner { .. } => {
+                        unreachable!("insert target re-checked under its lock is a leaf")
+                    }
                 }
             }
             Case::SplitLeaf { common, old_byte } => {
@@ -438,7 +440,9 @@ impl<V> SyncArt<V> {
                         prefix.drain(..=m);
                         (head, edge_old)
                     }
-                    SyncNode::Leaf { .. } => unreachable!(),
+                    SyncNode::Leaf { .. } => {
+                        unreachable!("edge owner re-checked under its lock is an inner node")
+                    }
                 };
                 let edge_new = bytes[depth + m];
                 let new_leaf = Arc::new(RwLock::new(SyncNode::Leaf { key, value }));
@@ -471,7 +475,9 @@ impl<V> SyncArt<V> {
                         }
                         Ok(None)
                     }
-                    SyncNode::Leaf { .. } => unreachable!(),
+                    SyncNode::Leaf { .. } => {
+                        unreachable!("edge owner re-checked under its lock is an inner node")
+                    }
                 }
             }
             Case::Descend { child, edge } => {
@@ -479,7 +485,9 @@ impl<V> SyncArt<V> {
                 let new_depth = depth
                     + match &*g {
                         SyncNode::Inner { prefix, .. } => prefix.len() + 1,
-                        SyncNode::Leaf { .. } => unreachable!(),
+                        SyncNode::Leaf { .. } => {
+                            unreachable!("descent path visits inner nodes only")
+                        }
                     };
                 self.insert_rec(child, SlotOwner::Parent(g, edge), key, value, new_depth)
             }
@@ -601,7 +609,7 @@ impl<V> SyncArt<V> {
                 // the unwrap below sees the last reference.
                 drop(child);
                 let SyncNode::Inner { prefix, children, node_type } = &mut *g else {
-                    unreachable!()
+                    unreachable!("merge parent re-checked under its lock is an inner node")
                 };
                 let i = children
                     .binary_search_by_key(&edge, |(e, _)| *e)

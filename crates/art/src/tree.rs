@@ -502,7 +502,7 @@ impl<V> Art<V> {
                 Step::ReplaceLeafValue => {
                     let old = match self.arena.get_mut(cur) {
                         Node::Leaf { value: v, .. } => std::mem::replace(v, value),
-                        Node::Inner(_) => unreachable!(),
+                        Node::Inner(_) => unreachable!("located leaf address holds a leaf"),
                     };
                     // Updating a leaf value is the CAS/lock point of an
                     // update operation.
@@ -515,7 +515,7 @@ impl<V> Art<V> {
                     // shared byte run, holding the old and new leaves.
                     let old_leaf_byte = match self.arena.get(cur) {
                         Node::Leaf { key: lk, .. } => lk.as_bytes()[depth + common],
-                        Node::Inner(_) => unreachable!(),
+                        Node::Inner(_) => unreachable!("located leaf address holds a leaf"),
                     };
                     let new_byte = bytes[depth + common];
                     let new_leaf = self.arena.alloc(Node::Leaf { key, value });
@@ -603,7 +603,7 @@ impl<V> Art<V> {
                     }
                     let value = match self.arena.free(cur) {
                         Node::Leaf { value, .. } => value,
-                        Node::Inner(_) => unreachable!(),
+                        Node::Inner(_) => unreachable!("remove target was matched as a leaf"),
                     };
                     self.len -= 1;
                     tracer.target(cur, parent_edge.map(|(p, _)| p));
@@ -654,7 +654,7 @@ impl<V> Art<V> {
             let freed = self.arena.free(node);
             let freed_prefix = match freed {
                 Node::Inner(inner) => inner.prefix,
-                Node::Leaf { .. } => unreachable!(),
+                Node::Leaf { .. } => unreachable!("path-compression merge frees an inner node"),
             };
             if let Node::Inner(child_inner) = self.arena.get_mut(only_child) {
                 let mut merged = freed_prefix;

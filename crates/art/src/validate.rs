@@ -92,7 +92,7 @@ impl<V> Art<V> {
         let mut violations = Vec::new();
         let mut reachable = 0usize;
         let mut leaves = 0usize;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
 
         let mut stack: Vec<(NodeId, Vec<u8>)> = Vec::new();
         if let Some(root) = self.root() {

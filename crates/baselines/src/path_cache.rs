@@ -8,7 +8,7 @@
 //! operations skip those levels — which is why SMART performs fewer node
 //! visits and partial-key matches than plain ART (Fig. 2(b), Fig. 8).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcart_art::Key;
 
@@ -20,7 +20,7 @@ pub struct PathCache {
     /// How many leading node visits a hit skips.
     skip_depth: usize,
     capacity: usize,
-    entries: HashMap<Vec<u8>, u64>,
+    entries: BTreeMap<Vec<u8>, u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -39,7 +39,7 @@ impl PathCache {
             prefix_len,
             skip_depth,
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             tick: 0,
             hits: 0,
             misses: 0,

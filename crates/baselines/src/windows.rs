@@ -12,7 +12,7 @@
 //!   mean `k − 1` contended acquisitions and a serialization chain of
 //!   length `k`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcart_art::NodeId;
 
@@ -35,7 +35,7 @@ use dcart_art::NodeId;
 pub struct RedundancyWindow {
     window: usize,
     ops_in_window: usize,
-    seen: HashMap<NodeId, ()>,
+    seen: BTreeMap<NodeId, ()>,
     /// Total node visits observed.
     pub total_visits: u64,
     /// Visits to a node already fetched within the current window.
@@ -53,7 +53,7 @@ impl RedundancyWindow {
         RedundancyWindow {
             window,
             ops_in_window: 0,
-            seen: HashMap::new(),
+            seen: BTreeMap::new(),
             total_visits: 0,
             redundant_visits: 0,
         }
@@ -122,7 +122,7 @@ pub struct ContentionTotals {
 pub struct ContentionWindow {
     window: usize,
     ops_in_window: usize,
-    holders: HashMap<NodeId, u64>,
+    holders: BTreeMap<NodeId, u64>,
     totals: ContentionTotals,
     /// Longest per-node queue of each flushed window (for P99 latency).
     max_queue_history: Vec<u64>,
@@ -139,7 +139,7 @@ impl ContentionWindow {
         ContentionWindow {
             window,
             ops_in_window: 0,
-            holders: HashMap::new(),
+            holders: BTreeMap::new(),
             totals: ContentionTotals::default(),
             max_queue_history: Vec::new(),
         }

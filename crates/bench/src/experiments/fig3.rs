@@ -6,7 +6,7 @@
 //! thousands of operations (temporal similarity), and >96.65 % of tree
 //! traversals touch only 5 % of ART nodes (spatial similarity).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 use dcart_baselines::execute_with_traces;
@@ -50,7 +50,7 @@ fn analyze(workload: Workload, scale: &Scale) -> Fig3Workload {
     }
 
     // Node-visit skew from the actual traversals.
-    let mut visits_per_node: HashMap<u32, u64> = HashMap::new();
+    let mut visits_per_node: BTreeMap<u32, u64> = BTreeMap::new();
     let mut total_visits = 0u64;
     execute_with_traces(&keys, &ops, |op| {
         for v in &op.trace.visits {

@@ -768,6 +768,9 @@ pub fn execute_ctt<C: CttConsumer>(
     assert!(batch_size > 0, "batch size must be positive");
     match try_execute_ctt(keys, ops, config, batch_size, consumer) {
         Ok(r) => r,
+        // Documented infallible wrapper: the `try_` variant is the library
+        // surface, and this panic is the advertised contract (`# Panics`).
+        // dcart_lint::allow(P1) -- panic documented in the wrapper contract
         Err(e) => panic!("CTT execution failed: {e}"),
     }
 }
@@ -791,6 +794,9 @@ pub fn execute_ctt_threaded<C: CttConsumer>(
     assert!(batch_size > 0, "batch size must be positive");
     match try_execute_ctt_threaded(keys, ops, config, batch_size, threads, consumer) {
         Ok(r) => r,
+        // Documented infallible wrapper: the `try_` variant is the library
+        // surface, and this panic is the advertised contract (`# Panics`).
+        // dcart_lint::allow(P1) -- panic documented in the wrapper contract
         Err(e) => panic!("CTT execution failed: {e}"),
     }
 }

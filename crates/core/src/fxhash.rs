@@ -11,6 +11,9 @@
 //! Not suitable for untrusted input (no collision resistance) — keep it on
 //! internal integer keys only.
 
+// dcart_lint::allow_file(D1) -- this module IS the sanctioned hasher: the
+// std tables are re-exported with the seed-free FxBuildHasher, so their
+// iteration order is a pure function of the inserted keys.
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};
 

@@ -12,7 +12,7 @@
 //! checking that the cached address still holds a leaf with the expected
 //! key.
 
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 use dcart_art::{Art, Key, NodeId};
 use serde::{Deserialize, Serialize};
@@ -92,10 +92,10 @@ impl ShortcutStats {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ShortcutTable {
-    entries: HashMap<Key, ShortcutEntry>,
+    entries: FxHashMap<Key, ShortcutEntry>,
     /// Entries poisoned by fault injection: validation must fail on their
     /// next probe regardless of what the tree says.
-    poisoned: HashSet<Key>,
+    poisoned: FxHashSet<Key>,
     stats: ShortcutStats,
 }
 

@@ -30,7 +30,7 @@ use std::collections::BinaryHeap;
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(u64, u64)>>,
-    payloads: std::collections::HashMap<(u64, u64), E>,
+    payloads: std::collections::BTreeMap<(u64, u64), E>,
     seq: u64,
     now: u64,
 }
@@ -46,7 +46,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            payloads: std::collections::HashMap::new(),
+            payloads: std::collections::BTreeMap::new(),
             seq: 0,
             now: 0,
         }

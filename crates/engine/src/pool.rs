@@ -15,8 +15,22 @@
 //! what makes single-threaded and multi-threaded runs byte-identical by
 //! construction.
 
+// Under `--features loom` the pool runs on the vendored loom model
+// checker's primitives (see vendor/loom and tests/loom.rs); outside a
+// loom::model call they are passthroughs to std, so ordinary tests are
+// unaffected.
+#[cfg(feature = "loom")]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(feature = "loom")]
+use loom::sync::Mutex;
+#[cfg(feature = "loom")]
+use loom::thread;
+#[cfg(not(feature = "loom"))]
 use std::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(feature = "loom"))]
 use std::sync::Mutex;
+#[cfg(not(feature = "loom"))]
+use std::thread;
 
 /// Runs `work(i, &mut slots[i])` for every slot, fanned over at most
 /// `workers` scoped threads.
@@ -38,7 +52,7 @@ where
     }
     let cells: Vec<Mutex<(usize, &mut T)>> = slots.iter_mut().enumerate().map(Mutex::new).collect();
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,108 @@
+//! Model-checked concurrency invariants, run with
+//! `cargo test -p dcart-engine --features loom`.
+//!
+//! The vendored loom explores every (preemption-bounded) thread
+//! interleaving of each model, so these tests pin properties that a single
+//! lucky schedule under `cargo test` cannot: the pool's exactly-once visit
+//! contract and panic propagation under arbitrary worker schedules, and
+//! the SOU response queue's backpressure latch never losing an overflow
+//! signal in a producer/consumer race.
+#![cfg(feature = "loom")]
+
+use dcart_engine::{par_for_each_mut, BoundedQueue};
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::{Arc, Mutex};
+
+/// The pool's determinism contract, under every schedule: each slot is
+/// handed to `work` exactly once, whichever worker claims it.
+#[test]
+fn pool_visits_every_slot_exactly_once_in_all_schedules() {
+    loom::model(|| {
+        let mut slots = vec![0u32; 3];
+        par_for_each_mut(&mut slots, 2, |i, s| {
+            // `+=` (not `=`) so a double visit would be visible as i+1 extra.
+            *s += i as u32 + 1;
+        });
+        assert_eq!(slots, vec![1, 2, 3]);
+    });
+}
+
+/// A panicking worker must propagate out of `par_for_each_mut` (via the
+/// scope join) in every schedule, and must never cause a sibling worker to
+/// run a slot twice — siblings either finish their claimed slots or bail
+/// out on the poisoned cell lock.
+#[test]
+fn pool_propagates_worker_panic_in_all_schedules() {
+    // Each exploding execution prints a panic report; hundreds of schedules
+    // would flood the log, so silence the hook for the duration.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    loom::model(|| {
+        let mut slots = vec![0u32; 2];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_for_each_mut(&mut slots, 2, |i, s| {
+                if i == 1 {
+                    panic!("worker failure injected by the model");
+                }
+                *s += 1;
+            });
+        }));
+        assert!(result.is_err(), "the worker panic must reach the caller");
+        assert!(slots[0] <= 1, "slot 0 visited at most once even while unwinding");
+    });
+    std::panic::set_hook(prev_hook);
+}
+
+/// The SOU response-queue degradation protocol from `dcart::accel`: a
+/// producer that observes overflow trips a latch *after* releasing the
+/// queue lock. Under every producer/drainer interleaving the latch must
+/// agree with the queue's overflow accounting — an overflow signal is
+/// never lost, occupancy never exceeds capacity, and every offered item is
+/// either accepted (then possibly drained) or rejected.
+#[test]
+fn bounded_queue_backpressure_latch_never_loses_an_overflow() {
+    loom::model(|| {
+        let queue = Arc::new(Mutex::new(BoundedQueue::new(2)));
+        let latch = Arc::new(AtomicBool::new(false));
+
+        let producers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let latch = Arc::clone(&latch);
+                loom::thread::spawn(move || {
+                    let over = {
+                        let mut q = queue.lock().expect("no producer panics");
+                        q.offer(2)
+                    };
+                    // The racy window under test: the latch store happens
+                    // outside the queue lock, as in the accelerator model.
+                    if over > 0 {
+                        latch.store(true, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        let drainer = {
+            let queue = Arc::clone(&queue);
+            loom::thread::spawn(move || queue.lock().expect("no producer panics").drain(1))
+        };
+
+        for p in producers {
+            p.join().expect("producer ran to completion");
+        }
+        let drained = drainer.join().expect("drainer ran to completion");
+
+        let q = queue.lock().expect("all users joined");
+        assert!(q.depth() <= 2, "occupancy within capacity");
+        assert_eq!(
+            q.depth() + drained + q.rejected(),
+            4,
+            "every offered item is accepted-and-held, drained, or rejected"
+        );
+        assert_eq!(
+            latch.load(Ordering::SeqCst),
+            q.rejected() > 0,
+            "the latch fires iff an offer overflowed, in every schedule"
+        );
+    });
+}

@@ -171,7 +171,9 @@ impl<V> BPlusTree<V> {
                 Some(i) => {
                     cur = match self.node(cur) {
                         BNode::Internal { children, .. } => children[i],
-                        BNode::Leaf { .. } => unreachable!(),
+                        BNode::Leaf { .. } => {
+                            unreachable!("descent to a leaf passes internal nodes only")
+                        }
                     };
                 }
                 None => {
@@ -256,7 +258,9 @@ impl<V> BPlusTree<V> {
                             separators.insert(i, sep);
                             children.insert(i + 1, right);
                         }
-                        BNode::Leaf { .. } => unreachable!(),
+                        BNode::Leaf { .. } => {
+                            unreachable!("split insertion parent is an internal node")
+                        }
                     }
                     return (old, self.maybe_split_internal(node));
                 }
@@ -281,7 +285,9 @@ impl<V> BPlusTree<V> {
         let right_id = self.alloc(BNode::Leaf { entries: right_entries, next: old_next });
         match self.nodes[node].as_mut().expect("arena invariant: split target is live") {
             BNode::Leaf { next, .. } => *next = Some(right_id),
-            BNode::Internal { .. } => unreachable!(),
+            BNode::Internal { .. } => {
+                unreachable!("leaf split patches the leaf chain, not an internal node")
+            }
         }
         Some((sep, right_id))
     }
@@ -350,7 +356,7 @@ impl<V> BPlusTree<V> {
             };
         let child = match self.node(node) {
             BNode::Internal { children, .. } => children[child_i],
-            BNode::Leaf { .. } => unreachable!(),
+            BNode::Leaf { .. } => unreachable!("underflow repair walks internal nodes only"),
         };
         let removed = self.remove_rec(child, key);
         if removed.is_some() {
@@ -383,7 +389,7 @@ impl<V> BPlusTree<V> {
                 }
                 (children[left_i], children[right_i])
             }
-            BNode::Leaf { .. } => unreachable!(),
+            BNode::Leaf { .. } => unreachable!("sibling lookup happens in an internal parent"),
         };
 
         // Try borrowing from the fuller sibling first.
@@ -396,7 +402,7 @@ impl<V> BPlusTree<V> {
         // Merge right into left. The separator between them comes down.
         let parent_sep = match self.nodes[node].as_ref().expect("arena invariant: parent is live") {
             BNode::Internal { separators, .. } => separators[left_i].clone(),
-            BNode::Leaf { .. } => unreachable!(),
+            BNode::Leaf { .. } => unreachable!("separator lives in an internal parent"),
         };
         let right_node = self.dealloc(right);
         let moved = match (
@@ -429,7 +435,7 @@ impl<V> BPlusTree<V> {
                 separators.remove(left_i);
                 children.remove(right_i);
             }
-            BNode::Leaf { .. } => unreachable!(),
+            BNode::Leaf { .. } => unreachable!("merge updates an internal parent"),
         }
     }
 
@@ -473,7 +479,7 @@ impl<V> BPlusTree<V> {
                 let parent_sep =
                     match self.nodes[node].as_ref().expect("arena invariant: parent is live") {
                         BNode::Internal { separators, .. } => separators[left_i].clone(),
-                        BNode::Leaf { .. } => unreachable!(),
+                        BNode::Leaf { .. } => unreachable!("separator lives in an internal parent"),
                     };
                 let mut seps = ls;
                 seps.push(parent_sep);
@@ -501,7 +507,7 @@ impl<V> BPlusTree<V> {
         self.nodes[right] = Some(r);
         match self.nodes[node].as_mut().expect("arena invariant: parent is live") {
             BNode::Internal { separators, .. } => separators[left_i] = new_sep,
-            BNode::Leaf { .. } => unreachable!(),
+            BNode::Leaf { .. } => unreachable!("separator lives in an internal parent"),
         }
     }
 
@@ -538,7 +544,7 @@ impl<V> BPlusTree<V> {
                     }
                     leaf = *next;
                 }
-                BNode::Internal { .. } => unreachable!(),
+                BNode::Internal { .. } => unreachable!("leaf chain links to leaves only"),
             }
         }
         self.stats.node_accesses += accesses;
@@ -569,7 +575,7 @@ impl<V> BPlusTree<V> {
                     out.extend(entries.iter().map(|(_, v)| v));
                     leaf = *next;
                 }
-                BNode::Internal { .. } => unreachable!(),
+                BNode::Internal { .. } => unreachable!("leaf chain links to leaves only"),
             }
         }
         out

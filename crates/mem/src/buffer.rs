@@ -9,7 +9,7 @@
 //! the lowest resident value — preventing cache thrashing of high-value
 //! (frequently traversed) nodes. The other buffers use LRU.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -97,7 +97,7 @@ pub struct ObjectBuffer {
     capacity: u64,
     used: u64,
     policy: BufferPolicy,
-    entries: HashMap<u64, Entry>,
+    entries: BTreeMap<u64, Entry>,
     /// Eviction order: smallest `(priority, id)` is the next victim.
     order: BTreeSet<(u64, u64)>,
     tick: u64,
@@ -116,7 +116,7 @@ impl ObjectBuffer {
             capacity,
             used: 0,
             policy,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: BTreeSet::new(),
             tick: 0,
             stats: BufferStats::default(),

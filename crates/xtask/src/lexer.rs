@@ -1,0 +1,351 @@
+//! A minimal Rust surface lexer for the lint pass.
+//!
+//! The build environment is offline (no `syn`), so the rules run over a
+//! hand-rolled scan that separates each source line into three channels:
+//!
+//! * **code** — the line with comments removed and string/char-literal
+//!   *contents* blanked to spaces (byte-for-byte aligned with the original,
+//!   so a match column is a real source column);
+//! * **comment** — the text of any comments on the line (where the
+//!   `dcart_lint::allow(...)` markers live);
+//! * **strings** — the string/byte-string literals that *start* on the
+//!   line, with their contents (for the F1 magic-string rule and the
+//!   "`expect` carries a message" check).
+//!
+//! Handled: line and nested block comments, plain/byte strings with
+//! escapes, raw strings `r#".."#` at any hash depth, char literals vs.
+//! lifetimes. This is not a full lexer — it is exactly enough structure to
+//! make identifier-level matching sound (no matches inside comments or
+//! literals, no comment markers inside strings confusing the scan).
+
+/// A string or byte-string literal found in the source.
+#[derive(Clone, Debug)]
+pub struct StrLit {
+    /// 1-based line the literal starts on.
+    pub line: usize,
+    /// 1-based byte column of the opening delimiter.
+    pub col: usize,
+    /// The literal's content (escapes left as written).
+    pub text: String,
+}
+
+/// One source line, split into the three channels.
+#[derive(Clone, Debug, Default)]
+pub struct LineView {
+    /// Code with comments and literal contents blanked (alignment kept).
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// Literals starting on this line.
+    pub strings: Vec<StrLit>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    /// `hashes` is the raw-string hash depth; `None` means an escaped
+    /// (non-raw) string.
+    Str {
+        hashes: Option<usize>,
+    },
+}
+
+/// Scans `src` into per-line views. Never fails: unterminated constructs
+/// simply run to end-of-file in their current state.
+pub fn scan(src: &str) -> Vec<LineView> {
+    let b = src.as_bytes();
+    let mut lines: Vec<LineView> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut strings: Vec<StrLit> = Vec::new();
+    let mut cur_lit = String::new();
+    let mut lit_start: Option<(usize, usize)> = None;
+    let mut state = State::Normal;
+    let (mut line, mut col) = (1usize, 1usize);
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {{
+            lines.push(LineView {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                strings: std::mem::take(&mut strings),
+            });
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            // A line comment ends here; everything else continues across
+            // the newline in its current state.
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            if let State::Str { .. } = state {
+                cur_lit.push('\n');
+            }
+            flush_line!();
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    col += 2;
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    col += 2;
+                    i += 2;
+                } else if c == b'"' {
+                    lit_start = Some((line, col));
+                    state = State::Str { hashes: None };
+                    code.push(' ');
+                    col += 1;
+                    i += 1;
+                } else if (c == b'r' || c == b'b') && !prev_is_ident(b, i) {
+                    // Possible raw/byte string prefix: r", r#", br", b", br#".
+                    let mut j = i + 1;
+                    if c == b'b' && b.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = j > i + 1 || hashes > 0;
+                    if b.get(j) == Some(&b'"') && (is_raw || c == b'b') {
+                        let skip = j + 1 - i;
+                        lit_start = Some((line, col));
+                        state = State::Str { hashes: if is_raw { Some(hashes) } else { None } };
+                        for _ in 0..skip {
+                            code.push(' ');
+                        }
+                        col += skip;
+                        i = j + 1;
+                    } else {
+                        code.push(c as char);
+                        col += 1;
+                        i += 1;
+                    }
+                } else if c == b'\'' && !prev_is_ident(b, i) {
+                    // Char literal or lifetime.
+                    if b.get(i + 1) == Some(&b'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        if j < b.len() {
+                            j += 1; // the escaped byte
+                        }
+                        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                            j += 1;
+                        }
+                        let end = (j + 1).min(b.len());
+                        for _ in i..end {
+                            code.push(' ');
+                        }
+                        col += end - i;
+                        i = end;
+                    } else if b.get(i + 2) == Some(&b'\'') {
+                        code.push_str("   ");
+                        col += 3;
+                        i += 3;
+                    } else {
+                        // A lifetime: keep the tick, scan on.
+                        code.push('\'');
+                        col += 1;
+                        i += 1;
+                    }
+                } else {
+                    // Non-ASCII bytes are replaced so the code channel
+                    // stays byte-aligned with the source (one byte, one
+                    // column) and safe to slice at any offset.
+                    code.push(if c.is_ascii() { c as char } else { '?' });
+                    col += 1;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c as char);
+                code.push(' ');
+                col += 1;
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 { State::Normal } else { State::BlockComment(depth - 1) };
+                    code.push_str("  ");
+                    col += 2;
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    col += 2;
+                    i += 2;
+                } else {
+                    comment.push(c as char);
+                    code.push(' ');
+                    col += 1;
+                    i += 1;
+                }
+            }
+            State::Str { hashes } => {
+                let closed = match hashes {
+                    None => {
+                        if c == b'\\' {
+                            cur_lit.push('\\');
+                            if let Some(&e) = b.get(i + 1) {
+                                if e != b'\n' {
+                                    cur_lit.push(e as char);
+                                    code.push_str("  ");
+                                    col += 2;
+                                    i += 2;
+                                    continue;
+                                }
+                            }
+                            code.push(' ');
+                            col += 1;
+                            i += 1;
+                            continue;
+                        }
+                        c == b'"'
+                    }
+                    Some(n) => {
+                        c == b'"' && b[i + 1..].iter().take(n).filter(|&&h| h == b'#').count() == n
+                    }
+                };
+                if closed {
+                    let extra = hashes.unwrap_or(0);
+                    for _ in 0..=extra {
+                        code.push(' ');
+                    }
+                    col += 1 + extra;
+                    i += 1 + extra;
+                    let (l0, c0) = lit_start.take().unwrap_or((line, col));
+                    let text = std::mem::take(&mut cur_lit);
+                    let lit = StrLit { line: l0, col: c0, text };
+                    if l0 == line {
+                        strings.push(lit);
+                    } else if let Some(v) = lines.get_mut(l0 - 1) {
+                        v.strings.push(lit);
+                    }
+                    state = State::Normal;
+                } else {
+                    cur_lit.push(c as char);
+                    code.push(' ');
+                    col += 1;
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!();
+    lines
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Byte columns (1-based) where `name` appears as a whole identifier in
+/// `code`.
+pub fn ident_cols(code: &str, name: &str) -> Vec<usize> {
+    let cb = code.as_bytes();
+    let nb = name.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(cb, nb, from) {
+        let before_ok = pos == 0 || !is_ident_byte(cb[pos - 1]);
+        let after = pos + nb.len();
+        let after_ok = after >= cb.len() || !is_ident_byte(cb[after]);
+        if before_ok && after_ok {
+            out.push(pos + 1);
+        }
+        from = pos + 1;
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return None;
+    }
+    (from..=hay.len() - needle.len()).find(|&i| &hay[i..i + needle.len()] == needle)
+}
+
+/// After the identifier ending at byte offset `end0` (0-based), does the
+/// code continue (ignoring spaces) with `suffix`?
+pub fn followed_by(code: &str, end0: usize, suffix: &str) -> bool {
+    let rest: String =
+        code[end0.min(code.len())..].chars().filter(|c| !c.is_whitespace()).collect();
+    rest.starts_with(suffix)
+}
+
+/// Is the last non-space byte before 0-based offset `start0` equal to `c`?
+pub fn preceded_by(code: &str, start0: usize, c: char) -> bool {
+    code[..start0.min(code.len())].trim_end().ends_with(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let v = scan("let x = \"HashMap\"; // HashMap here\nuse std::collections::HashMap;\n");
+        assert!(!v[0].code.contains("HashMap"));
+        assert!(v[0].comment.contains("HashMap"));
+        assert_eq!(v[0].strings[0].text, "HashMap");
+        assert_eq!(ident_cols(&v[1].code, "HashMap"), vec![23]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let v = scan("let m = *b\"DCARTWAL\"; let r = r#\"x \" y\"#; let c = 'a'; let l: &'static str = \"s\";");
+        let texts: Vec<&str> = v[0].strings.iter().map(|s| s.text.as_str()).collect();
+        assert_eq!(texts, vec!["DCARTWAL", "x \" y", "s"]);
+        assert!(v[0].code.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let v = scan("a /* one /* two */ still */ b\n");
+        assert!(v[0].code.contains('a') && v[0].code.contains('b'));
+        assert!(!v[0].code.contains("still"));
+    }
+
+    #[test]
+    fn multiline_string_attaches_to_start_line() {
+        let v = scan("let s = \"first\nsecond\";\nlet t = 1;\n");
+        assert_eq!(v[0].strings.len(), 1);
+        assert_eq!(v[0].strings[0].text, "first\nsecond");
+        assert!(v[1].strings.is_empty());
+    }
+
+    #[test]
+    fn ident_matching_is_whole_word() {
+        assert!(ident_cols("FxHashMap<K, V>", "HashMap").is_empty());
+        assert_eq!(ident_cols("HashMap::new()", "HashMap"), vec![1]);
+        assert!(followed_by("x.unwrap ()", 9, "()"));
+        assert!(preceded_by("x .unwrap()", 3, '.'));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let v = scan("let s = \"a\\\"b\"; let x = 1;");
+        assert_eq!(v[0].strings[0].text, "a\\\"b");
+        assert!(v[0].code.contains("let x = 1"));
+    }
+}

@@ -1,0 +1,197 @@
+//! # xtask — workspace automation for the DCART reproduction
+//!
+//! The entry point is `cargo run -p xtask -- lint`: a static-analysis pass
+//! over every workspace crate enforcing the invariants the reproduction's
+//! guarantees rest on but clippy cannot express (see [`rules`] for the
+//! rule table). The pass is pure std — the build environment is offline,
+//! so instead of `syn` it runs over the surface lexer in [`lexer`], which
+//! is precise enough for identifier-level matching with real source spans.
+//!
+//! The library surface exists so the fixture suite under `tests/` can
+//! prove every rule ID fires on a known-bad snippet and stays quiet on a
+//! known-good one.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{Diagnostic, RULE_IDS};
+
+/// Lints one file's source as if it lived at workspace-relative `path`
+/// (the path decides rule scoping: crate name, whitelists, definition
+/// sites). Cross-file checks (magic-definition presence, crate-root
+/// attributes) are the workspace driver's job.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let lines = lexer::scan(source);
+    let ctx = rules::FileCtx::new(path, &lines);
+    let mut out = Vec::new();
+    rules::d1(&ctx, &mut out);
+    rules::d2(&ctx, &mut out);
+    rules::p1(&ctx, &mut out);
+    rules::f1(&ctx, &mut out);
+    rules::o1(&ctx, &mut out);
+    out
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// Scans `crates/*/src/**/*.rs` (unit tests inside those files are
+/// excluded by the `#[cfg(test)]` region tracker; integration tests,
+/// benches and fixtures are not scanned at all), then runs the
+/// workspace-level checks:
+///
+/// * every [`rules::LIB_CRATES`] root carries `#![forbid(unsafe_code)]`
+///   and the `deny(clippy::unwrap_used, clippy::panic)` cfg_attr;
+/// * every [`rules::F1_MAGICS`] literal is actually defined at its single
+///   source of truth.
+///
+/// Returns diagnostics sorted by (path, line, col) and the number of
+/// files scanned.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    let mut magic_defined = vec![false; rules::F1_MAGICS.len()];
+    for file in &files {
+        let source = std::fs::read_to_string(file)?;
+        let rel = rel_path(root, file);
+        out.extend(lint_source(&rel, &source));
+        for (k, (magic, def)) in rules::F1_MAGICS.iter().enumerate() {
+            if rel == *def && source.contains(magic) {
+                magic_defined[k] = true;
+            }
+        }
+    }
+
+    for (k, (magic, def)) in rules::F1_MAGICS.iter().enumerate() {
+        if !magic_defined[k] {
+            out.push(Diagnostic {
+                path: def.to_string(),
+                line: 1,
+                col: 1,
+                rule: "F1",
+                msg: format!("magic `{magic}` is not defined at its single source of truth"),
+                help: format!("define the `{magic}` header constant in `{def}` (or update the F1 table in crates/xtask/src/rules.rs if the module moved)"),
+            });
+        }
+    }
+
+    for name in rules::LIB_CRATES {
+        let rel = format!("crates/{name}/src/lib.rs");
+        let lib = root.join(&rel);
+        let source = std::fs::read_to_string(&lib)?;
+        let lines = lexer::scan(&source);
+        let code: String =
+            lines.iter().flat_map(|l| l.code.chars().filter(|c| !c.is_whitespace())).collect();
+        if !code.contains("#![forbid(unsafe_code)]") {
+            out.push(root_diag(&rel, "missing `#![forbid(unsafe_code)]` on the crate root"));
+        }
+        if !(code.contains("clippy::unwrap_used") && code.contains("clippy::panic")) {
+            out.push(root_diag(
+                &rel,
+                "missing `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]` on the crate root",
+            ));
+        }
+    }
+
+    out.sort();
+    Ok((out, files.len()))
+}
+
+fn root_diag(rel: &str, msg: &str) -> Diagnostic {
+    Diagnostic {
+        path: rel.to_string(),
+        line: 1,
+        col: 1,
+        rule: "P1",
+        msg: msg.to_string(),
+        help: "every library crate root pins the unsafe/panic policy; copy the attribute \
+               block from crates/core/src/lib.rs"
+            .to_string(),
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            // Fixture snippets are data for the lint's own tests, not code.
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_snippet_produces_no_diagnostics() {
+        let src = "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_with_spans() {
+        let d = &lint_source("crates/core/src/x.rs", "use std::collections::HashMap;\n")[0];
+        assert_eq!((d.rule, d.line, d.col), ("D1", 1, 23));
+        let shown = d.to_string();
+        assert!(shown.contains("error[D1]") && shown.contains("crates/core/src/x.rs:1:23"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let _: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_markers_silence_one_line() {
+        let src = "// dcart_lint::allow(D1) -- interned keys, order never observed\nuse std::collections::HashMap;\nuse std::collections::HashSet;\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn workspace_lint_is_clean() {
+        // The repo must lint clean at all times — this is the same check CI
+        // runs, pulled into the unit suite so `cargo test` catches drift.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let (diags, files) = lint_workspace(&root).expect("workspace readable");
+        assert!(files > 50, "expected to scan the whole workspace, got {files} files");
+        assert!(
+            diags.is_empty(),
+            "dcart-lint found {} violation(s):\n{}",
+            diags.len(),
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

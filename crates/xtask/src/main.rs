@@ -1,0 +1,65 @@
+//! `cargo run -p xtask -- lint` — the DCART workspace lint driver.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.get(1).map(PathBuf::from)),
+        Some("help") | Some("--help") | Some("-h") => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            if let Some(cmd) = other {
+                eprintln!("xtask: unknown command `{cmd}`");
+            }
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p xtask -- lint [WORKSPACE_ROOT]");
+    eprintln!();
+    eprintln!("Runs the dcart-lint rules (D1 D2 P1 F1 O1) over crates/*/src.");
+    eprintln!("See DESIGN.md \"Correctness & static analysis\" for the rule table");
+    eprintln!("and the `// dcart_lint::allow(<RULE>) -- reason` marker syntax.");
+}
+
+fn lint(root: Option<PathBuf>) -> ExitCode {
+    let root = root.unwrap_or_else(|| {
+        let cwd = PathBuf::from(".");
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            // Running from somewhere inside the tree: anchor on this
+            // crate's manifest, two levels below the workspace root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+    match xtask::lint_workspace(&root) {
+        Ok((diags, files)) if diags.is_empty() => {
+            println!(
+                "dcart-lint: {files} files clean across {} rules ({})",
+                xtask::RULE_IDS.len(),
+                xtask::RULE_IDS.join(" ")
+            );
+            ExitCode::SUCCESS
+        }
+        Ok((diags, files)) => {
+            for d in &diags {
+                eprintln!("{d}");
+                eprintln!();
+            }
+            eprintln!("dcart-lint: {} violation(s) in {files} files", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask lint: cannot read workspace at {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The DCART-specific lint rules.
+//!
+//! Each rule has a stable ID, protects one invariant the test suite cannot
+//! cheaply express, and can be silenced per line with a marker comment
+//! (`// dcart_lint::allow(D1) -- reason`) on the offending line or the
+//! line above, or per file with `// dcart_lint::allow_file(D1) -- reason`.
+//!
+//! | ID | invariant |
+//! |----|-----------|
+//! | D1 | no default-hasher `HashMap`/`HashSet` (iteration order must not
+//! |    | depend on the process-random SipHash seed) |
+//! | D2 | no wall-clock / OS randomness / environment reads outside the
+//! |    | bench timing module and CLI front-ends |
+//! | P1 | uniform panic policy: no `unwrap()`/`panic!`/`todo!`, and
+//! |    | `expect`/`unreachable` must document their invariant |
+//! | F1 | on-disk magic strings are defined in exactly one module |
+//! | O1 | no stdout/stderr prints in library crates |
+
+use crate::lexer::{followed_by, ident_cols, preceded_by, LineView};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Stable rule ID (`"D1"`, ...).
+    pub rule: &'static str,
+    /// What is wrong.
+    pub msg: String,
+    /// How to fix or silence it.
+    pub help: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.msg)?;
+        writeln!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
+        write!(f, "  help: {}", self.help)
+    }
+}
+
+/// All rule IDs, in documentation order.
+pub const RULE_IDS: [&str; 5] = ["D1", "D2", "P1", "F1", "O1"];
+
+/// Crates whose library code must obey the panic policy (P1) and the
+/// no-print rule (O1). `bench` and `xtask` are the human-facing harness
+/// surface: printing tables is their job and a panic is their
+/// error-reporting strategy of last resort.
+pub const LIB_CRATES: [&str; 7] =
+    ["art", "mem", "engine", "core", "baselines", "indexes", "workloads"];
+
+/// Files (path prefixes) where wall-clock and environment reads are the
+/// point: the bench timing harness and the CLI front-ends.
+pub const D2_WHITELIST: [&str; 4] = [
+    "crates/bench/src/perf.rs",
+    "crates/bench/src/parallel.rs",
+    "crates/bench/src/bin/",
+    "crates/xtask/src/",
+];
+
+/// Single source of truth for each on-disk format magic: the literal may
+/// appear (outside tests) only in its defining module.
+pub const F1_MAGICS: [(&str, &str); 3] = [
+    ("DCARTWAL", "crates/engine/src/wal.rs"),
+    ("DCARTCKP", "crates/core/src/durable.rs"),
+    ("DCARTSNP", "crates/art/src/serde_impl.rs"),
+];
+
+/// Paths never scanned for F1 (the lint's own rule tables name the magics).
+pub const F1_SKIP: [&str; 1] = ["crates/xtask/"];
+
+/// Per-file context computed once, shared by every rule.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// Lexed lines.
+    pub lines: &'a [LineView],
+    /// `lines[i]` is inside a `#[cfg(test)]` region.
+    pub in_test: Vec<bool>,
+    file_allows: Vec<String>,
+    line_allows: Vec<Vec<String>>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context: test-region map and allow markers.
+    pub fn new(path: &'a str, lines: &'a [LineView]) -> Self {
+        let in_test = test_regions(lines);
+        let mut file_allows = Vec::new();
+        let mut line_allows = vec![Vec::new(); lines.len()];
+        for (i, l) in lines.iter().enumerate() {
+            for rule in parse_marker(&l.comment, "dcart_lint::allow_file(") {
+                file_allows.push(rule);
+            }
+            for rule in parse_marker(&l.comment, "dcart_lint::allow(") {
+                line_allows[i].push(rule.clone());
+                if i + 1 < lines.len() {
+                    line_allows[i + 1].push(rule);
+                }
+            }
+        }
+        FileCtx { path, lines, in_test, file_allows, line_allows }
+    }
+
+    fn allowed(&self, rule: &str, line0: usize) -> bool {
+        self.file_allows.iter().any(|r| r == rule)
+            || self.line_allows.get(line0).is_some_and(|v| v.iter().any(|r| r == rule))
+    }
+
+    /// The crate name for `crates/<name>/...` paths.
+    pub fn crate_name(&self) -> &str {
+        self.path.strip_prefix("crates/").and_then(|r| r.split('/').next()).unwrap_or("")
+    }
+
+    fn emit(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        line0: usize,
+        col: usize,
+        msg: impl Into<String>,
+        help: impl Into<String>,
+    ) {
+        if !self.in_test[line0] && !self.allowed(rule, line0) {
+            out.push(Diagnostic {
+                path: self.path.to_string(),
+                line: line0 + 1,
+                col,
+                rule,
+                msg: msg.into(),
+                help: help.into(),
+            });
+        }
+    }
+}
+
+fn parse_marker(comment: &str, opener: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(opener) {
+        let tail = &rest[pos + opener.len()..];
+        if let Some(end) = tail.find(')') {
+            for id in tail[..end].split([',', ' ']).filter(|s| !s.is_empty()) {
+                out.push(id.to_string());
+            }
+        }
+        rest = &rest[pos + opener.len()..];
+    }
+    out
+}
+
+/// Marks lines inside `#[cfg(test)] mod ... { }` regions (brace-matched on
+/// the comment/string-stripped code channel).
+fn test_regions(lines: &[LineView]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    let mut depth = 0usize;
+    let mut pending = false;
+    let mut test_depth: Option<usize> = None;
+    for (i, l) in lines.iter().enumerate() {
+        let stripped: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if stripped.contains("#[cfg(test)]") || stripped.contains("#[cfg(all(test") {
+            pending = true;
+        }
+        if test_depth.is_some() || pending {
+            out[i] = true;
+        }
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending && test_depth.is_none() {
+                        test_depth = Some(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if test_depth == Some(depth) {
+                        test_depth = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // `#[cfg(test)] use ...;` — the attribute gates a single
+                // item with no body; stop carrying it forward.
+                ';' if pending && test_depth.is_none() => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// D1 — default-hasher `HashMap`/`HashSet`.
+///
+/// Iteration order of the std hash tables depends on a per-process random
+/// SipHash seed; any such order reaching a digest, stats JSON, or the event
+/// stream breaks the byte-identical-replay guarantees the reproduction is
+/// built on. Use `BTreeMap`/`BTreeSet` or `dcart::fxhash` (seed-free)
+/// instead; `dcart::fxhash` itself carries the file-level allow.
+pub fn d1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (i, l) in ctx.lines.iter().enumerate() {
+        for name in ["HashMap", "HashSet"] {
+            for col in ident_cols(&l.code, name) {
+                ctx.emit(
+                    out,
+                    "D1",
+                    i,
+                    col,
+                    format!("`{name}` with the default `RandomState` has a per-process random iteration order"),
+                    "use `BTreeMap`/`BTreeSet` or `dcart::fxhash::{FxHashMap, FxHashSet}`; \
+                     silence a justified site with `// dcart_lint::allow(D1) -- reason`",
+                );
+            }
+        }
+    }
+}
+
+/// D2 — wall clock, OS randomness, environment reads.
+///
+/// The functional layer must be a pure function of (workload, seed,
+/// config); time and environment may only be read by the bench timing
+/// module and the CLI front-ends.
+pub fn d2(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if D2_WHITELIST.iter().any(|p| ctx.path.starts_with(p)) {
+        return;
+    }
+    for (i, l) in ctx.lines.iter().enumerate() {
+        for col in ident_cols(&l.code, "Instant") {
+            if followed_by(&l.code, col - 1 + "Instant".len(), "::now") {
+                ctx.emit(
+                    out,
+                    "D2",
+                    i,
+                    col,
+                    "`Instant::now` reads the wall clock in the functional layer",
+                    "model time with `dcart_engine::Clock` cycles, or move the timing into \
+                     `crates/bench/src/perf.rs`",
+                );
+            }
+        }
+        for name in ["SystemTime", "thread_rng", "from_entropy"] {
+            for col in ident_cols(&l.code, name) {
+                ctx.emit(
+                    out,
+                    "D2",
+                    i,
+                    col,
+                    format!("`{name}` injects OS nondeterminism into the functional layer"),
+                    "derive randomness from the run's explicit seed (splitmix64 streams)",
+                );
+            }
+        }
+        for col in ident_cols(&l.code, "env") {
+            let end = col - 1 + "env".len();
+            for acc in ["::var", "::vars", "::args", "::args_os"] {
+                if followed_by(&l.code, end, acc) {
+                    ctx.emit(
+                        out,
+                        "D2",
+                        i,
+                        col,
+                        format!("`env{acc}` makes behaviour depend on the process environment"),
+                        "thread configuration through explicit config structs; only the CLI \
+                         front-ends under `crates/bench/src/bin/` parse the environment",
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// P1 — uniform panic policy in library crates.
+///
+/// `unwrap()`, `panic!`, `todo!` and `unimplemented!` never belong in
+/// non-test library code (return a typed `DcartError` instead).
+/// `expect("...")` and `unreachable!("...")` are the sanctioned escape
+/// hatch for *documented invariants* — they must carry a nonempty message
+/// naming the invariant, which is what makes them auditable.
+pub fn p1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !LIB_CRATES.contains(&ctx.crate_name()) {
+        return;
+    }
+    for (i, l) in ctx.lines.iter().enumerate() {
+        for col in ident_cols(&l.code, "unwrap") {
+            let end = col - 1 + "unwrap".len();
+            if preceded_by(&l.code, col - 1, '.') && followed_by(&l.code, end, "()") {
+                ctx.emit(
+                    out,
+                    "P1",
+                    i,
+                    col,
+                    "`unwrap()` in non-test library code",
+                    "return a typed error, or use `expect(\"<invariant>\")` if failure is \
+                     provably unreachable",
+                );
+            }
+        }
+        for name in ["panic", "todo", "unimplemented"] {
+            for col in ident_cols(&l.code, name) {
+                if followed_by(&l.code, col - 1 + name.len(), "!") {
+                    ctx.emit(
+                        out,
+                        "P1",
+                        i,
+                        col,
+                        format!("`{name}!` in non-test library code"),
+                        "return a typed error; for impossible branches use \
+                         `unreachable!(\"<invariant>\")`",
+                    );
+                }
+            }
+        }
+        for (name, is_macro) in [("expect", false), ("unreachable", true)] {
+            for col in ident_cols(&l.code, name) {
+                let end = col - 1 + name.len();
+                let opener = if is_macro { "!(" } else { "(" };
+                if !is_macro && !preceded_by(&l.code, col - 1, '.') {
+                    continue;
+                }
+                if !followed_by(&l.code, end, opener) {
+                    continue;
+                }
+                if !has_message_arg(ctx.lines, i, end) {
+                    ctx.emit(
+                        out,
+                        "P1",
+                        i,
+                        col,
+                        format!("`{name}` without an invariant message"),
+                        "state the invariant that makes this unreachable, e.g. \
+                         `expect(\"arena invariant: linked node is live\")`",
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Does a nonempty string literal open the argument list that starts after
+/// byte offset `end0` on line `line0` (looking one line ahead for wrapped
+/// arguments)?
+fn has_message_arg(lines: &[LineView], line0: usize, end0: usize) -> bool {
+    let same = lines[line0].strings.iter().any(|s| s.col > end0 && !s.text.is_empty());
+    if same {
+        return true;
+    }
+    // Wrapped: `.expect(\n    "message",` — accept a nonempty literal
+    // leading the next line.
+    lines.get(line0 + 1).is_some_and(|l| {
+        l.strings
+            .first()
+            .is_some_and(|s| !s.text.is_empty() && l.code[..s.col - 1].trim().is_empty())
+    })
+}
+
+/// F1 — on-disk magic strings have one definition site.
+///
+/// Writer and recovery paths must agree on the `DCARTWAL`/`DCARTCKP`/
+/// `DCARTSNP` headers; a second literal is where silent format drift
+/// starts. Everyone else references the exported constant.
+pub fn f1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if F1_SKIP.iter().any(|p| ctx.path.starts_with(p)) {
+        return;
+    }
+    for (magic, def) in F1_MAGICS {
+        if ctx.path == def {
+            continue;
+        }
+        for (i, l) in ctx.lines.iter().enumerate() {
+            for s in &l.strings {
+                if s.text.contains(magic) {
+                    ctx.emit(
+                        out,
+                        "F1",
+                        i,
+                        s.col,
+                        format!("magic `{magic}` re-spelled outside its defining module"),
+                        format!("reference the constant exported by `{def}` instead"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// O1 — no stdout/stderr prints in library crates.
+///
+/// Library output flows through the `Tracer` interface and the report
+/// writers; a stray `println!` bypasses both and corrupts piped reports.
+pub fn o1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !LIB_CRATES.contains(&ctx.crate_name()) {
+        return;
+    }
+    for (i, l) in ctx.lines.iter().enumerate() {
+        for name in ["println", "eprintln", "print", "eprint", "dbg"] {
+            for col in ident_cols(&l.code, name) {
+                if followed_by(&l.code, col - 1 + name.len(), "!") {
+                    ctx.emit(
+                        out,
+                        "O1",
+                        i,
+                        col,
+                        format!("`{name}!` in a library crate"),
+                        "emit through the `Tracer`/report sinks; only the bench harness prints",
+                    );
+                }
+            }
+        }
+    }
+}

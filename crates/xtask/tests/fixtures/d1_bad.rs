@@ -1,0 +1,13 @@
+// Fixture: D1 must fire on default-hasher std tables.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn histogram(xs: &[u8]) -> HashMap<u8, u64> {
+    let mut m = HashMap::new();
+    let mut seen: HashSet<u8> = HashSet::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+        seen.insert(x);
+    }
+    m
+}

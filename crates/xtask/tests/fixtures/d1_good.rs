@@ -1,0 +1,29 @@
+// Fixture: D1 must stay quiet on ordered maps, on `HashMap` mentioned in
+// comments or string literals, and on the Fx-prefixed wrappers.
+use std::collections::BTreeMap;
+
+use crate::fxhash::FxHashMap;
+
+pub fn histogram(xs: &[u8]) -> BTreeMap<u8, u64> {
+    // A HashMap would be nondeterministic here; HashSet too.
+    let reason = "HashMap and HashSet are banned on digest paths";
+    let mut fast: FxHashMap<u8, u64> = FxHashMap::default();
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+        *fast.entry(x).or_insert(0) += 1;
+    }
+    debug_assert!(!reason.is_empty());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    // Unit tests may use whatever is convenient.
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_maps_are_exempt() {
+        let _m: HashMap<u8, u8> = HashMap::new();
+    }
+}

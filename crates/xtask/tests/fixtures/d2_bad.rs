@@ -1,0 +1,11 @@
+// Fixture: D2 must fire on wall-clock, OS-randomness and environment reads.
+use std::time::Instant;
+
+pub fn naughty() -> u64 {
+    let t0 = Instant::now();
+    let when = std::time::SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let home = std::env::var("HOME").unwrap_or_default();
+    let _ = (when, &mut rng, home);
+    t0.elapsed().as_nanos() as u64
+}

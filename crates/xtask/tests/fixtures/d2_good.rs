@@ -1,0 +1,10 @@
+// Fixture: D2 must stay quiet on simulated time and seeded randomness —
+// and on the words Instant::now / SystemTime appearing in comments.
+pub fn well_behaved(clock_cycles: u64, seed: u64) -> u64 {
+    // Simulated time only: no Instant::now, no SystemTime::now.
+    let note = "the bench harness may call Instant::now; libraries may not";
+    let mut state = seed ^ clock_cycles;
+    state = state.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    debug_assert!(!note.is_empty());
+    state
+}

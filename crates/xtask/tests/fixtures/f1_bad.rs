@@ -1,0 +1,10 @@
+// Fixture: F1 must fire when an on-disk magic is re-spelled outside its
+// defining module (here: a recovery path growing its own header copy).
+pub const MY_PRIVATE_WAL_MAGIC: [u8; 8] = *b"DCARTWAL";
+
+pub fn frame_header(seq: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(16);
+    h.extend_from_slice(&MY_PRIVATE_WAL_MAGIC);
+    h.extend_from_slice(&seq.to_le_bytes());
+    h
+}

@@ -1,0 +1,11 @@
+// Fixture: F1 must stay quiet when the magic is referenced through the
+// constant its defining module exports (and on mentions in comments:
+// DCARTWAL, DCARTCKP, DCARTSNP).
+use dcart_engine::wal::WAL_MAGIC;
+
+pub fn frame_header(seq: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(16);
+    h.extend_from_slice(&WAL_MAGIC);
+    h.extend_from_slice(&seq.to_le_bytes());
+    h
+}

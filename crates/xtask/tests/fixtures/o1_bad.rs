@@ -1,0 +1,7 @@
+// Fixture: O1 must fire on stdout/stderr prints in library code.
+pub fn chatty(progress: u64) {
+    println!("progress: {progress}");
+    eprintln!("warning: progress is {progress}");
+    let doubled = dbg!(progress * 2);
+    print!("{doubled}");
+}

@@ -1,0 +1,11 @@
+// Fixture: O1 must stay quiet on tracer-routed output and on `println!`
+// spelled inside comments or string literals.
+pub trait Sink {
+    fn emit(&mut self, line: &str);
+}
+
+pub fn polite(progress: u64, sink: &mut dyn Sink) {
+    // println! would corrupt piped reports; route through the sink.
+    let line = format!("progress: {progress} (no println! here)");
+    sink.emit(&line);
+}

@@ -1,0 +1,20 @@
+// Fixture: P1 must fire on every branch of the panic policy.
+pub fn policy_violations(x: Option<u32>, r: Result<u32, String>, msg: &str) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect(msg);
+    if a > b {
+        panic!("a exceeded b");
+    }
+    match a.checked_add(b) {
+        Some(v) => v,
+        None => unreachable!(),
+    }
+}
+
+pub fn not_done() {
+    todo!()
+}
+
+pub fn also_not_done() {
+    unimplemented!()
+}

@@ -1,0 +1,28 @@
+// Fixture: P1 must stay quiet on invariant-message escapes, fallible
+// returns, and anything inside a `#[cfg(test)]` region.
+pub fn policy_compliant(x: Option<u32>, r: Result<u32, String>) -> Result<u32, String> {
+    let a = x.expect("caller guarantees a resolved slot");
+    let b = r?;
+    match a.checked_add(b) {
+        Some(v) => Ok(v),
+        None => unreachable!("inputs are bounded by the 16-bit op encoding"),
+    }
+}
+
+pub fn wrapped_message(x: Option<u32>) -> u32 {
+    x.expect(
+        "a long invariant message that the formatter wrapped onto its own line",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if v.is_none() {
+            panic!("tests are exempt");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Proves every lint rule ID is live: each rule fires on its known-bad
+//! fixture and stays quiet on its known-good twin. A rule that silently
+//! stops matching (lexer regression, scoping typo) fails here before it
+//! fails to protect the workspace.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Lints a fixture as if it lived in the `core` library crate (in scope
+/// for every per-file rule) and returns the set of rule IDs that fired.
+fn fired(fixture: &str) -> BTreeSet<&'static str> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    xtask::lint_source("crates/core/src/fixture_under_test.rs", &source)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn every_rule_id_fires_on_its_bad_fixture() {
+    for rule in xtask::RULE_IDS {
+        let fixture = format!("{}_bad.rs", rule.to_lowercase());
+        let rules = fired(&fixture);
+        assert!(rules.contains(rule), "rule {rule} did not fire on {fixture}; fired: {rules:?}");
+    }
+}
+
+#[test]
+fn every_rule_stays_quiet_on_its_good_fixture() {
+    for rule in xtask::RULE_IDS {
+        let fixture = format!("{}_good.rs", rule.to_lowercase());
+        let rules = fired(&fixture);
+        assert!(
+            !rules.contains(rule),
+            "rule {rule} fired on the known-good {fixture}; fired: {rules:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_fire_only_their_own_rule() {
+    // Keeps the fixtures minimal: a D1 fixture that also trips P1 would
+    // blur which rule a future regression broke. (The P1 fixture uses
+    // plain std types, so it genuinely only trips P1, etc.)
+    for rule in xtask::RULE_IDS {
+        let fixture = format!("{}_bad.rs", rule.to_lowercase());
+        let rules = fired(&fixture);
+        assert_eq!(rules, BTreeSet::from([rule]), "{fixture} should trip exactly its own rule");
+    }
+}
+
+#[test]
+fn diagnostics_carry_real_spans() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/d1_bad.rs");
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let diags = xtask::lint_source("crates/core/src/fixture_under_test.rs", &source);
+    for d in &diags {
+        let line = source.lines().nth(d.line - 1).expect("diagnostic line exists");
+        let name = if d.rule == "D1" { "Hash" } else { "" };
+        assert!(
+            line[d.col - 1..].starts_with(name),
+            "span {}:{} does not point at the offending token in {line:?}",
+            d.line,
+            d.col
+        );
+    }
+    assert!(diags.len() >= 5, "all five D1 sites in the fixture are reported");
+}
+
+#[test]
+fn per_rule_allow_markers_silence_bad_fixtures() {
+    for rule in xtask::RULE_IDS {
+        let fixture = format!("{}_bad.rs", rule.to_lowercase());
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(&fixture);
+        let source = std::fs::read_to_string(path).expect("fixture readable");
+        let allowed = format!("// dcart_lint::allow_file({rule}) -- fixture self-test\n{source}");
+        let rules: BTreeSet<&str> =
+            xtask::lint_source("crates/core/src/fixture_under_test.rs", &allowed)
+                .into_iter()
+                .map(|d| d.rule)
+                .collect();
+        assert!(!rules.contains(rule), "allow_file({rule}) did not silence {fixture}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline vendored stand-in for the [`loom`] model checker.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of loom's API that the DCART engine's concurrency models use:
+//! [`model`], `thread::{spawn, scope, yield_now}`, `sync::{Arc, Mutex}`,
+//! and `sync::atomic::{AtomicUsize, AtomicU64, AtomicBool}`.
+//!
+//! # How it explores interleavings
+//!
+//! [`model`] re-runs the closure under a deterministic cooperative
+//! scheduler: exactly one model thread executes at a time, and every
+//! instrumented operation (atomic access, mutex acquire, spawn) is a
+//! decision point where any runnable thread may be scheduled next. Each
+//! execution follows a path vector of choices and records how many
+//! alternatives existed at each point; depth-first enumeration of those
+//! paths then covers the whole schedule space, subject to a preemption
+//! bound of 2 (involuntary context switches per execution — the standard
+//! trick that keeps exploration tractable while preserving the
+//! low-preemption schedules where real races live).
+//!
+//! # Caveats vs. real loom
+//!
+//! * Exploration is over *sequentially consistent* interleavings only:
+//!   `Ordering` arguments are accepted but not used to generate weak-memory
+//!   behaviours. CI's ThreadSanitizer job covers the relaxed-ordering
+//!   side.
+//! * No `UnsafeCell`/`Cell` instrumentation and no condvars — the engine
+//!   models only need mutexes, atomics, and scoped threads.
+//! * Outside [`model`] every primitive is a thin passthrough to std, so
+//!   code built with the `loom` cfg still runs its ordinary unit tests.
+//!
+//! [`loom`]: https://github.com/tokio-rs/loom
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Involuntary context switches allowed per execution.
+const MAX_PREEMPTIONS: usize = 2;
+
+/// Hard cap on executions; hitting it means the model is too big to
+/// enumerate and should be shrunk (fewer threads or operations).
+const MAX_EXECUTIONS: usize = 200_000;
+
+/// Runs `f` once per distinct (preemption-bounded) thread interleaving,
+/// panicking on the first execution whose assertions fail.
+///
+/// Every thread spawned inside the closure must be joined before the
+/// closure returns (scoped threads do this implicitly).
+pub fn model<F>(f: F)
+where
+    F: Fn(),
+{
+    let mut path: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let sched = Arc::new(rt::Scheduler::new(path.clone(), MAX_PREEMPTIONS));
+        rt::set_current(Some((sched.clone(), 0)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        rt::set_current(None);
+        if let Err(panic) = result {
+            // Wake any thread still parked in the scheduler so no OS thread
+            // outlives the failing execution, then surface the failure.
+            sched.abort_all();
+            std::panic::resume_unwind(panic);
+        }
+        let (taken, widths) = sched.exploration();
+        match next_path(&taken, &widths) {
+            Some(next) => path = next,
+            None => break,
+        }
+        assert!(
+            executions < MAX_EXECUTIONS,
+            "loom: exceeded {MAX_EXECUTIONS} executions; shrink the model"
+        );
+    }
+}
+
+/// Depth-first successor of `taken`: bump the deepest decision that still
+/// has an unexplored alternative, truncating everything after it.
+fn next_path(taken: &[usize], widths: &[usize]) -> Option<Vec<usize>> {
+    for k in (0..taken.len()).rev() {
+        if taken[k] + 1 < widths[k] {
+            let mut next = taken[..k].to_vec();
+            next.push(taken[k] + 1);
+            return Some(next);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn passthrough_outside_model() {
+        // No model active: primitives behave like std.
+        let m = Mutex::new(7);
+        *m.lock().map_err(|_| "poison").unwrap() += 1;
+        assert_eq!(*m.lock().map_err(|_| "poison").unwrap(), 8);
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn model_explores_more_than_one_interleaving() {
+        use std::sync::atomic::AtomicUsize as PlainAtomic;
+        let executions = PlainAtomic::new(0);
+        super::model(|| {
+            executions.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = counter.clone();
+            let h = super::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            counter.fetch_add(1, Ordering::SeqCst);
+            h.join().map_err(|_| "child panicked").unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+        assert!(
+            executions.load(std::sync::atomic::Ordering::SeqCst) > 1,
+            "two racing increments must yield several schedules"
+        );
+    }
+
+    #[test]
+    fn model_finds_lost_update() {
+        // A non-atomic read-modify-write through a shared cell must lose an
+        // update under *some* interleaving; prove the explorer reaches it.
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let cell = Arc::new(Mutex::new(0u32));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let cell = cell.clone();
+                        super::thread::spawn(move || {
+                            let read = *cell.lock().map_err(|_| "poison").unwrap();
+                            super::thread::yield_now();
+                            *cell.lock().map_err(|_| "poison").unwrap() = read + 1;
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().map_err(|_| "child panicked").unwrap();
+                }
+                assert_eq!(*cell.lock().map_err(|_| "poison").unwrap(), 2);
+            });
+        });
+        assert!(result.is_err(), "the lost-update schedule must be reached");
+    }
+
+    #[test]
+    fn mutex_exclusion_holds_in_every_schedule() {
+        super::model(|| {
+            let cell = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = cell.clone();
+                    super::thread::spawn(move || {
+                        let mut guard = cell.lock().map_err(|_| "poison").unwrap();
+                        *guard += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().map_err(|_| "child panicked").unwrap();
+            }
+            assert_eq!(*cell.lock().map_err(|_| "poison").unwrap(), 2);
+        });
+    }
+}

@@ -1,0 +1,321 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! Exactly one model thread runs at a time; every instrumented operation
+//! (atomic access, mutex acquire, spawn) is a *decision point* where the
+//! scheduler picks which runnable thread executes next. The choice at each
+//! decision point is driven by a path vector, and the recorded branching
+//! widths let [`crate::model`] enumerate paths depth-first until the whole
+//! (preemption-bounded) interleaving space is covered.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Join waits use a key space disjoint from mutex keys (which are heap
+/// addresses, far below this on every supported platform).
+const JOIN_KEY_BASE: usize = usize::MAX / 2;
+
+thread_local! {
+    /// The scheduler governing this OS thread, plus its model thread id.
+    /// `None` means passthrough mode: the primitives behave like plain std.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    /// Parked until the resource identified by the key is signalled
+    /// (a mutex release or a thread exit).
+    Blocked(usize),
+    Finished,
+}
+
+struct State {
+    /// The one thread currently allowed to run.
+    active: usize,
+    threads: Vec<ThreadState>,
+    /// Model-level mutex ownership: key (address) -> owner tid.
+    owners: BTreeMap<usize, usize>,
+    /// Scheduling choices: replayed up to `step`, extended with 0 beyond.
+    path: Vec<usize>,
+    /// Number of alternatives that existed at each decision point.
+    widths: Vec<usize>,
+    step: usize,
+    preemptions: usize,
+    /// Set on deadlock or teardown; parked threads wake and unwind.
+    abort: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    max_preemptions: usize,
+}
+
+impl Scheduler {
+    pub(crate) fn new(path: Vec<usize>, max_preemptions: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                active: 0,
+                threads: vec![ThreadState::Runnable],
+                owners: BTreeMap::new(),
+                path,
+                widths: Vec::new(),
+                step: 0,
+                preemptions: 0,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+            max_preemptions,
+        }
+    }
+
+    /// The scheduler lock is only ever held for bookkeeping, never across
+    /// user code, so a poisoning panic elsewhere cannot corrupt it.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a newly spawned model thread and returns its tid.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(ThreadState::Runnable);
+        s.threads.len() - 1
+    }
+
+    /// Picks the next thread to run. `me_runnable` is false when the caller
+    /// is blocking or exiting and therefore not a candidate. Returns `None`
+    /// when no thread can run.
+    fn pick(&self, s: &mut State, me: usize, me_runnable: bool) -> Option<usize> {
+        // Staying on the current thread is choice 0, so a fresh suffix of
+        // the DFS path (all zeroes) runs with no extra context switches.
+        let mut options: Vec<usize> = Vec::new();
+        if me_runnable {
+            options.push(me);
+        }
+        for (tid, st) in s.threads.iter().enumerate() {
+            if tid != me && *st == ThreadState::Runnable {
+                options.push(tid);
+            }
+        }
+        if options.is_empty() {
+            return None;
+        }
+        // Once the preemption budget is spent, a runnable thread keeps
+        // running until it blocks or finishes — the classic bound that keeps
+        // the interleaving space tractable without losing the bug-rich
+        // low-preemption schedules.
+        let width =
+            if me_runnable && s.preemptions >= self.max_preemptions { 1 } else { options.len() };
+        let k = s.step;
+        s.step += 1;
+        let choice = if k < s.path.len() {
+            s.path[k].min(width - 1)
+        } else {
+            s.path.push(0);
+            0
+        };
+        if k < s.widths.len() {
+            s.widths[k] = width;
+        } else {
+            s.widths.push(width);
+        }
+        let next = options[choice];
+        if me_runnable && next != me {
+            s.preemptions += 1;
+        }
+        Some(next)
+    }
+
+    fn wait_for_turn(&self, mut s: MutexGuard<'_, State>, me: usize) {
+        while s.active != me {
+            if s.abort {
+                drop(s);
+                panic!("loom: execution aborted");
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.abort {
+            drop(s);
+            panic!("loom: execution aborted");
+        }
+    }
+
+    /// A decision point: the active thread offers the scheduler a chance to
+    /// switch to any other runnable thread before its next operation.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            panic!("loom: execution aborted");
+        }
+        let next = self.pick(&mut s, me, true).expect("the caller itself is runnable");
+        if next != me {
+            s.active = next;
+            self.cv.notify_all();
+            self.wait_for_turn(s, me);
+        }
+    }
+
+    /// Blocks until this OS thread is scheduled in for the first time.
+    pub(crate) fn wait_first_turn(&self, me: usize) {
+        let s = self.lock();
+        self.wait_for_turn(s, me);
+    }
+
+    /// Model-level mutex acquire; the caller owns `key` on return.
+    pub(crate) fn mutex_acquire(&self, me: usize, key: usize) {
+        loop {
+            self.yield_point(me);
+            let mut s = self.lock();
+            if s.abort {
+                drop(s);
+                panic!("loom: execution aborted");
+            }
+            if let std::collections::btree_map::Entry::Vacant(slot) = s.owners.entry(key) {
+                slot.insert(me);
+                return;
+            }
+            s.threads[me] = ThreadState::Blocked(key);
+            match self.pick(&mut s, me, false) {
+                Some(next) => {
+                    s.active = next;
+                    self.cv.notify_all();
+                    self.wait_for_turn(s, me);
+                }
+                None => {
+                    s.abort = true;
+                    self.cv.notify_all();
+                    drop(s);
+                    panic!("loom: deadlock: every live thread is blocked");
+                }
+            }
+        }
+    }
+
+    /// Releases `key` and wakes its waiters; the releasing thread keeps
+    /// running until its next decision point.
+    pub(crate) fn mutex_release(&self, key: usize) {
+        let mut s = self.lock();
+        s.owners.remove(&key);
+        for st in s.threads.iter_mut() {
+            if *st == ThreadState::Blocked(key) {
+                *st = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Parks the caller until `target` finishes.
+    pub(crate) fn join(&self, me: usize, target: usize) {
+        loop {
+            let mut s = self.lock();
+            if s.abort {
+                drop(s);
+                panic!("loom: execution aborted");
+            }
+            if s.threads[target] == ThreadState::Finished {
+                return;
+            }
+            s.threads[me] = ThreadState::Blocked(JOIN_KEY_BASE + target);
+            match self.pick(&mut s, me, false) {
+                Some(next) => {
+                    s.active = next;
+                    self.cv.notify_all();
+                    self.wait_for_turn(s, me);
+                }
+                None => {
+                    s.abort = true;
+                    self.cv.notify_all();
+                    drop(s);
+                    panic!("loom: deadlock waiting to join a thread");
+                }
+            }
+        }
+    }
+
+    /// Marks `me` finished and hands the schedule to someone else. Runs from
+    /// a drop guard, so it must stay panic-free while already unwinding.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut s = self.lock();
+        s.threads[me] = ThreadState::Finished;
+        let join_key = JOIN_KEY_BASE + me;
+        for st in s.threads.iter_mut() {
+            if *st == ThreadState::Blocked(join_key) {
+                *st = ThreadState::Runnable;
+            }
+        }
+        if s.abort {
+            self.cv.notify_all();
+            return;
+        }
+        if s.active == me {
+            match self.pick(&mut s, me, false) {
+                Some(next) => {
+                    s.active = next;
+                    self.cv.notify_all();
+                }
+                None => {
+                    let stuck = s.threads.iter().any(|st| !matches!(st, ThreadState::Finished));
+                    if stuck {
+                        s.abort = true;
+                    }
+                    self.cv.notify_all();
+                    if stuck && !std::thread::panicking() {
+                        drop(s);
+                        panic!("loom: deadlock after thread exit");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wakes every parked thread into the abort path (used when the model
+    /// closure itself panics, so no OS thread is left parked forever).
+    pub(crate) fn abort_all(&self) {
+        let mut s = self.lock();
+        s.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// The path this execution actually took and the branching width seen
+    /// at each decision point — the inputs to DFS path enumeration.
+    pub(crate) fn exploration(&self) -> (Vec<usize>, Vec<usize>) {
+        let s = self.lock();
+        (s.path[..s.step].to_vec(), s.widths[..s.step].to_vec())
+    }
+}
+
+/// Ensures a spawned model thread is marked finished even when its closure
+/// panics, so joiners unblock and the schedule keeps advancing.
+pub(crate) struct FinishGuard {
+    sched: Arc<Scheduler>,
+    tid: usize,
+}
+
+impl FinishGuard {
+    pub(crate) fn new(sched: Arc<Scheduler>, tid: usize) -> Self {
+        FinishGuard { sched, tid }
+    }
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.sched.finish_thread(self.tid);
+    }
+}
+
+/// Instruments one shared-memory operation from whatever thread calls it;
+/// a no-op outside a model (passthrough mode).
+pub(crate) fn branch_point() {
+    if let Some((sched, tid)) = current() {
+        sched.yield_point(tid);
+    }
+}

@@ -1,0 +1,195 @@
+//! Model-aware mirrors of `std::sync` primitives.
+//!
+//! Inside a model, `Mutex` contention and every atomic access are decision
+//! points for the scheduler; outside one they cost a thread-local read and
+//! forward to std. `Mutex` keeps std's poisoning semantics by wrapping a
+//! real `std::sync::Mutex`, so a panicking lock holder is observable to its
+//! siblings exactly as in production code.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc as StdArc;
+
+use crate::rt::{self, Scheduler};
+
+pub use std::sync::Arc;
+
+/// Mirrors `std::sync::PoisonError`, carrying the guard of a poisoned lock.
+pub struct PoisonError<G> {
+    guard: G,
+}
+
+impl<G> PoisonError<G> {
+    pub fn new(guard: G) -> Self {
+        PoisonError { guard }
+    }
+
+    pub fn into_inner(self) -> G {
+        self.guard
+    }
+}
+
+impl<G> fmt::Debug for PoisonError<G> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PoisonError { .. }")
+    }
+}
+
+pub type LockResult<G> = Result<G, PoisonError<G>>;
+
+/// Mirrors `std::sync::Mutex`.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Mirrors `std::sync::MutexGuard`. Dropping releases the model-level
+/// ownership (waking model waiters) after the real guard, preserving
+/// poison-on-panic.
+pub struct MutexGuard<'a, T> {
+    // `inner` is dropped before `release` runs in `Drop`, so the std mutex
+    // is poisoned (if unwinding) before any model waiter can observe it.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(StdArc<Scheduler>, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = match rt::current() {
+            None => None,
+            Some((sched, tid)) => {
+                // Model-level ownership is keyed by address; it is the real
+                // exclusion here (only one model thread runs at a time), so
+                // the std lock below is always uncontended.
+                let key = self as *const Self as usize;
+                sched.mutex_acquire(tid, key);
+                Some((sched, key))
+            }
+        };
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard { inner: Some(g), model }),
+            Err(poisoned) => {
+                Err(PoisonError::new(MutexGuard { inner: Some(poisoned.into_inner()), model }))
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.inner.into_inner() {
+            Ok(v) => Ok(v),
+            Err(poisoned) => Err(PoisonError::new(poisoned.into_inner())),
+        }
+    }
+}
+
+impl<'a, T> Deref for MutexGuard<'a, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<'a, T> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+impl<'a, T> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((sched, key)) = self.model.take() {
+            sched.mutex_release(key);
+        }
+    }
+}
+
+pub mod atomic {
+    //! Model-aware atomics. Every access is a decision point; the values
+    //! themselves live in real std atomics (sequentially consistent under
+    //! the model because only one thread runs at a time).
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt::branch_point;
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Mirrors the std atomic of the same name.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(value: $prim) -> Self {
+                    Self { inner: <$std>::new(value) }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    branch_point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    branch_point();
+                    self.inner.store(value, order);
+                }
+
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    branch_point();
+                    self.inner.swap(value, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    branch_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    impl AtomicUsize {
+        pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+            branch_point();
+            self.inner.fetch_add(value, order)
+        }
+
+        pub fn fetch_sub(&self, value: usize, order: Ordering) -> usize {
+            branch_point();
+            self.inner.fetch_sub(value, order)
+        }
+    }
+
+    impl AtomicU64 {
+        pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+            branch_point();
+            self.inner.fetch_add(value, order)
+        }
+    }
+
+    impl AtomicBool {
+        pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+            branch_point();
+            self.inner.fetch_or(value, order)
+        }
+    }
+}

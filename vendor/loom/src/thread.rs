@@ -1,0 +1,149 @@
+//! Model-aware mirrors of `std::thread::{spawn, scope}`.
+//!
+//! Inside [`crate::model`], spawning registers the child with the scheduler
+//! and the child waits to be scheduled in before running; joins are
+//! cooperative (the scheduler keeps exploring interleavings while the
+//! parent waits). Outside a model everything forwards straight to std.
+
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::rt::{self, FinishGuard, Scheduler};
+
+/// Mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<Scheduler>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, child)) = &self.model {
+            let (_, me) = rt::current().expect("join called from inside the model");
+            sched.join(me, *child);
+        }
+        self.inner.join()
+    }
+}
+
+/// Mirrors `std::thread::spawn`. Any thread spawned inside a model MUST be
+/// joined before the model closure returns.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle { inner: std::thread::spawn(f), model: None },
+        Some((sched, me)) => {
+            let tid = sched.register_thread();
+            let sched_child = sched.clone();
+            let inner = std::thread::spawn(move || {
+                rt::set_current(Some((sched_child.clone(), tid)));
+                let guard = FinishGuard::new(sched_child.clone(), tid);
+                sched_child.wait_first_turn(tid);
+                let out = f();
+                drop(guard);
+                rt::set_current(None);
+                out
+            });
+            // The spawn itself is a decision point: the child may run first.
+            sched.yield_point(me);
+            JoinHandle { inner, model: Some((sched, tid)) }
+        }
+    }
+}
+
+/// Mirrors `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<(Arc<Scheduler>, usize)>,
+    children: Mutex<Vec<usize>>,
+    _env: PhantomData<&'env ()>,
+}
+
+/// Mirrors `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<(Arc<Scheduler>, usize)>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, child)) = &self.model {
+            let (_, me) = rt::current().expect("join called from inside the model");
+            sched.join(me, *child);
+        }
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.ctx {
+            None => ScopedJoinHandle { inner: self.inner.spawn(f), model: None },
+            Some((sched, me)) => {
+                let tid = sched.register_thread();
+                self.children.lock().unwrap_or_else(PoisonError::into_inner).push(tid);
+                let sched_child = sched.clone();
+                let inner = self.inner.spawn(move || {
+                    rt::set_current(Some((sched_child.clone(), tid)));
+                    let guard = FinishGuard::new(sched_child.clone(), tid);
+                    sched_child.wait_first_turn(tid);
+                    let out = f();
+                    drop(guard);
+                    rt::set_current(None);
+                    out
+                });
+                sched.yield_point(*me);
+                ScopedJoinHandle { inner, model: Some((sched.clone(), tid)) }
+            }
+        }
+    }
+}
+
+/// Mirrors `std::thread::scope`. Children are joined cooperatively (the
+/// scheduler explores their remaining interleavings) before the underlying
+/// std scope performs its real join and propagates any child panic.
+///
+/// Unlike std the closure takes `&Scope<'scope, 'env>` with a free borrow
+/// lifetime — std's `&'scope Scope<'scope, _>` shape needs the unsafe
+/// plumbing inside std itself, and callers cannot tell the difference.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = rt::current();
+    std::thread::scope(|s| {
+        let scope = Scope {
+            inner: s,
+            ctx: ctx.clone(),
+            children: Mutex::new(Vec::new()),
+            _env: PhantomData,
+        };
+        // Even when `f` panics the children must be joined cooperatively
+        // first — the real std join below cannot advance the model schedule,
+        // so skipping this would park the scope forever.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope)));
+        if let Some((sched, me)) = &ctx {
+            let kids: Vec<usize> =
+                scope.children.lock().unwrap_or_else(PoisonError::into_inner).clone();
+            for child in kids {
+                sched.join(*me, child);
+            }
+        }
+        match out {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
+
+/// A bare decision point, mirroring `std::thread::yield_now`.
+pub fn yield_now() {
+    rt::branch_point();
+}
