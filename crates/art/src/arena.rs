@@ -50,6 +50,18 @@ impl<V> Arena<V> {
         self.slots[id.0 as usize].as_mut().expect("dangling node id")
     }
 
+    /// Best-effort prefetch of a node into cache ahead of its `get`.
+    ///
+    /// Used by the traversal loops to overlap the next level's memory
+    /// latency with the current node's search; a hint only, so an invalid
+    /// id is silently ignored.
+    #[inline]
+    pub(crate) fn prefetch(&self, id: NodeId) {
+        if let Some(Some(node)) = self.slots.get(id.0 as usize) {
+            crate::simd::prefetch(node);
+        }
+    }
+
     /// Checked lookup for externally supplied (possibly stale) ids, e.g.
     /// shortcut-table entries.
     pub(crate) fn try_get(&self, id: NodeId) -> Option<&Node<V>> {

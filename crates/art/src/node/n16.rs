@@ -1,40 +1,24 @@
 //! The 16-way node layout: sorted parallel key/child arrays.
 //!
 //! On real hardware the key search is a single SIMD compare (the original
-//! ART paper's SSE `_mm_cmpeq_epi8` trick). Here the same idea is expressed
-//! as a branch-free SWAR search over the key array viewed as one `u128`:
-//! XOR with the splatted probe byte zeroes the matching lane, and the
-//! classic zero-byte detector locates it without a loop or branch per lane.
+//! ART paper's SSE `_mm_cmpeq_epi8` trick). Lookups dispatch through
+//! [`crate::simd::search16`], which selects an SSE2/NEON kernel at compile
+//! time and falls back to the branch-free SWAR search elsewhere.
 
 use super::{Node4, Node48, NodeId};
 
 const NULL: NodeId = NodeId(u32::MAX);
 
-/// All-ones-per-lane constant for the SWAR search (`0x01` in each byte).
-const LANE_LSB: u128 = u128::from_le_bytes([0x01; 16]);
-/// High-bit-per-lane constant for the SWAR search (`0x80` in each byte).
-const LANE_MSB: u128 = u128::from_le_bytes([0x80; 16]);
-
-/// Branch-free lookup of `byte` among the first `len` lanes of `keys`.
+/// Branch-free SWAR lookup of `byte` among the first `len` lanes of `keys`.
 ///
-/// XORing the 16 key lanes with the splatted probe byte zeroes exactly the
-/// matching lanes; `(x - 0x01…01) & !x & 0x80…80` then flags zero lanes
-/// (Mycroft's zero-byte detector). The detector can flag false positives
-/// *above* a genuine zero lane, but never below one, so the lowest flagged
-/// lane — `trailing_zeros() / 8` — is always a true match. Stale lanes past
-/// `len` are rejected by the final bound check: any real match sits at a
-/// lower lane than every stale one, because live lanes precede stale lanes.
-///
+/// Kept as the portable reference the vector kernels are differentially
+/// tested against; the implementation lives in [`crate::simd::search16_swar`].
 /// Exposed (hidden) so the bench crate can compare it against
 /// [`binary_search_lane`] in the perf harness.
 #[doc(hidden)]
 #[inline]
 pub fn masked_search_lane(keys: &[u8; 16], len: usize, byte: u8) -> Option<usize> {
-    let lanes = u128::from_le_bytes(*keys);
-    let diff = lanes ^ (LANE_LSB * u128::from(byte));
-    let zeros = diff.wrapping_sub(LANE_LSB) & !diff & LANE_MSB;
-    let lane = (zeros.trailing_zeros() / 8) as usize; // 16 when no lane matched
-    (lane < len).then_some(lane)
+    crate::simd::search16_swar(keys, len, byte)
 }
 
 /// The binary search the SWAR lookup replaced, kept as the reference
@@ -70,9 +54,10 @@ impl Node16 {
         self.len == 0
     }
 
-    /// Lane holding `byte`, found with the branch-free SWAR compare.
+    /// Lane holding `byte`, found with the compile-time-selected vector
+    /// compare (SSE2/NEON) or its SWAR fallback.
     fn match_lane(&self, byte: u8) -> Option<usize> {
-        masked_search_lane(&self.keys, self.len(), byte)
+        crate::simd::search16(&self.keys, self.len(), byte)
     }
 
     /// Looks up the child for `byte`.

@@ -79,11 +79,9 @@ impl Node48 {
     /// Copies the children into a fresh [`Node256`].
     pub fn grow(&self) -> Node256 {
         let mut n = Node256::default();
-        for byte in 0..=255u8 {
-            if let Some(child) = self.find(byte) {
-                let ok = n.add(byte, child);
-                debug_assert!(ok);
-            }
+        for (byte, child) in self.iter_ordered() {
+            let ok = n.add(byte, child);
+            debug_assert!(ok);
         }
         n
     }
@@ -96,19 +94,14 @@ impl Node48 {
     pub fn shrink(&self) -> Node16 {
         debug_assert!(self.len() <= 16);
         let mut n = Node16::default();
-        for byte in 0..=255u8 {
-            if let Some(child) = self.find(byte) {
-                let ok = n.add(byte, child);
-                debug_assert!(ok);
-            }
+        for (byte, child) in self.iter_ordered() {
+            let ok = n.add(byte, child);
+            debug_assert!(ok);
         }
         n
     }
 
     /// Returns the `pos`-th child in ascending byte order.
-    ///
-    /// This scans the index array, which is O(256); acceptable because it is
-    /// only used by ordered iteration, never point lookups.
     pub(super) fn nth_in_order(&self, pos: usize) -> Option<(u8, NodeId)> {
         self.iter_ordered().nth(pos)
     }
@@ -118,8 +111,25 @@ impl Node48 {
         self.iter_ordered().last()
     }
 
+    /// Ordered `(byte, child)` pairs. One vector sweep compresses the index
+    /// array into a 256-bit occupancy bitmap; iteration then walks only the
+    /// set bits instead of probing all 256 sentinel slots.
     fn iter_ordered(&self) -> impl Iterator<Item = (u8, NodeId)> + '_ {
-        (0..=255u8).filter_map(move |b| self.find(b).map(|c| (b, c)))
+        let bitmap = crate::simd::present_bitmap(&self.index, EMPTY);
+        bitmap.into_iter().enumerate().flat_map(move |(w, word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros();
+                rest &= rest - 1;
+                let byte = (w as u8) * 64 + bit as u8;
+                let slot = self.index[usize::from(byte)];
+                debug_assert!(slot != EMPTY);
+                Some((byte, self.children[usize::from(slot)]))
+            })
+        })
     }
 }
 

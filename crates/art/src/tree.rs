@@ -85,7 +85,7 @@ impl TypeHistogram {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Art<V> {
-    arena: Arena<V>,
+    pub(crate) arena: Arena<V>,
     root: Option<NodeId>,
     len: usize,
 }
@@ -96,13 +96,14 @@ impl<V> Default for Art<V> {
     }
 }
 
-/// Length of the longest common prefix of two byte slices.
+/// Length of the longest common prefix of two byte slices, vectorized in
+/// 16-byte strides where the target ISA allows (see [`crate::simd`]).
 fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
-    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+    crate::simd::common_prefix_len(a, b)
 }
 
 /// Builds the visit record for an access to `node`.
-fn visit_record<V>(id: NodeId, node: &Node<V>, prefix_compared: u32) -> NodeVisit {
+pub(crate) fn visit_record<V>(id: NodeId, node: &Node<V>, prefix_compared: u32) -> NodeVisit {
     match node {
         Node::Leaf { key, .. } => {
             let footprint = HEADER_BYTES + key.len() as u32 + 8;
@@ -266,6 +267,9 @@ impl<V> Art<V> {
                     }
                     depth += inner.prefix.len();
                     let child = inner.children.find(bytes[depth])?;
+                    // Overlap the next level's memory latency with the tail
+                    // of this iteration (hint only; no effect on results).
+                    self.arena.prefetch(child);
                     parent = Some(cur);
                     cur = child;
                     depth += 1;

@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dcart::pcu::{combine_batch, combine_batch_into, CombinedBatch};
 use dcart::{execute_ctt_threaded, CttConsumer, DcartConfig};
+use dcart_art::simd;
 use dcart_workloads::{generate_ops, KeySet, Mix, Op, OpStreamConfig, Workload};
 
 fn fixture(keys: usize, ops: usize) -> (KeySet, Vec<Op>, DcartConfig) {
@@ -72,5 +73,104 @@ fn bench_execute(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_combine, bench_execute);
+/// Level-wise batched Traverse against per-op traversal on the skewed
+/// read cells (IPGEO and DICT, zipfian probes). The tree is built once
+/// and sized past the fast cache levels, then both modes resolve the same
+/// 64k-probe stream in 8 192-key batches — the shape the CTT's Traverse
+/// stage sees per SOU bucket. Per-op re-fetches hot upper-level nodes once
+/// per probe; level-wise loads each `(node, wave)` group once (Fig 3 node
+/// skew), which is the win this cell exists to keep honest.
+fn bench_traverse(c: &mut Criterion) {
+    use dcart_art::{Art, Key, LevelWiseScratch, RecordingTracer};
+    let mut g = c.benchmark_group("ctt/traverse");
+    g.sample_size(20);
+    for workload in [Workload::Ipgeo, Workload::Dict] {
+        let keys = workload.generate(1_000_000, 1);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 65_536, mix: Mix::A, theta: 0.99, seed: 1 },
+        );
+        let probes: Vec<Key> = ops.iter().map(|o| o.key.clone()).collect();
+        let mut art: Art<u64> = Art::new();
+        art.load_indexed(&keys.keys).expect("prefix-free");
+        g.throughput(Throughput::Elements(probes.len() as u64));
+        g.bench_function(BenchmarkId::new("per_op", workload.name()), |b| {
+            let mut tracer = RecordingTracer::new();
+            b.iter(|| {
+                let mut acc = 0u64;
+                for k in &probes {
+                    tracer.clear();
+                    if art.locate_leaf(k, &mut tracer).is_some() {
+                        acc += 1;
+                    }
+                    acc += tracer.trace.visits.len() as u64;
+                }
+                acc
+            });
+        });
+        g.bench_function(BenchmarkId::new("level_wise", workload.name()), |b| {
+            let mut scratch = LevelWiseScratch::new();
+            b.iter(|| {
+                let mut acc = 0u64;
+                for chunk in probes.chunks(8_192) {
+                    art.locate_leaves_level_wise(chunk, &mut scratch);
+                    acc += scratch.ops_advanced();
+                    for i in 0..chunk.len() {
+                        if scratch.target(i).is_some() {
+                            acc += 1;
+                        }
+                    }
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The node-search kernels the SIMD module accelerates: the N16 lane
+/// search (vector vs. SWAR vs. naive scalar) and the N48 occupancy bitmap
+/// (vector vs. scalar), each over a data-dependent probe chain so the
+/// branch predictor cannot memoize the sequence.
+fn bench_node_search(c: &mut Criterion) {
+    let mut keys16 = [0u8; 16];
+    for (i, k) in keys16.iter_mut().enumerate() {
+        *k = (i * 16 + 3) as u8;
+    }
+    let probes: Vec<u8> = (0..4_096u32).map(|i| (i.wrapping_mul(97) % 256) as u8).collect();
+
+    let mut g = c.benchmark_group("node/search16");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    type Search16 = dyn Fn(&[u8; 16], usize, u8) -> Option<usize>;
+    let chain = |search: &Search16| {
+        let mut acc = 0usize;
+        for &p in &probes {
+            let probe = p.wrapping_add(acc as u8);
+            acc += search(&keys16, 16, probe).map_or(1, |i| i + 2);
+        }
+        acc
+    };
+    g.bench_function("simd", |b| b.iter(|| chain(&simd::search16)));
+    g.bench_function("swar", |b| b.iter(|| chain(&simd::search16_swar)));
+    g.bench_function("scalar", |b| b.iter(|| chain(&simd::search16_scalar)));
+    g.finish();
+
+    let mut index = [0xFFu8; 256];
+    for slot in 0..48u8 {
+        let byte = slot.wrapping_mul(37).wrapping_add(11);
+        index[usize::from(byte)] = slot;
+    }
+    let mut g = c.benchmark_group("node/present_bitmap");
+    g.bench_function("simd", |b| {
+        b.iter(|| simd::present_bitmap(&index, 0xFF).iter().map(|w| w.count_ones()).sum::<u32>())
+    });
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            simd::present_bitmap_scalar(&index, 0xFF).iter().map(|w| w.count_ones()).sum::<u32>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_combine, bench_execute, bench_traverse, bench_node_search);
 criterion_main!(benches);

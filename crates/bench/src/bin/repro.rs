@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <exhibit> [--scale smoke|default|full] [--out DIR] [--jobs N]
-//!                 [--sou-threads N] [--batches N] [--seed S]
+//!                 [--sou-threads N] [--traverse level-wise|per-op]
+//!                 [--batches N] [--seed S]
 //!
 //! exhibits:
 //!   table1   Table I   — DCART configuration
@@ -30,7 +31,7 @@ fn print_usage() {
     eprintln!(
         "usage: repro <{EXHIBITS}> \
          [--scale smoke|default|full] [--out DIR] [--jobs N] [--sou-threads N] \
-         [--batches N] [--seed S]"
+         [--traverse level-wise|per-op] [--batches N] [--seed S]"
     );
 }
 
@@ -129,6 +130,24 @@ fn main() -> ExitCode {
                     return fail(&format!("--sou-threads expects a positive integer, got '{n}'"));
                 };
                 dcart::set_sou_threads(n);
+                i += 2;
+            }
+            "--traverse" => {
+                // Escape hatch for A/B runs: both modes produce identical
+                // reports, so this only ever changes wall-clock.
+                let Some(name) = args.get(i + 1) else {
+                    return fail("--traverse needs a mode: level-wise or per-op");
+                };
+                let mode = match name.as_str() {
+                    "level-wise" => dcart::TraverseMode::LevelWise,
+                    "per-op" => dcart::TraverseMode::PerOp,
+                    other => {
+                        return fail(&format!(
+                            "unknown traverse mode '{other}' (want level-wise or per-op)"
+                        ));
+                    }
+                };
+                dcart::set_traverse_mode(mode);
                 i += 2;
             }
             "--batches" => {

@@ -49,6 +49,17 @@ pub struct PerfCell {
     /// Final index memory footprint in bytes — an allocation canary: a
     /// regression that re-introduces per-key copies shows up here first.
     pub memory_bytes: u64,
+    /// Arena node loads performed by the Traverse stage (CTT only, 0
+    /// elsewhere). Under level-wise traversal a node loaded once serves a
+    /// whole wave of operations, so this falls below
+    /// `traverse_ops_advanced`; per-op traversal keeps the two equal.
+    #[serde(default)]
+    pub traverse_nodes_visited: u64,
+    /// Single-level advancement steps performed by the Traverse stage
+    /// (CTT only, 0 elsewhere). Mode-independent — the denominator of the
+    /// wave-sharing ratio.
+    #[serde(default)]
+    pub traverse_ops_advanced: u64,
 }
 
 /// Masked vs. binary N16 search micro-bench (satellite of the hot-path
@@ -99,7 +110,31 @@ impl CttConsumer for VisitCounter {
     }
 }
 
-fn time_ctt(keys: &dcart_workloads::KeySet, ops: &[Op]) -> (f64, f64, u64, u64) {
+/// One executor's measurements; the traverse counters stay 0 for every
+/// engine except the CTT, whose Traverse stage reports them.
+struct Timing {
+    wall_s: f64,
+    load_wall_s: f64,
+    node_visits: u64,
+    memory_bytes: u64,
+    traverse_nodes_visited: u64,
+    traverse_ops_advanced: u64,
+}
+
+impl Timing {
+    fn untraced(wall_s: f64, load_wall_s: f64, node_visits: u64, memory_bytes: u64) -> Timing {
+        Timing {
+            wall_s,
+            load_wall_s,
+            node_visits,
+            memory_bytes,
+            traverse_nodes_visited: 0,
+            traverse_ops_advanced: 0,
+        }
+    }
+}
+
+fn time_ctt(keys: &dcart_workloads::KeySet, ops: &[Op]) -> Timing {
     let cfg = DcartConfig::default().scaled_for_keys(keys.len()).with_auto_prefix_skip(keys);
     let mut counter = VisitCounter::default();
     // The executor bulk-loads internally; time an explicit load on a
@@ -110,12 +145,19 @@ fn time_ctt(keys: &dcart_workloads::KeySet, ops: &[Op]) -> (f64, f64, u64, u64) 
     let load_wall_s = t_load.elapsed().as_secs_f64();
     drop(probe);
     let t0 = Instant::now();
-    let (art, _stats) = execute_ctt(keys, ops, &cfg, 4_096, &mut counter);
+    let (art, stats) = execute_ctt(keys, ops, &cfg, 4_096, &mut counter);
     let wall_s = (t0.elapsed().as_secs_f64() - load_wall_s).max(1e-9);
-    (wall_s, load_wall_s, counter.visits, art.memory_footprint())
+    Timing {
+        wall_s,
+        load_wall_s,
+        node_visits: counter.visits,
+        memory_bytes: art.memory_footprint(),
+        traverse_nodes_visited: stats.shortcut.nodes_visited,
+        traverse_ops_advanced: stats.shortcut.ops_advanced,
+    }
 }
 
-fn time_art_trace(keys: &dcart_workloads::KeySet, ops: &[Op]) -> (f64, f64, u64, u64) {
+fn time_art_trace(keys: &dcart_workloads::KeySet, ops: &[Op]) -> Timing {
     let t_load = Instant::now();
     let mut probe = dcart_art::Art::new();
     probe.load_indexed(&keys.keys).expect("prefix-free");
@@ -125,10 +167,10 @@ fn time_art_trace(keys: &dcart_workloads::KeySet, ops: &[Op]) -> (f64, f64, u64,
     let t0 = Instant::now();
     let art = execute_with_traces(keys, ops, |op| visits += op.trace.visits.len() as u64);
     let wall_s = (t0.elapsed().as_secs_f64() - load_wall_s).max(1e-9);
-    (wall_s, load_wall_s, visits, art.memory_footprint())
+    Timing::untraced(wall_s, load_wall_s, visits, art.memory_footprint())
 }
 
-fn time_bptree(keys: &dcart_workloads::KeySet, ops: &[Op]) -> (f64, f64, u64, u64) {
+fn time_bptree(keys: &dcart_workloads::KeySet, ops: &[Op]) -> Timing {
     let t_load = Instant::now();
     let mut t: BPlusTree<u64> = BPlusTree::new(32);
     for (i, k) in keys.keys.iter().enumerate() {
@@ -153,10 +195,10 @@ fn time_bptree(keys: &dcart_workloads::KeySet, ops: &[Op]) -> (f64, f64, u64, u6
         }
     }
     let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
-    (wall_s, load_wall_s, t.stats().node_accesses, t.memory_footprint())
+    Timing::untraced(wall_s, load_wall_s, t.stats().node_accesses, t.memory_footprint())
 }
 
-fn time_hash(keys: &dcart_workloads::KeySet, ops: &[Op]) -> (f64, f64, u64, u64) {
+fn time_hash(keys: &dcart_workloads::KeySet, ops: &[Op]) -> Timing {
     let t_load = Instant::now();
     let mut h: HashIndex<u64> = HashIndex::new();
     for (i, k) in keys.keys.iter().enumerate() {
@@ -180,7 +222,7 @@ fn time_hash(keys: &dcart_workloads::KeySet, ops: &[Op]) -> (f64, f64, u64, u64)
         }
     }
     let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
-    (wall_s, load_wall_s, h.stats().node_accesses, h.memory_footprint())
+    Timing::untraced(wall_s, load_wall_s, h.stats().node_accesses, h.memory_footprint())
 }
 
 /// Times `1_000 * rounds` lookups through each N16 comparator and returns
@@ -260,7 +302,7 @@ pub fn run(scale: &Scale, out_dir: &Path) -> PerfReport {
         .collect();
     let timed = crate::parallel::par_map_timed(cells, |(wi, workload, engine)| {
         let (keys, ops) = &data[wi];
-        let (wall_s, load_wall_s, node_visits, memory_bytes) = match engine {
+        let t = match engine {
             "CTT" => time_ctt(keys, ops),
             "ART-trace" => time_art_trace(keys, ops),
             "B+tree" => time_bptree(keys, ops),
@@ -270,11 +312,13 @@ pub fn run(scale: &Scale, out_dir: &Path) -> PerfReport {
             engine: engine.to_string(),
             workload: workload.name().to_string(),
             ops: ops.len(),
-            wall_s,
-            ops_per_sec: ops.len() as f64 / wall_s,
-            load_wall_s,
-            node_visits,
-            memory_bytes,
+            wall_s: t.wall_s,
+            ops_per_sec: ops.len() as f64 / t.wall_s,
+            load_wall_s: t.load_wall_s,
+            node_visits: t.node_visits,
+            memory_bytes: t.memory_bytes,
+            traverse_nodes_visited: t.traverse_nodes_visited,
+            traverse_ops_advanced: t.traverse_ops_advanced,
         }
     });
     let cells: Vec<PerfCell> = timed.into_iter().map(|t| t.value).collect();
@@ -387,6 +431,11 @@ mod tests {
             .iter()
             .filter(|c| c.engine == "CTT" || c.engine == "ART-trace")
             .all(|c| c.node_visits > 0));
+        // The CTT's Traverse stage reports its wave-sharing counters: some
+        // advancement happened, and loads never exceed advancement steps.
+        assert!(r.cells.iter().filter(|c| c.engine == "CTT").all(|c| {
+            c.traverse_ops_advanced > 0 && c.traverse_nodes_visited <= c.traverse_ops_advanced
+        }));
         // Timing ratios are machine-dependent; the guard only pins sanity:
         // both comparators ran, produced positive times, and the masked
         // search is not catastrophically (>5x) slower than the binary one.

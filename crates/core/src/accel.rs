@@ -58,6 +58,14 @@ pub struct AccelDetails {
     pub shortcut_buffer_hit_ratio: f64,
     /// Total cycles including overlap.
     pub total_cycles: u64,
+    /// Node loads the Traverse stage performed (one per `(node, wave)`
+    /// group under level-wise traversal; one per path node per op
+    /// otherwise).
+    pub traverse_nodes_visited: u64,
+    /// Op-level traversal advancement steps (sum of path lengths). The
+    /// ratio to [`traverse_nodes_visited`](Self::traverse_nodes_visited)
+    /// is the wave-level node-reuse factor of the run.
+    pub traverse_ops_advanced: u64,
     /// Order-sensitive digest of every operation's answer. Two runs over
     /// the same workload must produce equal digests regardless of any
     /// injected faults — the chaos experiment enforces this.
@@ -478,6 +486,8 @@ impl IndexEngine for DcartAccel {
             shortcut_buffer_hit_ratio: consumer.shortcut_buffer.stats().hit_ratio(),
             batches: consumer.batches,
             total_cycles,
+            traverse_nodes_visited: stats.shortcut.nodes_visited,
+            traverse_ops_advanced: stats.shortcut.ops_advanced,
             answer_digest: stats.answer_digest,
             tree_digest,
             recovery,

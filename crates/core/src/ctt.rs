@@ -30,6 +30,22 @@
 //! end of their batch and answered by a k-way merge over every shard's
 //! subtree (weakly consistent: a scan observes the end-of-batch state).
 //!
+//! # Level-wise Traverse
+//!
+//! By default ([`TraverseMode::LevelWise`]) each shard advances its reads
+//! level-synchronously: read traversals are deferred into a *pending
+//! group*, and when the group flushes, one wave walk
+//! ([`Art::locate_leaves_level_wise`]) advances every deferred read one
+//! tree level at a time — loading each distinct node once per wave instead
+//! of once per op (the hot upper levels dominate: Fig. 3 measures ≥96.65 %
+//! of traversals hitting ≤5 % of nodes). The group flushes whenever
+//! per-op execution could observe the deferral — before any write (or any
+//! op whose key is already pending) executes, and at batch end — and
+//! commits its reads in arrival order, so the event stream, stats, and
+//! digests stay byte-identical to [`TraverseMode::PerOp`] at every worker
+//! count. Only the [`ShortcutStats::nodes_visited`] counter (actual node
+//! loads) reflects the wave sharing.
+//!
 //! Consumers receive every resolved operation (with its *effective* node
 //! visits — one direct fetch on a shortcut hit, the full path otherwise)
 //! and every lock group, and attach platform-specific costs.
@@ -37,7 +53,7 @@
 use std::collections::hash_map::Entry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use dcart_art::{Art, Key, NodeId, NodeVisit, NoopTracer, RecordingTracer};
+use dcart_art::{Art, Key, LevelWiseScratch, NodeId, NodeVisit, NoopTracer, RecordingTracer};
 use dcart_engine::{par_for_each_mut, DegradationController, FaultInjector, FaultPlan, FaultSite};
 use dcart_workloads::{KeySet, Op, OpKind};
 use serde::{Deserialize, Serialize};
@@ -73,6 +89,46 @@ pub fn set_sou_threads(n: usize) {
 /// The current SOU worker-thread count.
 pub fn sou_threads() -> usize {
     SOU_THREADS.load(Ordering::Relaxed)
+}
+
+/// How a shard's Traverse stage resolves the operations that miss the
+/// shortcut table.
+///
+/// Both modes produce byte-identical event streams, stats, digests, and
+/// trees (pinned by tests); they differ only in how many node *loads* the
+/// traversals cost, reported by [`ShortcutStats::nodes_visited`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraverseMode {
+    /// Defer read traversals into per-shard pending groups and advance
+    /// each group level-synchronously, loading every distinct node once
+    /// per wave. The default.
+    LevelWise,
+    /// Traverse each operation root-to-leaf independently (the pre-wave
+    /// behavior; also the reference the level-wise path is tested
+    /// against).
+    PerOp,
+}
+
+/// Process-global traverse mode (0 = level-wise, 1 = per-op), read once at
+/// the start of each execution.
+static TRAVERSE_MODE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-global [`TraverseMode`] used by executions that do not
+/// pass one explicitly. Results are byte-identical in either mode; only
+/// traversal node loads (and wall-clock) change. Tests that need a
+/// specific mode without racing on the global should call
+/// [`execute_ctt_with`] instead.
+pub fn set_traverse_mode(mode: TraverseMode) {
+    TRAVERSE_MODE.store(matches!(mode, TraverseMode::PerOp) as usize, Ordering::Relaxed);
+}
+
+/// The current process-global [`TraverseMode`].
+pub fn traverse_mode() -> TraverseMode {
+    if TRAVERSE_MODE.load(Ordering::Relaxed) == 0 {
+        TraverseMode::LevelWise
+    } else {
+        TraverseMode::PerOp
+    }
 }
 
 /// FNV-1a over the key bytes: the hardware's Key_ID.
@@ -281,6 +337,27 @@ struct ScanRef {
     record: u32,
 }
 
+/// How a deferred read will resolve when its pending group flushes.
+#[derive(Clone, Copy)]
+enum PendingKind {
+    /// Its probe hit: a direct target fetch at flush (the tree is frozen
+    /// between mutating ops, so the target is still live then).
+    Hit { target: NodeId },
+    /// Its probe missed (or shortcuts were inactive): resolved by the
+    /// flush's level-wise wave walk. `gen_allowed` snapshots
+    /// `shortcuts_active` right after the op's own probe — the instant
+    /// per-op execution would have generated its shortcut entry.
+    Miss { gen_allowed: bool },
+}
+
+/// One read deferred into the shard's pending group, committed at flush in
+/// arrival order. `record` indexes the placeholder pushed at arrival (so
+/// record index still equals bucket position for the serial replay).
+struct PendingRead {
+    record: u32,
+    kind: PendingKind,
+}
+
 /// Everything one bucket owns: its subtree, shortcut shard, fault stream,
 /// and reusable per-batch scratch. Shards share nothing, which is what
 /// makes the worker pool deterministic (and lock-free) by construction.
@@ -292,6 +369,12 @@ struct BucketShard {
     degrade: DegradationController,
     shortcuts_active: bool,
     disables: u64,
+    // Whole-run Traverse counters (never reset per batch): op-level
+    // advancement steps (sum of traversal path lengths, mode-independent)
+    // and actual node loads (falls below `ops_advanced` under level-wise
+    // wave sharing).
+    ops_advanced: u64,
+    nodes_visited: u64,
     // Per-batch scratch: cleared (capacity retained) at batch start.
     visited: FxHashSet<NodeId>,
     write_target_index: FxHashMap<NodeId, usize>,
@@ -300,6 +383,12 @@ struct BucketShard {
     records: Vec<OpRecord>,
     scans: Vec<ScanRef>,
     tracer: RecordingTracer,
+    // Level-wise pending group: deferred reads, their key ids (flush
+    // triggers), the wave-walk scratch, and the miss-key gather buffer.
+    pending: Vec<PendingRead>,
+    pending_keys: FxHashSet<u64>,
+    lw_scratch: LevelWiseScratch,
+    miss_keys: Vec<Key>,
     error: Option<(u32, DcartError)>,
 }
 
@@ -338,6 +427,8 @@ impl BucketShard {
             ),
             shortcuts_active: config.shortcuts_enabled,
             disables: 0,
+            ops_advanced: 0,
+            nodes_visited: 0,
             visited: FxHashSet::default(),
             write_target_index: FxHashMap::default(),
             write_targets: Vec::new(),
@@ -345,6 +436,10 @@ impl BucketShard {
             records: Vec::new(),
             scans: Vec::new(),
             tracer: RecordingTracer::new(),
+            pending: Vec::new(),
+            pending_keys: FxHashSet::default(),
+            lw_scratch: LevelWiseScratch::new(),
+            miss_keys: Vec::new(),
             error: None,
         }
     }
@@ -356,11 +451,16 @@ impl BucketShard {
         self.visit_arena.clear();
         self.records.clear();
         self.scans.clear();
+        // The pending group is flushed before `run_batch` returns (and on
+        // the error path the failing write flushed it first), but clear
+        // defensively so one batch can never leak reads into the next.
+        self.pending.clear();
+        self.pending_keys.clear();
     }
 
     /// Runs this bucket's slice of a batch: Traverse + Trigger against the
     /// shard's own subtree, recording outcomes for the serial replay.
-    fn run_batch(&mut self, batch: &[Op], ops_idx: &[u32], plan: &FaultPlan) {
+    fn run_batch(&mut self, batch: &[Op], ops_idx: &[u32], plan: &FaultPlan, mode: TraverseMode) {
         self.begin_batch();
         for (pos, &op_i) in ops_idx.iter().enumerate() {
             let op = &batch[op_i as usize];
@@ -368,7 +468,9 @@ impl BucketShard {
 
             if matches!(op.kind, OpKind::Scan) {
                 // Scans cross bucket boundaries; defer to the batch-end
-                // merge (the placeholder is completed there).
+                // merge (the placeholder is completed there). They never
+                // flush the pending group: they read nothing until after
+                // the batch's final flush.
                 self.scans.push(ScanRef { pos: pos as u32, record: self.records.len() as u32 });
                 self.records.push(OpRecord {
                     op_index: op_i,
@@ -383,6 +485,22 @@ impl BucketShard {
                     generated: false,
                 });
                 continue;
+            }
+
+            // Level-wise mode defers every read (hit or miss) into the
+            // pending group. Anything that could observe the deferral
+            // flushes the group first, *before* its own probe: writes
+            // mutate the tree and the shortcut table, and a read that will
+            // probe a key already pending must see that key's deferred
+            // shortcut generation exactly as per-op execution would. When
+            // this shard's shortcuts are inactive the arriving read probes
+            // nothing, so deferral is unobservable and the group keeps
+            // growing through hot-key repeats. (Key ids can collide across
+            // keys; a spurious flush is harmless — flush timing is
+            // unobservable, only commit order matters.)
+            let defer = matches!(mode, TraverseMode::LevelWise) && matches!(op.kind, OpKind::Read);
+            if !defer || (self.shortcuts_active && self.pending_keys.contains(&kid)) {
+                self.flush_pending(batch);
             }
 
             // Index_Shortcut: probe for reads/updates (unless this shard's
@@ -409,6 +527,34 @@ impl BucketShard {
             } else {
                 None
             };
+
+            if defer {
+                // Push the placeholder now (record index must equal bucket
+                // position for the serial replay) and commit at flush.
+                let kind = match entry {
+                    Some(e) => PendingKind::Hit { target: e.target },
+                    // Snapshot `shortcuts_active` *after* the probe: this
+                    // op's own probe may just have tripped the degradation
+                    // latch, and per-op execution would generate (or not)
+                    // based on the post-probe state.
+                    None => PendingKind::Miss { gen_allowed: self.shortcuts_active },
+                };
+                self.pending.push(PendingRead { record: self.records.len() as u32, kind });
+                self.pending_keys.insert(kid);
+                self.records.push(OpRecord {
+                    op_index: op_i,
+                    key_id: kid,
+                    answer: 0,
+                    matches: 0,
+                    visits_start: 0,
+                    visits_len: 0,
+                    locks: 0,
+                    hash_bucket: u32::MAX,
+                    shortcut_hit: false,
+                    generated: false,
+                });
+                continue;
+            }
 
             let visits_start = self.visit_arena.len() as u32;
             let record = if let Some(entry) = entry {
@@ -523,6 +669,12 @@ impl BucketShard {
                     }
                     locks = tracer.trace.locks.len().max(1) as u32;
                 }
+                // Whole-run Traverse counters: a per-op traversal loads
+                // every node on its path, so advancement steps and node
+                // loads coincide here.
+                let path_len = self.tracer.trace.visits.len() as u64;
+                self.ops_advanced += path_len;
+                self.nodes_visited += path_len;
                 // Coalesce the traversal: only first-touch nodes cost a
                 // fetch and their share of the partial-key matching; path
                 // segments another combined op already walked are shared
@@ -553,6 +705,110 @@ impl BucketShard {
             };
             self.records.push(record);
         }
+        // Batch end: commit the last pending group before the executor
+        // resolves scans against the shard's visited set.
+        self.flush_pending(batch);
+    }
+
+    /// Commits every deferred read of the pending group, in arrival order,
+    /// with per-op-identical observables.
+    ///
+    /// The tree is frozen while reads pend (writes flush before they
+    /// execute), so each read resolves against exactly the tree state it
+    /// saw at arrival: probe hits fetch their validated target directly,
+    /// and one level-wise wave walk answers all the misses at once —
+    /// loading each distinct `(node, wave)` pair a single time, which is
+    /// where the batch win comes from. Committing in arrival order keeps
+    /// the visit arena, the visited-set dedup, and every record field
+    /// byte-identical to per-op execution.
+    fn flush_pending(&mut self, batch: &[Op]) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // Gather the miss keys (cheap `Arc` clones) in arrival order; one
+        // wave walk resolves them all.
+        self.miss_keys.clear();
+        for p in &self.pending {
+            if matches!(p.kind, PendingKind::Miss { .. }) {
+                let op_index = self.records[p.record as usize].op_index;
+                self.miss_keys.push(batch[op_index as usize].key.clone());
+            }
+        }
+        self.art.locate_leaves_level_wise(&self.miss_keys, &mut self.lw_scratch);
+        self.ops_advanced += self.lw_scratch.ops_advanced();
+        self.nodes_visited += self.lw_scratch.nodes_loaded();
+
+        let mut miss_i = 0usize;
+        for pi in 0..self.pending.len() {
+            let PendingRead { record, kind } = self.pending[pi];
+            let rec_idx = record as usize;
+            let op = &batch[self.records[rec_idx].op_index as usize];
+            let visits_start = self.visit_arena.len() as u32;
+            match kind {
+                PendingKind::Hit { target } => {
+                    // Identical to the immediate hit path: direct target
+                    // fetch (free if a combined op already fetched it),
+                    // one validation compare.
+                    let namespaced_target = namespaced(self.bucket, target);
+                    if self.visited.insert(namespaced_target) {
+                        let v =
+                            self.art.visit_for(target).expect("probe validated the target as live");
+                        self.visit_arena.push(NodeVisit { node: namespaced_target, ..v });
+                    }
+                    let answer = digest_option(self.art.read_leaf(target, &op.key).copied());
+                    let visits_len = self.visit_arena.len() as u32 - visits_start;
+                    let rec = &mut self.records[rec_idx];
+                    rec.answer = answer;
+                    rec.matches = u64::from(visits_len);
+                    rec.visits_start = visits_start;
+                    rec.visits_len = visits_len;
+                    rec.shortcut_hit = true;
+                }
+                PendingKind::Miss { gen_allowed } => {
+                    let w = miss_i;
+                    miss_i += 1;
+                    let target = self.lw_scratch.target(w);
+                    let answer = digest_option(
+                        target.and_then(|(t, _)| self.art.read_leaf(t, &op.key).copied()),
+                    );
+                    let mut generated = false;
+                    let mut hash_bucket = u32::MAX;
+                    if gen_allowed {
+                        if let Some((t, parent)) = target {
+                            // Generate_Shortcut: only leaves are reusable
+                            // point-op targets.
+                            if self.art.read_leaf(t, &op.key).is_some() {
+                                self.shortcuts.generate(op.key.clone(), t, parent);
+                                generated = true;
+                                hash_bucket =
+                                    (self.records[rec_idx].key_id % SHORTCUT_HASH_BUCKETS) as u32;
+                            }
+                        }
+                    }
+                    // Same first-touch coalescing as the per-op path, over
+                    // the identical full traversal path.
+                    let Self { lw_scratch, visited, visit_arena, bucket, .. } = self;
+                    let path = lw_scratch.visits(w);
+                    for v in path {
+                        let node = namespaced(*bucket, v.node);
+                        if visited.insert(node) {
+                            visit_arena.push(NodeVisit { node, ..*v });
+                        }
+                    }
+                    let visits_len = self.visit_arena.len() as u32 - visits_start;
+                    let total_visits = path.len().max(1) as u64;
+                    let rec = &mut self.records[rec_idx];
+                    rec.answer = answer;
+                    rec.matches = self.lw_scratch.pkm(w) * u64::from(visits_len) / total_visits;
+                    rec.visits_start = visits_start;
+                    rec.visits_len = visits_len;
+                    rec.generated = generated;
+                    rec.hash_bucket = hash_bucket;
+                }
+            }
+        }
+        self.pending.clear();
+        self.pending_keys.clear();
     }
 }
 
@@ -801,6 +1057,33 @@ pub fn execute_ctt_threaded<C: CttConsumer>(
     }
 }
 
+/// [`execute_ctt`] with an explicit worker-thread count *and*
+/// [`TraverseMode`], bypassing both process-global knobs (useful for tests
+/// that pin the two modes against each other without racing on globals).
+///
+/// # Panics
+///
+/// Panics on a zero `batch_size` or keys the tree rejects.
+#[allow(clippy::panic)]
+pub fn execute_ctt_with<C: CttConsumer>(
+    keys: &KeySet,
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    threads: usize,
+    mode: TraverseMode,
+    consumer: &mut C,
+) -> (Art<u64>, CttStats) {
+    assert!(batch_size > 0, "batch size must be positive");
+    match try_execute_ctt_with(keys, ops, config, batch_size, threads, mode, consumer) {
+        Ok(r) => r,
+        // Documented infallible wrapper: the `try_` variant is the library
+        // surface, and this panic is the advertised contract (`# Panics`).
+        // dcart_lint::allow(P1) -- panic documented in the wrapper contract
+        Err(e) => panic!("CTT execution failed: {e}"),
+    }
+}
+
 /// Fallible variant of [`execute_ctt`]: returns [`DcartError`] instead of
 /// panicking on a zero batch size or keys the tree rejects
 /// (prefix-violating or unsorted bulk loads).
@@ -839,6 +1122,27 @@ pub fn try_execute_ctt_threaded<C: CttConsumer>(
     threads: usize,
     consumer: &mut C,
 ) -> Result<(Art<u64>, CttStats), DcartError> {
+    try_execute_ctt_with(keys, ops, config, batch_size, threads, traverse_mode(), consumer)
+}
+
+/// Fallible variant of [`execute_ctt_with`]: explicit worker-thread count
+/// and [`TraverseMode`]. The mode is fixed for the whole execution (the
+/// process-global knob is read once by the callers that use it).
+///
+/// # Errors
+///
+/// * [`DcartError::InvalidBatchSize`] when `batch_size == 0`;
+/// * [`DcartError::Art`] when the key set or an insert violates the
+///   tree's prefix-free requirement.
+pub fn try_execute_ctt_with<C: CttConsumer>(
+    keys: &KeySet,
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    threads: usize,
+    mode: TraverseMode,
+    consumer: &mut C,
+) -> Result<(Art<u64>, CttStats), DcartError> {
     if batch_size == 0 {
         return Err(DcartError::InvalidBatchSize);
     }
@@ -847,7 +1151,7 @@ pub fn try_execute_ctt_threaded<C: CttConsumer>(
     // its *global* load index as the value — identical values to a
     // single-tree `load_indexed`.
     let shards = load_shards(config, keys.keys.iter().enumerate().map(|(i, k)| (k, i as u64)))?;
-    run_batches(shards, ops, config, batch_size, threads, 0, consumer)
+    run_batches(shards, ops, config, RunKnobs { batch_size, threads, mode }, 0, consumer)
 }
 
 /// Resumes a CTT execution from a known tree state instead of a fresh key
@@ -880,7 +1184,8 @@ pub fn try_execute_ctt_resumed<C: CttConsumer>(
         return Err(DcartError::InvalidBatchSize);
     }
     let shards = load_shards(config, pairs.iter().map(|(k, v)| (k, *v)))?;
-    run_batches(shards, ops, config, batch_size, threads, initial_digest, consumer)
+    let knobs = RunKnobs { batch_size, threads, mode: traverse_mode() };
+    run_batches(shards, ops, config, knobs, initial_digest, consumer)
 }
 
 /// Builds the per-bucket shards and routes every `(key, value)` entry to
@@ -898,17 +1203,25 @@ fn load_shards<'a>(
     Ok(shards)
 }
 
+/// The execution knobs fixed for a whole run, bundled so the batch loop's
+/// signature stays readable as knobs accrete.
+struct RunKnobs {
+    batch_size: usize,
+    threads: usize,
+    mode: TraverseMode,
+}
+
 /// The batch loop shared by the fresh and resumed entry points: Combine,
 /// Traverse + Trigger on the worker pool, serial replay, batch-end merge.
 fn run_batches<C: CttConsumer>(
     mut shards: Vec<BucketShard>,
     ops: &[Op],
     config: &DcartConfig,
-    batch_size: usize,
-    threads: usize,
+    knobs: RunKnobs,
     initial_digest: u64,
     consumer: &mut C,
 ) -> Result<(Art<u64>, CttStats), DcartError> {
+    let RunKnobs { batch_size, threads, mode } = knobs;
     let plan = config.faults;
     let mut stats = CttStats { answer_digest: initial_digest, ..CttStats::default() };
     // Whole-run scratch, reused across batches.
@@ -927,7 +1240,7 @@ fn run_batches<C: CttConsumer>(
         {
             let bucket_ops = &combined.buckets;
             par_for_each_mut(&mut shards, threads, |b, shard| {
-                shard.run_batch(batch, &bucket_ops[b], &plan);
+                shard.run_batch(batch, &bucket_ops[b], &plan, mode);
             });
         }
 
@@ -1016,7 +1329,13 @@ fn run_batches<C: CttConsumer>(
     }
 
     for shard in &shards {
-        stats.shortcut.accumulate(&shard.shortcuts.stats());
+        // The Traverse counters live on the shard (the shortcut table
+        // never sees traversals); splice them into the shard's stats so
+        // the run-level sum carries both.
+        let mut shard_stats = shard.shortcuts.stats();
+        shard_stats.nodes_visited = shard.nodes_visited;
+        shard_stats.ops_advanced = shard.ops_advanced;
+        stats.shortcut.accumulate(&shard_stats);
         stats.shortcut_disables += shard.disables;
     }
     let art = merge_shard_trees(&shards)?;
@@ -1236,6 +1555,81 @@ mod tests {
             assert_eq!(*digest, base_digest, "event stream identical across thread counts");
             assert_eq!(*pairs, base_pairs, "final tree identical across thread counts");
         }
+    }
+
+    /// The tentpole equivalence: level-wise and per-op Traverse must be
+    /// observationally identical — full event stream, stats (modulo the
+    /// node-load counter that is *supposed* to drop), final tree — across
+    /// workload shapes, fault plans, and worker counts.
+    #[test]
+    fn traverse_modes_are_observationally_identical() {
+        let chaos = FaultPlan { seed: 42, shortcut_corrupt_rate: 0.05, ..FaultPlan::none() };
+        for workload in [Workload::Ipgeo, Workload::Dict, Workload::DenseInt] {
+            let keys = workload.generate(2_000, 5);
+            let ops = generate_ops(
+                &keys,
+                &OpStreamConfig { count: 8_000, mix: Mix::E, ..Default::default() },
+            );
+            for faults in [FaultPlan::none(), chaos] {
+                let cfg =
+                    DcartConfig { faults, ..DcartConfig::default() }.with_auto_prefix_skip(&keys);
+                for threads in [1usize, 2, 8] {
+                    let mut results = [TraverseMode::LevelWise, TraverseMode::PerOp].map(|mode| {
+                        let mut d = StreamDigest::default();
+                        let (tree, mut stats) =
+                            execute_ctt_with(&keys, &ops, &cfg, 1024, threads, mode, &mut d);
+                        let loads = stats.shortcut.nodes_visited;
+                        // The node-load counter is the one sanctioned
+                        // difference; everything else must match exactly.
+                        stats.shortcut.nodes_visited = 0;
+                        let pairs: Vec<(Key, u64)> =
+                            tree.iter().map(|(k, &v)| (k.clone(), v)).collect();
+                        (format!("{stats:?}"), d.h, pairs, loads)
+                    });
+                    let (per_op_stats, per_op_digest, per_op_pairs, per_op_loads) =
+                        std::mem::take(&mut results[1]);
+                    let (lw_stats, lw_digest, lw_pairs, lw_loads) = std::mem::take(&mut results[0]);
+                    let ctx = format!("workload={workload:?} threads={threads}");
+                    assert_eq!(lw_stats, per_op_stats, "stats identical: {ctx}");
+                    assert_eq!(lw_digest, per_op_digest, "event stream identical: {ctx}");
+                    assert_eq!(lw_pairs, per_op_pairs, "final tree identical: {ctx}");
+                    assert!(
+                        lw_loads <= per_op_loads,
+                        "wave grouping never loads more: {lw_loads} > {per_op_loads} ({ctx})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The counters the level-wise win is reported through: per-op mode
+    /// loads once per advancement step; level-wise strictly fewer on a
+    /// read-heavy skewed workload.
+    #[test]
+    fn level_wise_reduces_node_loads_on_skewed_reads() {
+        let keys = Workload::Ipgeo.generate(5_000, 1);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 20_000, mix: Mix::A, ..Default::default() },
+        );
+        // Shortcuts off so every read traverses (isolates the Traverse
+        // stage, as the bench cells do).
+        let cfg = DcartConfig { shortcuts_enabled: false, ..DcartConfig::default() };
+        let run = |mode| {
+            let (_, stats) =
+                execute_ctt_with(&keys, &ops, &cfg, 4096, 1, mode, &mut Collector::default());
+            stats.shortcut
+        };
+        let per_op = run(TraverseMode::PerOp);
+        let lw = run(TraverseMode::LevelWise);
+        assert_eq!(per_op.nodes_visited, per_op.ops_advanced, "per-op: loads == steps");
+        assert_eq!(lw.ops_advanced, per_op.ops_advanced, "advancement is mode-independent");
+        assert!(
+            lw.nodes_visited * 2 < lw.ops_advanced,
+            "Zipfian reads must share most wave loads: {} loads for {} steps",
+            lw.nodes_visited,
+            lw.ops_advanced
+        );
     }
 
     fn digests(mix: Mix, cfg: DcartConfig) -> (CttStats, Vec<(Key, u64)>) {

@@ -53,9 +53,10 @@ mod software;
 pub use accel::{AccelDetails, BatchTiming, DcartAccel};
 pub use config::{DcartConfig, DegradeConfig};
 pub use ctt::{
-    execute_ctt, execute_ctt_threaded, fold_digest, key_id, set_sou_threads, sou_threads,
-    tree_digest, try_execute_ctt, try_execute_ctt_resumed, try_execute_ctt_threaded, BatchEvent,
-    CttConsumer, CttOpEvent, CttStats, LockGroup,
+    execute_ctt, execute_ctt_threaded, execute_ctt_with, fold_digest, key_id, set_sou_threads,
+    set_traverse_mode, sou_threads, traverse_mode, tree_digest, try_execute_ctt,
+    try_execute_ctt_resumed, try_execute_ctt_threaded, try_execute_ctt_with, BatchEvent,
+    CttConsumer, CttOpEvent, CttStats, LockGroup, TraverseMode,
 };
 pub use dcart_engine::{CrashInjector, CrashPlan, CrashSite, FaultPlan, RecoveryStats, WalError};
 pub use dcart_mem::PersistStats;

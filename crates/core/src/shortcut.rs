@@ -48,6 +48,15 @@ pub struct ShortcutStats {
     /// Probes that caught a corrupted entry during validation and fell
     /// back to a full root-to-leaf traversal.
     pub corruption_fallbacks: u64,
+    /// Node loads the Traverse stage actually performed. Under level-wise
+    /// traversal each `(node, wave)` group is loaded once, so this falls
+    /// below [`ops_advanced`](Self::ops_advanced) in proportion to wave
+    /// sharing; under per-op traversal the two are equal.
+    pub nodes_visited: u64,
+    /// Op-level advancement steps of the Traverse stage: the sum of every
+    /// traversing operation's path length, independent of traversal mode.
+    /// `ops_advanced / nodes_visited` is the level-wise reuse factor.
+    pub ops_advanced: u64,
 }
 
 impl ShortcutStats {
@@ -65,6 +74,8 @@ impl ShortcutStats {
         self.updated += other.updated;
         self.corruptions_injected += other.corruptions_injected;
         self.corruption_fallbacks += other.corruption_fallbacks;
+        self.nodes_visited += other.nodes_visited;
+        self.ops_advanced += other.ops_advanced;
     }
 }
 
@@ -313,6 +324,8 @@ mod tests {
             updated: 5,
             corruptions_injected: 6,
             corruption_fallbacks: 7,
+            nodes_visited: 8,
+            ops_advanced: 9,
         };
         let mut total = a;
         total.accumulate(&a);
@@ -326,6 +339,8 @@ mod tests {
                 updated: 10,
                 corruptions_injected: 12,
                 corruption_fallbacks: 14,
+                nodes_visited: 16,
+                ops_advanced: 18,
             }
         );
     }

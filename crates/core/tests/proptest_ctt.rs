@@ -2,7 +2,10 @@
 //! operation-centric execution and conservation laws on its statistics,
 //! under randomized workloads, mixes, batch sizes, and config knobs.
 
-use dcart::{execute_ctt, CttConsumer, CttOpEvent, DcartConfig, LockGroup};
+use dcart::{
+    execute_ctt, execute_ctt_with, fold_digest, BatchEvent, CttConsumer, CttOpEvent, DcartConfig,
+    FaultPlan, LockGroup, TraverseMode,
+};
 use dcart_art::Key;
 use dcart_baselines::execute_with_traces;
 use dcart_mem::BufferPolicy;
@@ -59,6 +62,43 @@ impl CttConsumer for Audit {
 fn op_strategy() -> impl Strategy<Value = (u8, u64)> {
     // (kind selector, key selector)
     (0u8..10, 0u64..256)
+}
+
+/// Folds every observable of the event stream into one digest, so two runs
+/// can be compared event-for-event without storing the streams.
+#[derive(Default)]
+struct StreamDigest {
+    h: u64,
+}
+
+impl CttConsumer for StreamDigest {
+    fn batch_start(&mut self, ev: &BatchEvent<'_>) {
+        self.h = fold_digest(self.h, ev.index as u64);
+        for &s in ev.bucket_sizes {
+            self.h = fold_digest(self.h, u64::from(s));
+        }
+    }
+
+    fn op(&mut self, ev: &CttOpEvent<'_>) {
+        self.h = fold_digest(self.h, ev.bucket as u64);
+        self.h = fold_digest(self.h, ev.key_id);
+        self.h = fold_digest(self.h, u64::from(ev.shortcut_hit));
+        self.h = fold_digest(self.h, ev.matches);
+        self.h = fold_digest(self.h, ev.answer);
+        for v in ev.visits {
+            self.h = fold_digest(self.h, u64::from(v.node.index()));
+            self.h = fold_digest(self.h, u64::from(v.footprint));
+        }
+    }
+
+    fn lock_group(&mut self, group: &LockGroup) {
+        self.h = fold_digest(self.h, u64::from(group.node.index()));
+        self.h = fold_digest(self.h, u64::from(group.size));
+    }
+
+    fn batch_end(&mut self, index: usize) {
+        self.h = fold_digest(self.h, !(index as u64));
+    }
 }
 
 proptest! {
@@ -128,6 +168,71 @@ proptest! {
         let expect_batches = ops.len().div_ceil(batch_size);
         prop_assert_eq!(stats.batches, expect_batches as u64);
         prop_assert_eq!(audit.batches_seen, (0..expect_batches).collect::<Vec<_>>());
+    }
+
+    /// Level-wise batched Traverse is observationally identical to per-op
+    /// traversal: the full event stream (visit paths, lock groups, answers,
+    /// shortcut hits), the statistics, and the final tree all match
+    /// exactly, for any op stream, batch size, shortcut setting, fault
+    /// plan, and worker count. The only sanctioned difference is the
+    /// node-load counter, which may only ever *shrink* under wave sharing.
+    #[test]
+    fn traverse_modes_agree_on_random_streams(
+        loaded in proptest::collection::btree_set(0u64..256, 1..80),
+        raw_ops in proptest::collection::vec(op_strategy(), 1..300),
+        batch_size in 1usize..128,
+        shortcuts in any::<bool>(),
+        chaos in any::<bool>(),
+        threads_sel in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 8][threads_sel];
+        let keys = key_set(loaded.iter().copied().collect(), (256..320u64).collect());
+        let ops: Vec<Op> = raw_ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, key))| {
+                let kind = match k {
+                    0..=3 => OpKind::Read,
+                    4..=5 => OpKind::Update,
+                    6 => OpKind::Insert,
+                    7 => OpKind::Remove,
+                    _ => OpKind::Scan,
+                };
+                let key = match kind {
+                    OpKind::Insert => {
+                        keys.insert_pool[(key as usize) % keys.insert_pool.len()].clone()
+                    }
+                    _ => keys.keys[(key as usize) % keys.keys.len()].clone(),
+                };
+                // Scans carry their length in `value`; keep it small.
+                let value = if kind == OpKind::Scan { (i as u64 % 7) + 1 } else { i as u64 };
+                Op { kind, key, value }
+            })
+            .collect();
+        let faults = if chaos {
+            FaultPlan { seed: 42, shortcut_corrupt_rate: 0.05, ..FaultPlan::none() }
+        } else {
+            FaultPlan::none()
+        };
+        let cfg = DcartConfig { shortcuts_enabled: shortcuts, faults, ..Default::default() };
+
+        let mut results = [TraverseMode::LevelWise, TraverseMode::PerOp].map(|mode| {
+            let mut d = StreamDigest::default();
+            let (tree, mut stats) =
+                execute_ctt_with(&keys, &ops, &cfg, batch_size, threads, mode, &mut d);
+            let loads = stats.shortcut.nodes_visited;
+            stats.shortcut.nodes_visited = 0;
+            let pairs: Vec<(Key, u64)> = tree.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            (format!("{stats:?}"), d.h, pairs, loads)
+        });
+        let (per_op_stats, per_op_digest, per_op_pairs, per_op_loads) =
+            std::mem::take(&mut results[1]);
+        let (lw_stats, lw_digest, lw_pairs, lw_loads) = std::mem::take(&mut results[0]);
+        prop_assert_eq!(lw_stats, per_op_stats);
+        prop_assert_eq!(lw_digest, per_op_digest);
+        prop_assert_eq!(lw_pairs, per_op_pairs);
+        prop_assert!(lw_loads <= per_op_loads,
+            "wave grouping never loads more: {} > {}", lw_loads, per_op_loads);
     }
 
     /// Group memberships cover every write at least once (no write escapes

@@ -12,7 +12,8 @@
 //! | D2 | no wall-clock / OS randomness / environment reads outside the
 //! |    | bench timing module and CLI front-ends |
 //! | P1 | uniform panic policy: no `unwrap()`/`panic!`/`todo!`, and
-//! |    | `expect`/`unreachable` must document their invariant |
+//! |    | `expect`/`unreachable` must document their invariant; the
+//! |    | `unsafe` keyword is confined to [`UNSAFE_SANCTIONED`] files |
 //! | F1 | on-disk magic strings are defined in exactly one module |
 //! | O1 | no stdout/stderr prints in library crates |
 
@@ -52,6 +53,17 @@ pub const RULE_IDS: [&str; 5] = ["D1", "D2", "P1", "F1", "O1"];
 /// error-reporting strategy of last resort.
 pub const LIB_CRATES: [&str; 7] =
     ["art", "mem", "engine", "core", "baselines", "indexes", "workloads"];
+
+/// The only files where the `unsafe` keyword is permitted: the reviewed
+/// `std::arch` SIMD kernel module. Everything else in the workspace is
+/// `forbid(unsafe_code)`; the owning crate of a sanctioned file downgrades
+/// its root to `deny(unsafe_code)` plus a module-level
+/// `#![allow(unsafe_code)]` inside the sanctioned file, so every unsafe
+/// block still lives behind exactly one auditable gate. Widening this list
+/// is a reviewed change to this table — the P1 check below deliberately
+/// ignores `dcart_lint::allow` markers and `#[cfg(test)]` regions for the
+/// `unsafe` token.
+pub const UNSAFE_SANCTIONED: [&str; 1] = ["crates/art/src/simd.rs"];
 
 /// Files (path prefixes) where wall-clock and environment reads are the
 /// point: the bench timing harness and the CLI front-ends.
@@ -283,6 +295,27 @@ pub fn d2(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 pub fn p1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     if !LIB_CRATES.contains(&ctx.crate_name()) {
         return;
+    }
+    // The `unsafe` keyword is confined to the sanctioned kernel files.
+    // This check bypasses `ctx.emit` on purpose: neither allow markers nor
+    // `#[cfg(test)]` regions can silence it — widening the exception means
+    // editing [`UNSAFE_SANCTIONED`] under review, not adding a comment.
+    if !UNSAFE_SANCTIONED.contains(&ctx.path) {
+        for (i, l) in ctx.lines.iter().enumerate() {
+            for col in ident_cols(&l.code, "unsafe") {
+                out.push(Diagnostic {
+                    path: ctx.path.to_string(),
+                    line: i + 1,
+                    col,
+                    rule: "P1",
+                    msg: "`unsafe` outside the sanctioned SIMD kernel module".to_string(),
+                    help: "unsafe code lives only in the files named by UNSAFE_SANCTIONED \
+                           (crates/xtask/src/rules.rs); allow markers cannot silence this — \
+                           extend that table in a reviewed change instead"
+                        .to_string(),
+                });
+            }
+        }
     }
     for (i, l) in ctx.lines.iter().enumerate() {
         for col in ident_cols(&l.code, "unwrap") {

@@ -1,0 +1,16 @@
+//! Known-bad: the `unsafe` keyword outside the sanctioned kernel files.
+//! Unlike every other P1 site, neither allow markers nor `#[cfg(test)]`
+//! regions may silence it — the only exit is the UNSAFE_SANCTIONED table.
+
+// dcart_lint::allow_file(P1) -- deliberately ineffective for `unsafe`
+pub fn deref(p: *const u8) -> u8 {
+    // dcart_lint::allow(P1) -- deliberately ineffective for `unsafe`
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn deref_in_tests(p: *const u8) -> u8 {
+        unsafe { *p }
+    }
+}

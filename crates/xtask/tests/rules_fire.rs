@@ -70,6 +70,38 @@ fn diagnostics_carry_real_spans() {
 }
 
 #[test]
+fn unsafe_fires_despite_allow_markers_and_test_regions() {
+    // The unsafe confinement check is deliberately harder than the rest of
+    // P1: the fixture wraps its `unsafe` blocks in an allow_file marker, a
+    // line marker, and a #[cfg(test)] region — all three must fail to
+    // silence it.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/p1_unsafe_bad.rs");
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let diags = xtask::lint_source("crates/core/src/fixture_under_test.rs", &source);
+    let unsafe_hits: Vec<_> =
+        diags.iter().filter(|d| d.rule == "P1" && d.msg.contains("unsafe")).collect();
+    assert_eq!(unsafe_hits.len(), 2, "both unsafe blocks must be reported: {diags:?}");
+    for d in &unsafe_hits {
+        let line = source.lines().nth(d.line - 1).expect("diagnostic line exists");
+        assert!(line[d.col - 1..].starts_with("unsafe"), "span points at the token: {line:?}");
+    }
+}
+
+#[test]
+fn unsafe_is_quiet_in_the_sanctioned_kernel_file() {
+    // The same source lints clean when it lives at a sanctioned path.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/p1_unsafe_bad.rs");
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    for sanctioned in xtask::rules::UNSAFE_SANCTIONED {
+        let diags = xtask::lint_source(sanctioned, &source);
+        assert!(
+            !diags.iter().any(|d| d.msg.contains("unsafe")),
+            "sanctioned path {sanctioned} must permit unsafe: {diags:?}"
+        );
+    }
+}
+
+#[test]
 fn per_rule_allow_markers_silence_bad_fixtures() {
     for rule in xtask::RULE_IDS {
         let fixture = format!("{}_bad.rs", rule.to_lowercase());
