@@ -8,9 +8,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dcart::pcu::{combine_batch, combine_batch_into, CombinedBatch};
-use dcart::{execute_ctt_threaded, CttConsumer, DcartConfig};
+use dcart::{
+    execute_ctt_threaded, try_execute_ctt_profiled, CttConsumer, DcartConfig, ExecOpts,
+    TraverseMode,
+};
 use dcart_art::simd;
-use dcart_workloads::{generate_ops, KeySet, Mix, Op, OpStreamConfig, Workload};
+use dcart_workloads::{generate_ops, synth, KeySet, Mix, Op, OpStreamConfig, Workload};
 
 fn fixture(keys: usize, ops: usize) -> (KeySet, Vec<Op>, DcartConfig) {
     let keys = Workload::Ipgeo.generate(keys, 1);
@@ -69,6 +72,48 @@ fn bench_execute(c: &mut Criterion) {
                 (stats.ops, sink.visits)
             });
         });
+    }
+    g.finish();
+}
+
+/// Static against adaptive bucket scheduling under hard skew: hot-prefix
+/// keys (75 % of keys behind one leading byte, so one bucket carries most
+/// of the stream) probed by a steeper-than-YCSB zipfian, at 1 and 2 SOU
+/// workers. `static` pins `split_threshold = 1.0` (never split, no
+/// stealing); `adaptive` splits hot buckets at 0.25 of a batch and steals.
+/// Results are identical across all four cells (the determinism
+/// contract); only wall-clock moves. The interesting comparison is
+/// `adaptive/threads-2` against `static/threads-2`: with the hot bucket
+/// split eight ways the workers have balanced work to share, where the
+/// static schedule serializes on the hot shard. On a single-core host
+/// both 2-thread cells time the same core — compare them to each other,
+/// not to the 1-thread rows.
+fn bench_skew(c: &mut Criterion) {
+    let keys = synth::hot_prefix(10_000, 0.75, 1);
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 40_000, mix: Mix::C, theta: 1.2, seed: 1 });
+    let mut g = c.benchmark_group("ctt/skew");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ops.len() as u64));
+    for (name, frac, steal) in [("static", 1.0f64, false), ("adaptive", 0.25, true)] {
+        for threads in [1usize, 2] {
+            let mut cfg = DcartConfig::default().with_auto_prefix_skip(&keys);
+            cfg.split_threshold = Some(frac);
+            let opts = ExecOpts { threads, mode: TraverseMode::LevelWise, steal };
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("threads-{threads}")),
+                &opts,
+                |b, opts| {
+                    b.iter(|| {
+                        let mut sink = Sink { visits: 0 };
+                        let (_, stats, _) =
+                            try_execute_ctt_profiled(&keys, &ops, &cfg, 4_096, opts, &mut sink)
+                                .expect("fault-free");
+                        (stats.ops, sink.visits)
+                    });
+                },
+            );
+        }
     }
     g.finish();
 }
@@ -172,5 +217,12 @@ fn bench_node_search(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_combine, bench_execute, bench_traverse, bench_node_search);
+criterion_group!(
+    benches,
+    bench_combine,
+    bench_execute,
+    bench_skew,
+    bench_traverse,
+    bench_node_search
+);
 criterion_main!(benches);

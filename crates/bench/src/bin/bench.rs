@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! bench [--scale smoke|default|full] [--out DIR] [--jobs N]
-//!       [--sou-threads N] [--check-baseline FILE]
+//!       [--sou-threads N] [--steal] [--split-threshold F]
+//!       [--check-baseline FILE]
 //! ```
 //!
 //! Defaults to the smoke scale (the harness measures the *host*, not the
@@ -23,7 +24,7 @@ use dcart_bench::{perf, Scale};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench [--scale smoke|default|full] [--out DIR] [--jobs N] \
-         [--sou-threads N] [--check-baseline FILE]"
+         [--sou-threads N] [--steal] [--split-threshold F] [--check-baseline FILE]"
     );
     ExitCode::FAILURE
 }
@@ -66,6 +67,23 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 dcart::set_sou_threads(n);
+                i += 2;
+            }
+            "--steal" => {
+                dcart::set_work_stealing(true);
+                i += 1;
+            }
+            "--split-threshold" => {
+                let Some(f) = args.get(i + 1) else { return usage() };
+                let Ok(f) = f.parse::<f64>() else {
+                    eprintln!("--split-threshold expects a number, got {f}");
+                    return usage();
+                };
+                if !(0.0..=1.0).contains(&f) {
+                    eprintln!("--split-threshold must be in [0, 1], got {f}");
+                    return usage();
+                }
+                dcart::set_split_threshold(f);
                 i += 2;
             }
             "--check-baseline" => {

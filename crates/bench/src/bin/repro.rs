@@ -3,6 +3,7 @@
 //! ```text
 //! repro <exhibit> [--scale smoke|default|full] [--out DIR] [--jobs N]
 //!                 [--sou-threads N] [--traverse level-wise|per-op]
+//!                 [--steal] [--split-threshold F]
 //!                 [--batches N] [--seed S]
 //!
 //! exhibits:
@@ -31,7 +32,8 @@ fn print_usage() {
     eprintln!(
         "usage: repro <{EXHIBITS}> \
          [--scale smoke|default|full] [--out DIR] [--jobs N] [--sou-threads N] \
-         [--traverse level-wise|per-op] [--batches N] [--seed S]"
+         [--traverse level-wise|per-op] [--steal] [--split-threshold F] \
+         [--batches N] [--seed S]"
     );
 }
 
@@ -148,6 +150,28 @@ fn main() -> ExitCode {
                     }
                 };
                 dcart::set_traverse_mode(mode);
+                i += 2;
+            }
+            "--steal" => {
+                // Work stealing moves shards between workers, never
+                // results: reports are byte-identical with it on or off.
+                dcart::set_work_stealing(true);
+                i += 1;
+            }
+            "--split-threshold" => {
+                // Adaptive hot-bucket sub-sharding: a fixed threshold
+                // changes the (deterministic) split schedule, so reports
+                // are identical across thread counts for any one value.
+                let Some(f) = args.get(i + 1) else {
+                    return fail("--split-threshold needs a fraction in [0, 1]");
+                };
+                let Ok(f) = f.parse::<f64>() else {
+                    return fail(&format!("--split-threshold expects a number, got '{f}'"));
+                };
+                if !(0.0..=1.0).contains(&f) {
+                    return fail(&format!("--split-threshold must be in [0, 1], got {f}"));
+                }
+                dcart::set_split_threshold(f);
                 i += 2;
             }
             "--batches" => {

@@ -35,6 +35,13 @@ pub struct SkewPoint {
 pub struct SkewReport {
     /// Points in ascending theta.
     pub points: Vec<SkewPoint>,
+    /// Per-bucket load histogram from one profiled CTT run at the
+    /// steepest theta with adaptive sub-sharding on — the skew the splits
+    /// reacted to, bucket by bucket. Captured with stealing *off* so the
+    /// report stays deterministic (the schedule-dependent steal counters
+    /// live in `BENCH_ctt.json`, which carries wall-clock anyway).
+    #[serde(default)]
+    pub load: dcart::LoadReport,
 }
 
 /// Runs the sweep on IPGEO and writes `skew.json`.
@@ -56,7 +63,10 @@ pub fn run(scale: &Scale, out_dir: &Path) -> SkewReport {
         "SMART contentions",
         "SOU imbalance",
     ]);
-    for theta in [0.2f64, 0.5, 0.8, 0.99] {
+    // 1.2 is past the Gray sampler's domain — the tabulated inverse CDF
+    // in `Zipfian` covers it — and steep enough to pressure one bucket
+    // hard, the regime the adaptive sub-sharding targets.
+    for theta in [0.2f64, 0.5, 0.8, 0.99, 1.2] {
         let ops = generate_ops(
             &keys,
             &OpStreamConfig { count: scale.ops, mix: Mix::C, theta, seed: scale.seed },
@@ -81,8 +91,39 @@ pub fn run(scale: &Scale, out_dir: &Path) -> SkewReport {
         points.push(p);
     }
     t.print();
+
+    // The repro-report half of the load-observability satellite: one
+    // profiled functional run at the steepest theta with adaptive
+    // sub-sharding on (threshold 0.1 — IPGEO's hottest bucket carries
+    // ~0.2 of a batch, so the bucket splits; 2 SOU threads; stealing off
+    // so every field below is deterministic).
+    let ops = generate_ops(
+        &keys,
+        &OpStreamConfig { count: scale.ops, mix: Mix::C, theta: 1.2, seed: scale.seed },
+    );
+    let mut prof_cfg = dcfg;
+    prof_cfg.split_threshold = Some(0.1);
+    let opts = dcart::ExecOpts { threads: 2, mode: dcart::TraverseMode::LevelWise, steal: false };
+    struct NoSink;
+    impl dcart::CttConsumer for NoSink {}
+    let (_, _, load) =
+        dcart::try_execute_ctt_profiled(&keys, &ops, &prof_cfg, 4_096, &opts, &mut NoSink)
+            .expect("the profiled skew run injects no faults");
+    let total: u64 = load.buckets.iter().map(|b| b.ops).sum();
+    if let Some(hot) = load.buckets.iter().max_by_key(|b| b.ops) {
+        println!(
+            "per-bucket load at theta 1.20 (adaptive): bucket {} carries {} of {} ops \
+             ({:.0} %), split {} time(s), ended with {} sub-shard(s)",
+            hot.bucket,
+            hot.ops,
+            total,
+            hot.ops as f64 * 100.0 / total.max(1) as f64,
+            hot.splits,
+            hot.subs_at_end
+        );
+    }
     println!("(extension: the paper's premise quantified — less similarity, less to coalesce)\n");
-    let report = SkewReport { points };
+    let report = SkewReport { points, load };
     write_report(out_dir, "skew", &report);
     report
 }
@@ -97,7 +138,7 @@ mod tests {
         let tmp = std::env::temp_dir().join("dcart-skew-test");
         let r = run(&scale, &tmp);
         let first = r.points.first().unwrap(); // near-uniform
-        let last = r.points.last().unwrap(); // YCSB-hot
+        let last = r.points.last().unwrap(); // hotter than YCSB
 
         // Hot streams hit shortcuts more often (the baseline hit rate is
         // already high at any skew once ops outnumber keys — repetition,
@@ -119,5 +160,11 @@ mod tests {
         );
         // DCART wins even near-uniform (combining still coalesces paths).
         assert!(first.speedup_vs_smart > 1.0);
+
+        // The load histogram is populated, deterministic (stealing off),
+        // and shows the steep stream actually splitting a hot bucket.
+        assert!(!r.load.buckets.is_empty());
+        assert_eq!(r.load.steal_events, 0);
+        assert!(r.load.buckets.iter().any(|b| b.splits > 0), "theta 1.2 splits a hot bucket");
     }
 }

@@ -18,7 +18,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use dcart::{execute_ctt, CttConsumer, DcartConfig};
+use dcart::{execute_ctt, try_execute_ctt_profiled, CttConsumer, DcartConfig, ExecOpts};
 use dcart_art::node::{binary_search_lane, masked_search_lane};
 use dcart_baselines::execute_with_traces;
 use dcart_indexes::{BPlusTree, HashIndex};
@@ -79,6 +79,33 @@ pub struct N16Bench {
     pub speedup: f64,
 }
 
+/// One cell of the skew sweep: the CTT executor on the hot-prefix key set
+/// under a Zipfian op stream, with the adaptive machinery (sub-sharding +
+/// work stealing) either off (`split_threshold = 1.0`, static schedule) or
+/// on (`0.25` + stealing).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SkewCell {
+    /// Zipfian skew of the op stream.
+    pub theta: f64,
+    /// SOU worker threads.
+    pub threads: usize,
+    /// Whether sub-sharding and stealing were enabled.
+    pub adaptive: bool,
+    /// Wall-clock seconds over the op stream (bulk load excluded).
+    pub wall_s: f64,
+    /// Host throughput over the op stream.
+    pub ops_per_sec: f64,
+    /// Hot-bucket splits the run performed (0 when static).
+    pub shard_splits: u64,
+    /// Cooled-bucket re-merges the run performed.
+    pub shard_merges: u64,
+    /// Pool steal operations (schedule-dependent; 0 with stealing off).
+    pub steal_events: u64,
+    /// Share of all routed ops landing in the single hottest bucket — the
+    /// skew the adaptive machinery exists to flatten.
+    pub hot_bucket_share: f64,
+}
+
 /// The full `BENCH_ctt.json` payload.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -96,6 +123,13 @@ pub struct PerfReport {
     pub cells: Vec<PerfCell>,
     /// The N16 search micro-bench.
     pub n16_search: N16Bench,
+    /// The skew sweep: theta × threads × adaptive on the hot-prefix keys.
+    #[serde(default)]
+    pub skew: Vec<SkewCell>,
+    /// Per-bucket load histogram captured from the steepest adaptive
+    /// 2-thread sweep cell — the shape the splits were reacting to.
+    #[serde(default)]
+    pub skew_load: dcart::LoadReport,
 }
 
 /// Counts CTT events without attaching platform costs.
@@ -281,6 +315,74 @@ pub fn bench_n16_search(rounds: usize) -> N16Bench {
     }
 }
 
+/// Zipfian skews the sweep covers: mild, the YCSB default, and a
+/// steeper-than-YCSB tail that exercises the tabulated sampler.
+pub const SKEW_THETAS: [f64; 3] = [0.5, 0.99, 1.2];
+
+/// Times the CTT executor on the hot-prefix key set across
+/// [`SKEW_THETAS`] × {1, 2} threads × {static, adaptive}, returning the
+/// cells plus the per-bucket load histogram of the steepest adaptive
+/// 2-thread cell.
+///
+/// Thread counts and stealing never change results (the determinism
+/// contract), so the sweep only reads wall-clock and the deterministic
+/// split/merge counters. On a single-core host the 2-thread cells time
+/// the same core twice — compare the cells, don't expect hardware
+/// speedup there.
+pub fn run_skew_sweep(scale: &Scale) -> (Vec<SkewCell>, dcart::LoadReport) {
+    let keys = dcart_workloads::synth::hot_prefix(scale.keys, 0.75, scale.seed);
+    // Same probe-load subtraction as `time_ctt`: the executor bulk-loads
+    // internally and the sweep times only the op stream.
+    let t_load = Instant::now();
+    let mut probe = dcart_art::Art::new();
+    probe.load_indexed(&keys.keys).expect("prefix-free");
+    let load_wall_s = t_load.elapsed().as_secs_f64();
+    drop(probe);
+
+    let mut cells = Vec::new();
+    let mut captured = dcart::LoadReport::default();
+    for (ti, &theta) in SKEW_THETAS.iter().enumerate() {
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: scale.ops, mix: Mix::C, theta, seed: scale.seed },
+        );
+        for threads in [1usize, 2] {
+            for adaptive in [false, true] {
+                let mut cfg =
+                    DcartConfig::default().scaled_for_keys(keys.len()).with_auto_prefix_skip(&keys);
+                cfg.split_threshold = Some(if adaptive { 0.25 } else { 1.0 });
+                let opts =
+                    ExecOpts { threads, mode: dcart::TraverseMode::LevelWise, steal: adaptive };
+                let mut sink = VisitCounter::default();
+                let t0 = Instant::now();
+                let (_, stats, load) =
+                    try_execute_ctt_profiled(&keys, &ops, &cfg, 4_096, &opts, &mut sink)
+                        .expect("skew sweep executes fault-free");
+                let wall_s = (t0.elapsed().as_secs_f64() - load_wall_s).max(1e-9);
+                let total: u64 = load.buckets.iter().map(|b| b.ops).sum();
+                let hottest = load.buckets.iter().map(|b| b.ops).max().unwrap_or(0);
+                cells.push(SkewCell {
+                    theta,
+                    threads,
+                    adaptive,
+                    wall_s,
+                    ops_per_sec: ops.len() as f64 / wall_s,
+                    shard_splits: stats.shard_splits,
+                    shard_merges: stats.shard_merges,
+                    steal_events: load.steal_events,
+                    hot_bucket_share: if total == 0 { 0.0 } else { hottest as f64 / total as f64 },
+                });
+                // Keep the histogram of the steepest adaptive multi-thread
+                // cell (selected by index, not by float equality).
+                if ti == SKEW_THETAS.len() - 1 && threads == 2 && adaptive {
+                    captured = load;
+                }
+            }
+        }
+    }
+    (cells, captured)
+}
+
 /// Runs the harness at `scale` and writes `BENCH_ctt.json` under `out_dir`.
 pub fn run(scale: &Scale, out_dir: &Path) -> PerfReport {
     println!("== perf harness: host wall-clock of the functional executors ==");
@@ -344,6 +446,43 @@ pub fn run(scale: &Scale, out_dir: &Path) -> PerfReport {
         n16_search.masked_ns_per_lookup, n16_search.binary_ns_per_lookup, n16_search.speedup
     );
 
+    println!("== skew sweep: hot-prefix keys, static vs adaptive sub-sharding ==");
+    let (skew, skew_load) = run_skew_sweep(scale);
+    let mut st = Table::new(&[
+        "theta",
+        "threads",
+        "schedule",
+        "ops/sec",
+        "splits",
+        "merges",
+        "steals",
+        "hot share",
+    ]);
+    for c in &skew {
+        st.row(&[
+            format!("{:.2}", c.theta),
+            c.threads.to_string(),
+            if c.adaptive { "adaptive" } else { "static" }.to_string(),
+            format!("{:.0}", c.ops_per_sec),
+            c.shard_splits.to_string(),
+            c.shard_merges.to_string(),
+            c.steal_events.to_string(),
+            format!("{:.0}%", c.hot_bucket_share * 100.0),
+        ]);
+    }
+    st.print();
+    for (ti, &theta) in SKEW_THETAS.iter().enumerate() {
+        let row = &skew[ti * 4..ti * 4 + 4];
+        let static_1t = row[0].ops_per_sec;
+        let adaptive_2t = row[3].ops_per_sec;
+        println!(
+            "theta {theta:.2}: adaptive 2-thread vs static 1-thread = {:.2}x \
+             (host-core-count dependent)",
+            adaptive_2t / static_1t.max(1e-9)
+        );
+    }
+    println!();
+
     let report = PerfReport {
         keys: scale.keys,
         ops: scale.ops,
@@ -351,6 +490,8 @@ pub fn run(scale: &Scale, out_dir: &Path) -> PerfReport {
         sou_threads: dcart::sou_threads(),
         cells,
         n16_search,
+        skew,
+        skew_load,
     };
     write_report(out_dir, "BENCH_ctt", &report);
     report
@@ -445,6 +586,26 @@ mod tests {
         let json = std::fs::read_to_string(tmp.join("BENCH_ctt.json")).unwrap();
         assert!(json.contains("n16_search"));
         assert!(json.contains("sou_threads"));
+        assert!(json.contains("skew_load"));
+
+        // The skew sweep covers the full theta x threads x schedule grid.
+        assert_eq!(r.skew.len(), 12, "3 thetas x 2 thread counts x 2 schedules");
+        for c in &r.skew {
+            assert!(c.wall_s > 0.0 && c.ops_per_sec > 0.0, "theta {}", c.theta);
+            assert!((0.0..=1.0).contains(&c.hot_bucket_share));
+        }
+        // Static cells never split; the hot-prefix key set under steep skew
+        // drives the adaptive schedule into splitting.
+        assert!(r.skew.iter().filter(|c| !c.adaptive).all(|c| c.shard_splits == 0));
+        assert!(
+            r.skew.iter().filter(|c| c.adaptive && c.theta > 1.0).all(|c| c.shard_splits > 0),
+            "steep-skew adaptive cells must split"
+        );
+        // Stealing off means zero steal events, at any thread count.
+        assert!(r.skew.iter().filter(|c| !c.adaptive).all(|c| c.steal_events == 0));
+        // The captured histogram reflects the skew the splits reacted to.
+        assert!(!r.skew_load.buckets.is_empty());
+        assert!(r.skew_load.buckets.iter().any(|b| b.splits > 0));
     }
 
     #[test]

@@ -46,6 +46,20 @@ pub struct DcartConfig {
     /// Whether PCU combining overlaps SOU operating across batches
     /// (§III-D, Fig. 6; ablation knob).
     pub overlap_enabled: bool,
+    /// Adaptive hot-bucket split threshold, as a fraction of the batch
+    /// size: a bucket whose per-batch op count exceeds
+    /// `threshold × batch_size` splits into sub-shards on the next prefix
+    /// byte, and re-merges once it cools (see the executor docs in
+    /// `dcart::ctt`). `1.0` never splits; `0.0` splits every active
+    /// bucket. `None` (the default) defers to the process-global
+    /// [`split_threshold`](crate::split_threshold) knob, which the
+    /// binaries set via `--split-threshold`.
+    ///
+    /// Split decisions depend only on op counts, so the split schedule —
+    /// and every observable of the run — is identical at any thread count
+    /// and steal setting.
+    #[serde(default)]
+    pub split_threshold: Option<f64>,
     /// Deterministic fault-injection plan (default: inject nothing). See
     /// `dcart_engine::faults`.
     pub faults: FaultPlan,
@@ -102,6 +116,7 @@ impl Default for DcartConfig {
             tree_buffer_policy: BufferPolicy::ValueAware,
             shortcuts_enabled: true,
             overlap_enabled: true,
+            split_threshold: None,
             faults: FaultPlan::none(),
             degrade: DegradeConfig::default(),
         }
@@ -173,6 +188,7 @@ mod tests {
         assert_eq!(c.prefix_bits, 8);
         assert_eq!(c.tree_buffer_policy, BufferPolicy::ValueAware);
         assert!(!c.faults.is_active(), "no faults by default");
+        assert!(c.split_threshold.is_none(), "adaptive splitting defers to the global knob");
         assert!(c.degrade.enabled);
         assert!(c.degrade.shortcut_stale_threshold > 0.5, "far above natural stale rates");
     }

@@ -18,7 +18,7 @@
 //! Buckets are prefix-disjoint, so each SOU owns a disjoint key range.
 //! The executor mirrors that ownership on the host: every bucket gets its
 //! own *shard* — subtree, shortcut-table shard, fault stream, and scratch
-//! arenas — and a batch's buckets run concurrently on a scoped worker pool
+//! arenas — and a batch's shards run concurrently on a scoped worker pool
 //! ([`dcart_engine::par_for_each_mut`], sized by [`set_sou_threads`]).
 //! Workers record per-operation outcomes instead of talking to the
 //! consumer directly; after the pool joins, a serial *replay* walks the
@@ -29,6 +29,36 @@
 //! Range scans are the one cross-bucket operation: they are deferred to the
 //! end of their batch and answered by a k-way merge over every shard's
 //! subtree (weakly consistent: a scan observes the end-of-batch state).
+//!
+//! # Adaptive sub-sharding & work stealing
+//!
+//! Fig. 3's node skew cuts both ways: under zipfian keys one *bucket* can
+//! receive most of a batch, serializing the pool. Two mechanisms keep the
+//! executor load-balanced without giving up determinism:
+//!
+//! * **Sub-sharding** — when a bucket's per-batch op count exceeds
+//!   `split_threshold × batch_size` (see
+//!   [`DcartConfig::split_threshold`] and [`set_split_threshold`]), the
+//!   bucket splits on the *next* prefix byte into [`SPLIT_FANOUT`]
+//!   sub-shards, each owning a disjoint subtree, a fresh shortcut shard, a
+//!   derived-seed fault stream, and its own scratch arenas. Namespaced
+//!   node ids carry the sub-shard index (the `sub == 0` layout is
+//!   bit-identical to the unsplit one). Once the bucket cools — its op
+//!   count stays at or below half the split threshold for
+//!   [`MERGE_PATIENCE`] consecutive batches — the sub-shards re-merge
+//!   through the same validating k-way merge that produces the final
+//!   tree. Split and merge decisions depend only on per-batch op counts,
+//!   never on timing or thread identity, so the split schedule (and with
+//!   it every observable) is reproducible.
+//! * **Work stealing** — with stealing enabled ([`set_work_stealing`], or
+//!   [`ExecOpts::steal`]), shards are dealt heaviest-first over per-worker
+//!   [`dcart_engine::StealQueue`] deques
+//!   ([`dcart_engine::par_for_each_mut_balanced`]); a worker that drains
+//!   its own deque steals the front half of the longest sibling's instead
+//!   of parking. Shards share nothing, so a stolen shard computes exactly
+//!   what it would have on its owner — stealing changes wall-clock and
+//!   the (intentionally non-deterministic, [`LoadReport`]-only) steal
+//!   counters, nothing else.
 //!
 //! # Level-wise Traverse
 //!
@@ -51,10 +81,13 @@
 //! and every lock group, and attach platform-specific costs.
 
 use std::collections::hash_map::Entry;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use dcart_art::{Art, Key, LevelWiseScratch, NodeId, NodeVisit, NoopTracer, RecordingTracer};
-use dcart_engine::{par_for_each_mut, DegradationController, FaultInjector, FaultPlan, FaultSite};
+use dcart_engine::{
+    par_for_each_mut, par_for_each_mut_balanced, DegradationController, FaultInjector, FaultPlan,
+    FaultSite, PoolStats,
+};
 use dcart_workloads::{KeySet, Op, OpKind};
 use serde::{Deserialize, Serialize};
 
@@ -62,10 +95,7 @@ use crate::config::DcartConfig;
 use crate::error::DcartError;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::pcu::{combine_batch_into, CombinedBatch};
-use crate::shortcut::{ShortcutStats, ShortcutTable};
-
-/// Hash buckets of the off-chip Shortcut_Table (for collision accounting).
-const SHORTCUT_HASH_BUCKETS: u64 = 1 << 16;
+use crate::shortcut::{hash_bucket as hash_bucket_of, ShortcutStats, ShortcutTable};
 
 /// FNV-1a offset basis, the seed of every digest in this module.
 const DIGEST_BASE: u64 = 0xcbf2_9ce4_8422_2325;
@@ -131,6 +161,52 @@ pub fn traverse_mode() -> TraverseMode {
     }
 }
 
+/// Process-global work-stealing switch (0 = off), read once per execution.
+static WORK_STEALING: AtomicUsize = AtomicUsize::new(0);
+
+/// Enables or disables work stealing in the SOU worker pool for executions
+/// that do not pass an explicit [`ExecOpts`]. Off by default; the binaries
+/// raise it via `--steal`.
+///
+/// Stealing only changes *where* a shard runs, never what it computes:
+/// results are byte-identical with stealing on or off (pinned by
+/// `tests/parallel_determinism.rs`). Tests that need a specific setting
+/// without racing on the global should call [`try_execute_ctt_profiled`]
+/// with explicit [`ExecOpts`] instead.
+pub fn set_work_stealing(on: bool) {
+    WORK_STEALING.store(usize::from(on), Ordering::Relaxed);
+}
+
+/// The current process-global work-stealing setting.
+pub fn work_stealing() -> bool {
+    WORK_STEALING.load(Ordering::Relaxed) != 0
+}
+
+/// Process-global split threshold in millionths of the batch size
+/// (1_000_000 = 1.0 = never split), read once per execution by configs
+/// whose [`DcartConfig::split_threshold`] is `None`.
+static SPLIT_THRESHOLD_MILLIONTHS: AtomicU64 = AtomicU64::new(1_000_000);
+
+/// Sets the process-global hot-bucket split threshold (clamped to
+/// `[0, 1]`; resolution 1e-6) used by executions whose config leaves
+/// [`DcartConfig::split_threshold`] unset. `1.0` (the default) never
+/// splits; the binaries lower it via `--split-threshold`.
+///
+/// The threshold changes the split schedule and with it the event stream
+/// and stats — but never answers or the final tree — and the schedule is
+/// a pure function of the op stream, so any fixed threshold stays
+/// byte-identical across thread counts and steal settings.
+pub fn set_split_threshold(fraction: f64) {
+    let clamped = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 1.0 };
+    SPLIT_THRESHOLD_MILLIONTHS.store((clamped * 1e6).round() as u64, Ordering::Relaxed);
+}
+
+/// The current process-global split threshold as a fraction of the batch
+/// size.
+pub fn split_threshold() -> f64 {
+    SPLIT_THRESHOLD_MILLIONTHS.load(Ordering::Relaxed) as f64 / 1e6
+}
+
 /// FNV-1a over the key bytes: the hardware's Key_ID.
 pub fn key_id(key: &Key) -> u64 {
     let mut h: u64 = DIGEST_BASE;
@@ -167,21 +243,49 @@ fn digest_option(v: Option<u64>) -> u64 {
 }
 
 /// Bits of a namespaced node id that address the node within its shard;
-/// the bits above carry the bucket index. 24 bits ≈ 16.7 M nodes per shard
-/// and up to 256 buckets — far beyond any configuration in the repo
-/// (`sous` tops out at 32 in the ablations).
+/// the bits above carry the shard's namespace (bucket + sub-shard index).
+/// 24 bits ≈ 16.7 M nodes per shard.
 const SHARD_NODE_BITS: u32 = 24;
 
-/// Namespaces a shard-local node id with its bucket, so visits and lock
-/// groups from different shards never alias in consumer-side maps (the
-/// accelerator's tree buffer and contention windows key on `NodeId`).
-fn namespaced(bucket: usize, node: NodeId) -> NodeId {
+/// Sub-shards a hot bucket splits into: one per value of the next prefix
+/// byte modulo this fanout. A power of two so the namespace packing below
+/// stays exact.
+pub const SPLIT_FANOUT: usize = 8;
+
+/// Consecutive cool batches (op count at or below half the split
+/// threshold) before a split bucket re-merges — hysteresis so a load
+/// flickering around the threshold does not split/merge every batch.
+pub const MERGE_PATIENCE: u32 = 2;
+
+/// Largest bucket count the sub-shard namespace can address (5 bits of
+/// bucket + 3 bits of sub-shard above the 24 node bits). Splitting is
+/// disabled — never wrong, just static — for wider configurations; `sous`
+/// tops out at 32 in the ablations anyway.
+const MAX_SPLIT_BUCKETS: usize = 32;
+
+/// Namespaces a shard-local node id with its bucket and sub-shard, so
+/// visits and lock groups from different shards never alias in
+/// consumer-side maps (the accelerator's tree buffer and contention
+/// windows key on `NodeId`).
+///
+/// Layout: `sub (3 bits) | bucket (5 bits) | local (24 bits)`. An unsplit
+/// shard has `sub == 0`, which makes this bit-identical to the pre-split
+/// `bucket << 24` layout — default (never-split) runs keep their exact
+/// historical node ids. Only when `sub > 0` does the bucket narrow to the
+/// [`MAX_SPLIT_BUCKETS`] range the split gate enforces.
+fn namespaced(bucket: usize, sub: usize, node: NodeId) -> NodeId {
     let local = node.index();
     debug_assert!(local < (1 << SHARD_NODE_BITS), "shard node index overflow: {local}");
-    debug_assert!(bucket < (1 << (32 - SHARD_NODE_BITS)), "bucket index overflow: {bucket}");
-    NodeId::from_index(
-        ((bucket as u32) << SHARD_NODE_BITS) | (local & ((1 << SHARD_NODE_BITS) - 1)),
-    )
+    debug_assert!(
+        if sub == 0 {
+            bucket < (1 << (32 - SHARD_NODE_BITS))
+        } else {
+            sub < SPLIT_FANOUT && bucket < MAX_SPLIT_BUCKETS
+        },
+        "shard namespace overflow: bucket {bucket} sub {sub}"
+    );
+    let space = ((sub as u32) * MAX_SPLIT_BUCKETS as u32) | (bucket as u32);
+    NodeId::from_index((space << SHARD_NODE_BITS) | (local & ((1 << SHARD_NODE_BITS) - 1)))
 }
 
 /// One resolved operation, as seen by a CTT consumer.
@@ -297,8 +401,17 @@ pub struct CttStats {
     /// still reports 3.2–19.7 % of the baselines' contentions (Fig. 7).
     pub shortcut_hash_collisions: u64,
     /// Times a degradation controller disabled a shortcut shard for the
-    /// rest of the run (sticky per-bucket latches; at most one per bucket).
+    /// rest of the run (sticky per-shard latches; at most one per shard,
+    /// and sub-shards inherit their parent's latch state on split).
     pub shortcut_disables: u64,
+    /// Hot buckets split into sub-shards (whole run). Zero under the
+    /// default never-split threshold; deterministic for any fixed
+    /// threshold — the split schedule depends only on per-batch op counts.
+    #[serde(default)]
+    pub shard_splits: u64,
+    /// Split buckets re-merged after cooling (whole run).
+    #[serde(default)]
+    pub shard_merges: u64,
     /// Digest folded over every operation's answer in execution order;
     /// bit-identical across fault-free and faulted runs of the same
     /// workload (the differential correctness invariant).
@@ -358,11 +471,19 @@ struct PendingRead {
     kind: PendingKind,
 }
 
-/// Everything one bucket owns: its subtree, shortcut shard, fault stream,
-/// and reusable per-batch scratch. Shards share nothing, which is what
-/// makes the worker pool deterministic (and lock-free) by construction.
+/// Everything one (sub-)shard owns: its subtree, shortcut shard, fault
+/// stream, and reusable per-batch scratch. Shards share nothing, which is
+/// what makes the worker pool deterministic (and lock-free) by
+/// construction. An unsplit bucket is one shard with `sub == 0`; a split
+/// bucket fans over [`SPLIT_FANOUT`] of these, each owning the disjoint
+/// slice of the bucket's key range its sub-routing byte selects.
 struct BucketShard {
     bucket: usize,
+    /// Sub-shard index within the bucket (0 while unsplit).
+    sub: usize,
+    /// This shard's `(bucket position, op index)` slice of the current
+    /// batch, filled by the routing pass before the pool runs.
+    ops: Vec<(u32, u32)>,
     art: Art<u64>,
     shortcuts: ShortcutTable,
     injector: FaultInjector,
@@ -399,6 +520,14 @@ fn shard_seed(seed: u64, bucket: usize) -> u64 {
     seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(bucket as u64 + 1)
 }
 
+/// Derives a sub-shard fault seed from the bucket seed: distinct per
+/// `(bucket, sub)` and distinct from the unsplit shard's own seed, so a
+/// shard born from a split (or a re-merge, which uses `sub == 0`) draws a
+/// fresh deterministic stream rather than replaying its parent's.
+fn sub_shard_seed(seed: u64, bucket: usize, sub: usize) -> u64 {
+    shard_seed(seed, bucket).rotate_left(17) ^ 0xd1b5_4a32_d192_ed03u64.wrapping_mul(sub as u64 + 1)
+}
+
 /// Counts `node` into the shard's insertion-ordered lock-group table.
 fn note_write_target(
     index: &mut FxHashMap<NodeId, usize>,
@@ -418,6 +547,8 @@ impl BucketShard {
     fn new(bucket: usize, config: &DcartConfig) -> Self {
         BucketShard {
             bucket,
+            sub: 0,
+            ops: Vec::new(),
             art: Art::new(),
             shortcuts: ShortcutTable::new(),
             injector: FaultInjector::new(shard_seed(config.faults.seed, bucket)),
@@ -444,6 +575,28 @@ impl BucketShard {
         }
     }
 
+    /// Builds a sub-shard (or the merged `sub == 0` successor of one) over
+    /// an already-constructed subtree. The fault stream reseeds from
+    /// [`sub_shard_seed`] and the shortcut shard starts empty — both are
+    /// pure functions of `(config, bucket, sub)`, so the shard's behavior
+    /// is the same whichever worker runs it. The degradation latch state is
+    /// inherited from the predecessor via `shortcuts_active` (a tripped
+    /// latch stays tripped across splits and merges).
+    fn new_sub(
+        bucket: usize,
+        sub: usize,
+        config: &DcartConfig,
+        art: Art<u64>,
+        shortcuts_active: bool,
+    ) -> Self {
+        let mut shard = BucketShard::new(bucket, config);
+        shard.sub = sub;
+        shard.art = art;
+        shard.injector = FaultInjector::new(sub_shard_seed(config.faults.seed, bucket, sub));
+        shard.shortcuts_active = shortcuts_active && config.shortcuts_enabled;
+        shard
+    }
+
     fn begin_batch(&mut self) {
         self.visited.clear();
         self.write_target_index.clear();
@@ -458,11 +611,16 @@ impl BucketShard {
         self.pending_keys.clear();
     }
 
-    /// Runs this bucket's slice of a batch: Traverse + Trigger against the
-    /// shard's own subtree, recording outcomes for the serial replay.
-    fn run_batch(&mut self, batch: &[Op], ops_idx: &[u32], plan: &FaultPlan, mode: TraverseMode) {
+    /// Runs this shard's slice of a batch (`self.ops`, filled by the
+    /// routing pass): Traverse + Trigger against the shard's own subtree,
+    /// recording outcomes for the serial replay. Each `(pos, op_i)` pair
+    /// carries the op's *bucket* position, which the replay uses to
+    /// interleave sub-shards back into the canonical bucket order.
+    fn run_batch(&mut self, batch: &[Op], plan: &FaultPlan, mode: TraverseMode) {
         self.begin_batch();
-        for (pos, &op_i) in ops_idx.iter().enumerate() {
+        // Detach the op slice so the loop can call `&mut self` helpers.
+        let ops = std::mem::take(&mut self.ops);
+        'ops: for &(pos, op_i) in &ops {
             let op = &batch[op_i as usize];
             let kid = key_id(&op.key);
 
@@ -471,7 +629,7 @@ impl BucketShard {
                 // merge (the placeholder is completed there). They never
                 // flush the pending group: they read nothing until after
                 // the batch's final flush.
-                self.scans.push(ScanRef { pos: pos as u32, record: self.records.len() as u32 });
+                self.scans.push(ScanRef { pos, record: self.records.len() as u32 });
                 self.records.push(OpRecord {
                     op_index: op_i,
                     key_id: kid,
@@ -562,7 +720,7 @@ impl BucketShard {
                 // compare, no traversal. If a combined operation of this
                 // bucket already fetched the target this batch, the access
                 // is free (it is triggered together).
-                let target = namespaced(self.bucket, entry.target);
+                let target = namespaced(self.bucket, self.sub, entry.target);
                 if self.visited.insert(target) {
                     let v = self
                         .art
@@ -615,8 +773,8 @@ impl BucketShard {
                         match self.art.insert_traced(op.key.clone(), op.value, &mut self.tracer) {
                             Ok(prev) => digest_option(prev),
                             Err(e) => {
-                                self.error = Some((pos as u32, DcartError::from(e)));
-                                return;
+                                self.error = Some((pos, DcartError::from(e)));
+                                break 'ops;
                             }
                         }
                     }
@@ -640,7 +798,7 @@ impl BucketShard {
                                 self.tracer.trace.parent,
                             );
                             generated = true;
-                            hash_bucket = (kid % SHORTCUT_HASH_BUCKETS) as u32;
+                            hash_bucket = hash_bucket_of(kid);
                         }
                     }
                 }
@@ -649,13 +807,13 @@ impl BucketShard {
                     // Every node the write locks joins a coalesced group —
                     // including structural locks on upper nodes of the
                     // shard's subtree.
-                    let Self { tracer, write_target_index, write_targets, bucket, .. } = self;
+                    let Self { tracer, write_target_index, write_targets, bucket, sub, .. } = self;
                     if tracer.trace.locks.is_empty() {
                         if let Some(target) = tracer.trace.target {
                             note_write_target(
                                 write_target_index,
                                 write_targets,
-                                namespaced(*bucket, target),
+                                namespaced(*bucket, *sub, target),
                             );
                         }
                     } else {
@@ -663,7 +821,7 @@ impl BucketShard {
                             note_write_target(
                                 write_target_index,
                                 write_targets,
-                                namespaced(*bucket, node),
+                                namespaced(*bucket, *sub, node),
                             );
                         }
                     }
@@ -679,9 +837,9 @@ impl BucketShard {
                 // fetch and their share of the partial-key matching; path
                 // segments another combined op already walked are shared
                 // (paper: "each node ... traversed only once").
-                let Self { tracer, visited, visit_arena, bucket, .. } = self;
+                let Self { tracer, visited, visit_arena, bucket, sub, .. } = self;
                 for v in &tracer.trace.visits {
-                    let node = namespaced(*bucket, v.node);
+                    let node = namespaced(*bucket, *sub, v.node);
                     if visited.insert(node) {
                         visit_arena.push(NodeVisit { node, ..*v });
                     }
@@ -704,6 +862,13 @@ impl BucketShard {
                 }
             };
             self.records.push(record);
+        }
+        // Hand the (reusable) op slice back to the routing pass.
+        self.ops = ops;
+        if self.error.is_some() {
+            // The failing write flushed the pending group before its own
+            // probe; the batch aborts, so nothing else needs committing.
+            return;
         }
         // Batch end: commit the last pending group before the executor
         // resolves scans against the shard's visited set.
@@ -749,7 +914,7 @@ impl BucketShard {
                     // Identical to the immediate hit path: direct target
                     // fetch (free if a combined op already fetched it),
                     // one validation compare.
-                    let namespaced_target = namespaced(self.bucket, target);
+                    let namespaced_target = namespaced(self.bucket, self.sub, target);
                     if self.visited.insert(namespaced_target) {
                         let v =
                             self.art.visit_for(target).expect("probe validated the target as live");
@@ -780,17 +945,16 @@ impl BucketShard {
                             if self.art.read_leaf(t, &op.key).is_some() {
                                 self.shortcuts.generate(op.key.clone(), t, parent);
                                 generated = true;
-                                hash_bucket =
-                                    (self.records[rec_idx].key_id % SHORTCUT_HASH_BUCKETS) as u32;
+                                hash_bucket = hash_bucket_of(self.records[rec_idx].key_id);
                             }
                         }
                     }
                     // Same first-touch coalescing as the per-op path, over
                     // the identical full traversal path.
-                    let Self { lw_scratch, visited, visit_arena, bucket, .. } = self;
+                    let Self { lw_scratch, visited, visit_arena, bucket, sub, .. } = self;
                     let path = lw_scratch.visits(w);
                     for v in path {
-                        let node = namespaced(*bucket, v.node);
+                        let node = namespaced(*bucket, *sub, v.node);
                         if visited.insert(node) {
                             visit_arena.push(NodeVisit { node, ..*v });
                         }
@@ -815,9 +979,11 @@ impl BucketShard {
 /// Reusable buffers for the batch-end scan merge.
 #[derive(Default)]
 struct ScanScratch {
-    /// `(pos, bucket, record)` of every deferred scan, sorted into the
-    /// canonical round-robin order.
-    order: Vec<(u32, u32, u32)>,
+    /// `(pos, bucket, leaf index, record)` of every deferred scan, sorted
+    /// into the canonical round-robin order (bucket position first, then
+    /// bucket — a bucket has at most one op per position, so sub-shards
+    /// never tie).
+    order: Vec<(u32, u32, u32, u32)>,
     /// Merged `(key_id, value)` items of the scan under resolution.
     items: Vec<(u64, u64)>,
     cursors: Vec<usize>,
@@ -842,9 +1008,9 @@ struct ScanScratch {
 /// buffers can be reused across scans instead of reallocated per scan.
 fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScratch) {
     scratch.order.clear();
-    for (b, shard) in shards.iter().enumerate() {
+    for (leaf, shard) in shards.iter().enumerate() {
         for s in &shard.scans {
-            scratch.order.push((s.pos, b as u32, s.record));
+            scratch.order.push((s.pos, shard.bucket as u32, leaf as u32, s.record));
         }
     }
     if scratch.order.is_empty() {
@@ -860,8 +1026,8 @@ fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScr
     // Pass 1 — merge: shards are only read, so the scan buffers (which
     // borrow the shard trees) persist across the whole pass.
     let mut parts: Vec<Vec<(&Key, &u64)>> = vec![Vec::new(); shards.len()];
-    for &(_, b32, rec) in &scratch.order {
-        let b = b32 as usize;
+    for &(_, _, leaf32, rec) in &scratch.order {
+        let b = leaf32 as usize;
         let op = &batch[shards[b].records[rec as usize].op_index as usize];
         let start = op.key.as_bytes();
         let limit = op.value as usize;
@@ -899,7 +1065,7 @@ fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScr
         }
 
         // Phase B — cost: re-walk the shards the merge consumed from (and
-        // always the scan's own SOU, which at minimum descends to the
+        // always the scan's own shard, which at minimum descends to the
         // start position), collecting namespaced visits.
         let seg_start = scratch.segments.len() as u32;
         for (i, src) in shards.iter().enumerate() {
@@ -911,7 +1077,9 @@ fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScr
             let _ = src.art.scan_traced(start, (consumed as usize).max(1), &mut scratch.tracer);
             let before = scratch.visit_buf.len();
             for v in &scratch.tracer.trace.visits {
-                scratch.visit_buf.push(NodeVisit { node: namespaced(i, v.node), ..*v });
+                scratch
+                    .visit_buf
+                    .push(NodeVisit { node: namespaced(src.bucket, src.sub, v.node), ..*v });
             }
             scratch
                 .segments
@@ -924,10 +1092,10 @@ fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScr
     // against the owning shard's batch-local visited set (coalescing
     // applies to scans too) and complete the placeholder records.
     let mut off = 0usize;
-    for (&(_, b32, rec), &(answer, seg_start, seg_len)) in
+    for (&(_, _, leaf32, rec), &(answer, seg_start, seg_len)) in
         scratch.order.iter().zip(&scratch.resolved)
     {
-        let shard = &mut shards[b32 as usize];
+        let shard = &mut shards[leaf32 as usize];
         let visits_start = shard.visit_arena.len() as u32;
         let mut matches = 0u64;
         for &(len, pkm) in &scratch.segments[seg_start as usize..(seg_start + seg_len) as usize] {
@@ -950,15 +1118,17 @@ fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScr
     }
 }
 
-/// Merges the shard subtrees back into the one logical tree the run
-/// produces: a k-way merge by key (bucket key ranges interleave modulo the
-/// bucket count) bulk-loaded through the validating sorted constructor,
-/// which also enforces the *global* prefix-free invariant that per-shard
-/// inserts cannot see.
-fn merge_shard_trees(shards: &[BucketShard]) -> Result<Art<u64>, DcartError> {
-    let total: usize = shards.iter().map(|s| s.art.len()).sum();
+/// Merges a set of disjoint subtrees into one: a k-way merge by key
+/// (shard key ranges interleave modulo the bucket count) bulk-loaded
+/// through the validating sorted constructor, which also enforces the
+/// *global* prefix-free invariant that per-shard inserts cannot see. Used
+/// both by the end-of-run merge over every leaf shard and by the re-merge
+/// of a cooled bucket's sub-shards.
+fn merge_art_trees<'a>(trees: impl Iterator<Item = &'a Art<u64>>) -> Result<Art<u64>, DcartError> {
+    let trees: Vec<&Art<u64>> = trees.collect();
+    let total: usize = trees.iter().map(|t| t.len()).sum();
     let mut pairs: Vec<(Key, u64)> = Vec::with_capacity(total);
-    let mut iters: Vec<_> = shards.iter().map(|s| s.art.iter()).collect();
+    let mut iters: Vec<_> = trees.iter().map(|t| t.iter()).collect();
     let mut heads: Vec<Option<(&Key, &u64)>> = iters.iter_mut().map(Iterator::next).collect();
     loop {
         let mut best: Option<(usize, &[u8])> = None;
@@ -977,6 +1147,204 @@ fn merge_shard_trees(shards: &[BucketShard]) -> Result<Art<u64>, DcartError> {
         heads[i] = iters[i].next();
     }
     Ok(Art::from_sorted(pairs)?)
+}
+
+/// Merges the leaf-shard subtrees back into the one logical tree the run
+/// produces.
+fn merge_shard_trees(shards: &[BucketShard]) -> Result<Art<u64>, DcartError> {
+    merge_art_trees(shards.iter().map(|s| &s.art))
+}
+
+/// Per-bucket adaptive-sharding state. The executor's shard vector holds
+/// *leaves* (one per unsplit bucket, [`SPLIT_FANOUT`] per split bucket, in
+/// bucket order); each group tracks where its bucket's leaves start and
+/// how a split bucket's positions map onto them.
+struct BucketGroup {
+    bucket: usize,
+    /// Index of this bucket's first leaf in the executor's shard vector
+    /// (recomputed by every routing pass).
+    start: usize,
+    /// Leaves this bucket currently fans over (1 while unsplit).
+    subs: usize,
+    /// Consecutive cool batches, for the merge hysteresis.
+    cool: u32,
+    /// Bucket position → `(sub, record index)` of the current batch; empty
+    /// while unsplit (record index then equals the position).
+    route: Vec<(u8, u32)>,
+    splits: u64,
+    merges: u64,
+    /// Ops routed through this bucket over the whole run.
+    ops_routed: u64,
+    /// Stats of leaves retired by past splits/merges, folded here so the
+    /// run totals survive the shard turnover.
+    retired: ShortcutStats,
+    retired_disables: u64,
+}
+
+impl BucketGroup {
+    fn new(bucket: usize) -> Self {
+        BucketGroup {
+            bucket,
+            start: bucket,
+            subs: 1,
+            cool: 0,
+            route: Vec::new(),
+            splits: 0,
+            merges: 0,
+            ops_routed: 0,
+            retired: ShortcutStats::default(),
+            retired_disables: 0,
+        }
+    }
+}
+
+/// The split policy fixed for a whole run: a pure function of the config
+/// and batch size, so the split schedule depends only on the op stream.
+struct SplitPolicy {
+    /// Splitting entirely off (threshold 1.0, or too many buckets for the
+    /// sub-shard namespace).
+    enabled: bool,
+    /// Per-batch op count above which a bucket splits; a split bucket is
+    /// *cool* at or below half this.
+    split_above: usize,
+    /// Key byte the sub-shards route on: the first byte past the combining
+    /// prefix.
+    next_byte: usize,
+}
+
+impl SplitPolicy {
+    fn resolve(config: &DcartConfig, batch_size: usize) -> Self {
+        let frac = config.split_threshold.unwrap_or_else(split_threshold);
+        let frac = if frac.is_finite() { frac.clamp(0.0, 1.0) } else { 1.0 };
+        SplitPolicy {
+            enabled: frac < 1.0 && config.buckets() <= MAX_SPLIT_BUCKETS,
+            split_above: (batch_size as f64 * frac).ceil() as usize,
+            next_byte: config.prefix_skip_bytes + (config.prefix_bits as usize).div_ceil(8),
+        }
+    }
+}
+
+/// Sub-shard a key routes to within its (split) bucket: the key byte just
+/// past the combining prefix, folded onto the fanout. Keys too short to
+/// have that byte share sub 0.
+fn sub_of(key: &Key, next_byte: usize) -> usize {
+    key.as_bytes().get(next_byte).copied().unwrap_or(0) as usize % SPLIT_FANOUT
+}
+
+/// Folds a retiring leaf's whole-run counters into its group's
+/// accumulator, so splits and merges never lose statistics.
+fn retire_shard(shard: &BucketShard, retired: &mut ShortcutStats, disables: &mut u64) {
+    let mut s = shard.shortcuts.stats();
+    s.nodes_visited = shard.nodes_visited;
+    s.ops_advanced = shard.ops_advanced;
+    retired.accumulate(&s);
+    *disables += shard.disables;
+}
+
+/// Splits a hot bucket's single leaf into [`SPLIT_FANOUT`] sub-shards:
+/// the subtree partitions by the routing byte (each partition is a
+/// subsequence of the sorted iteration, so the validating bulk loader
+/// accepts it), the shortcut shard restarts empty (its arena node ids die
+/// with the old tree), and each sub-shard draws a derived-seed fault
+/// stream. The degradation latch is inherited.
+fn split_bucket(
+    g: &mut BucketGroup,
+    leaves: &mut Vec<BucketShard>,
+    config: &DcartConfig,
+    policy: &SplitPolicy,
+) -> Result<(), DcartError> {
+    let old = leaves.remove(g.start);
+    let shortcuts_active = old.shortcuts_active;
+    retire_shard(&old, &mut g.retired, &mut g.retired_disables);
+    let mut parts: Vec<Vec<(Key, u64)>> = (0..SPLIT_FANOUT).map(|_| Vec::new()).collect();
+    for (k, &v) in old.art.iter() {
+        parts[sub_of(k, policy.next_byte)].push((k.clone(), v));
+    }
+    for (sub, part) in parts.into_iter().enumerate().rev() {
+        let art = Art::from_sorted(part)?;
+        leaves.insert(g.start, BucketShard::new_sub(g.bucket, sub, config, art, shortcuts_active));
+    }
+    g.subs = SPLIT_FANOUT;
+    g.splits += 1;
+    g.cool = 0;
+    Ok(())
+}
+
+/// Re-merges a cooled bucket's sub-shards into one leaf through the same
+/// validating k-way merge that produces the final tree. The merged shard's
+/// shortcut table restarts empty; its latch stays tripped if *any*
+/// sub-shard's was (sticky degradation never un-trips on merge).
+fn merge_bucket(
+    g: &mut BucketGroup,
+    leaves: &mut Vec<BucketShard>,
+    config: &DcartConfig,
+) -> Result<(), DcartError> {
+    let subs: Vec<BucketShard> = leaves.drain(g.start..g.start + g.subs).collect();
+    let active = subs.iter().all(|s| s.shortcuts_active);
+    for s in &subs {
+        retire_shard(s, &mut g.retired, &mut g.retired_disables);
+    }
+    let art = merge_art_trees(subs.iter().map(|s| &s.art))?;
+    leaves.insert(g.start, BucketShard::new_sub(g.bucket, 0, config, art, active));
+    g.subs = 1;
+    g.merges += 1;
+    g.cool = 0;
+    Ok(())
+}
+
+/// The per-batch adaptation + routing pass: walks the groups in bucket
+/// order, splits newly hot buckets and re-merges cooled ones (decisions
+/// read only the per-batch op counts), then deals every bucket op into its
+/// leaf's `(bucket position, op index)` slice for the worker pool.
+fn adapt_and_route(
+    groups: &mut [BucketGroup],
+    leaves: &mut Vec<BucketShard>,
+    combined: &CombinedBatch,
+    batch: &[Op],
+    config: &DcartConfig,
+    policy: &SplitPolicy,
+) -> Result<(), DcartError> {
+    let mut start = 0usize;
+    for g in groups.iter_mut() {
+        g.start = start;
+        let bucket_ops = &combined.buckets[g.bucket];
+        let load = bucket_ops.len();
+        g.ops_routed += load as u64;
+        if policy.enabled {
+            if g.subs == 1 && load > policy.split_above {
+                split_bucket(g, leaves, config, policy)?;
+            } else if g.subs > 1 {
+                if load <= policy.split_above / 2 {
+                    g.cool += 1;
+                    if g.cool >= MERGE_PATIENCE {
+                        merge_bucket(g, leaves, config)?;
+                    }
+                } else {
+                    g.cool = 0;
+                }
+            }
+        }
+        for leaf in &mut leaves[g.start..g.start + g.subs] {
+            leaf.ops.clear();
+        }
+        g.route.clear();
+        if g.subs == 1 {
+            let leaf = &mut leaves[g.start];
+            for (pos, &op_i) in bucket_ops.iter().enumerate() {
+                leaf.ops.push((pos as u32, op_i));
+            }
+        } else {
+            for &op_i in bucket_ops {
+                let sub = sub_of(&batch[op_i as usize].key, policy.next_byte);
+                let pos = g.route.len() as u32;
+                let leaf = &mut leaves[g.start + sub];
+                g.route.push((sub as u8, leaf.ops.len() as u32));
+                leaf.ops.push((pos, op_i));
+            }
+        }
+        start += g.subs;
+    }
+    Ok(())
 }
 
 /// Executes `ops` over a tree loaded with `keys` under the CTT model,
@@ -1143,6 +1511,28 @@ pub fn try_execute_ctt_with<C: CttConsumer>(
     mode: TraverseMode,
     consumer: &mut C,
 ) -> Result<(Art<u64>, CttStats), DcartError> {
+    let opts = ExecOpts { threads, mode, steal: work_stealing() };
+    try_execute_ctt_profiled(keys, ops, config, batch_size, &opts, consumer)
+        .map(|(art, stats, _)| (art, stats))
+}
+
+/// The fully-explicit entry point: every knob comes from `opts` (no
+/// process-global reads), and the result carries the [`LoadReport`] the
+/// bench harness turns into per-bucket skew histograms.
+///
+/// # Errors
+///
+/// * [`DcartError::InvalidBatchSize`] when `batch_size == 0`;
+/// * [`DcartError::Art`] when the key set or an insert violates the
+///   tree's prefix-free requirement.
+pub fn try_execute_ctt_profiled<C: CttConsumer>(
+    keys: &KeySet,
+    ops: &[Op],
+    config: &DcartConfig,
+    batch_size: usize,
+    opts: &ExecOpts,
+    consumer: &mut C,
+) -> Result<(Art<u64>, CttStats, LoadReport), DcartError> {
     if batch_size == 0 {
         return Err(DcartError::InvalidBatchSize);
     }
@@ -1151,7 +1541,8 @@ pub fn try_execute_ctt_with<C: CttConsumer>(
     // its *global* load index as the value — identical values to a
     // single-tree `load_indexed`.
     let shards = load_shards(config, keys.keys.iter().enumerate().map(|(i, k)| (k, i as u64)))?;
-    run_batches(shards, ops, config, RunKnobs { batch_size, threads, mode }, 0, consumer)
+    let knobs = RunKnobs { batch_size, threads: opts.threads, mode: opts.mode, steal: opts.steal };
+    run_batches(shards, ops, config, knobs, 0, consumer)
 }
 
 /// Resumes a CTT execution from a known tree state instead of a fresh key
@@ -1184,8 +1575,9 @@ pub fn try_execute_ctt_resumed<C: CttConsumer>(
         return Err(DcartError::InvalidBatchSize);
     }
     let shards = load_shards(config, pairs.iter().map(|(k, v)| (k, *v)))?;
-    let knobs = RunKnobs { batch_size, threads, mode: traverse_mode() };
+    let knobs = RunKnobs { batch_size, threads, mode: traverse_mode(), steal: work_stealing() };
     run_batches(shards, ops, config, knobs, initial_digest, consumer)
+        .map(|(art, stats, _)| (art, stats))
 }
 
 /// Builds the per-bucket shards and routes every `(key, value)` entry to
@@ -1209,24 +1601,92 @@ struct RunKnobs {
     batch_size: usize,
     threads: usize,
     mode: TraverseMode,
+    steal: bool,
+}
+
+/// Explicit execution options for [`try_execute_ctt_profiled`], bypassing
+/// every process-global knob (useful for tests and benches that must not
+/// race on globals). [`ExecOpts::default`] snapshots the globals.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOpts {
+    /// Worker threads the shard pool fans over ([`sou_threads`]).
+    pub threads: usize,
+    /// Traverse mode ([`traverse_mode`]).
+    pub mode: TraverseMode,
+    /// Whether the pool's work-stealing deques are active
+    /// ([`work_stealing`]).
+    pub steal: bool,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts { threads: sou_threads(), mode: traverse_mode(), steal: work_stealing() }
+    }
+}
+
+/// Per-bucket load observed over a whole run, for the skew histograms in
+/// the bench report. Every field is deterministic for a fixed config; the
+/// two intentionally schedule-dependent counters live on [`LoadReport`]
+/// instead.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BucketLoad {
+    /// Bucket index.
+    pub bucket: usize,
+    /// Operations routed through the bucket over the run.
+    pub ops: u64,
+    /// Tree nodes its shards loaded (retired + live leaves).
+    pub nodes_visited: u64,
+    /// Times the bucket split into sub-shards.
+    pub splits: u64,
+    /// Times its sub-shards re-merged.
+    pub merges: u64,
+    /// Leaves the bucket ended the run with (1 unless still split).
+    pub subs_at_end: usize,
+}
+
+/// Load-balance observability for one execution: the per-bucket skew
+/// histogram plus the pool's steal counters.
+///
+/// The per-bucket entries are deterministic (split schedules depend only
+/// on op counts). The steal counters are the one *intentionally*
+/// schedule-dependent observable in the executor — which is exactly why
+/// they live here and not in [`CttStats`], whose byte-identity across
+/// thread counts and steal settings is pinned by tests.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Per-bucket load, in bucket order.
+    pub buckets: Vec<BucketLoad>,
+    /// Steal operations the pool performed (0 with stealing off; varies
+    /// run-to-run with it on).
+    pub steal_events: u64,
+    /// Shards that ran on a thief instead of their owner.
+    pub shards_stolen: u64,
 }
 
 /// The batch loop shared by the fresh and resumed entry points: Combine,
-/// Traverse + Trigger on the worker pool, serial replay, batch-end merge.
+/// adapt + route, Traverse + Trigger on the worker pool, serial replay,
+/// batch-end merge.
 fn run_batches<C: CttConsumer>(
-    mut shards: Vec<BucketShard>,
+    shards: Vec<BucketShard>,
     ops: &[Op],
     config: &DcartConfig,
     knobs: RunKnobs,
     initial_digest: u64,
     consumer: &mut C,
-) -> Result<(Art<u64>, CttStats), DcartError> {
-    let RunKnobs { batch_size, threads, mode } = knobs;
+) -> Result<(Art<u64>, CttStats, LoadReport), DcartError> {
+    let RunKnobs { batch_size, threads, mode, steal } = knobs;
     let plan = config.faults;
+    let policy = SplitPolicy::resolve(config, batch_size);
     let mut stats = CttStats { answer_digest: initial_digest, ..CttStats::default() };
+    // The leaf vector starts as one shard per bucket; splits and merges
+    // reshape it between batches. `groups` tracks each bucket's slice.
+    let mut leaves = shards;
+    let mut groups: Vec<BucketGroup> = (0..config.buckets()).map(BucketGroup::new).collect();
+    let pool_stats = PoolStats::default();
     // Whole-run scratch, reused across batches.
     let mut combined = CombinedBatch { buckets: Vec::new(), scanned: 0 };
     let mut bucket_sizes: Vec<u32> = Vec::new();
+    let mut leaf_weights: Vec<u64> = Vec::new();
     let mut shortcut_writers: FxHashMap<u64, usize> = FxHashMap::default();
     let mut scan_scratch = ScanScratch::default();
 
@@ -1235,12 +1695,27 @@ fn run_batches<C: CttConsumer>(
         bucket_sizes.clear();
         bucket_sizes.extend(combined.buckets.iter().map(|b| b.len() as u32));
 
-        // Traverse + Trigger: the prefix-disjoint shards run concurrently;
-        // outcomes land in per-shard records, not in shared state.
-        {
-            let bucket_ops = &combined.buckets;
-            par_for_each_mut(&mut shards, threads, |b, shard| {
-                shard.run_batch(batch, &bucket_ops[b], &plan, mode);
+        // Adapt + route: split hot buckets / re-merge cooled ones (from op
+        // counts alone), then deal every op into its leaf's slice.
+        adapt_and_route(&mut groups, &mut leaves, &combined, batch, config, &policy)?;
+
+        // Traverse + Trigger: the key-disjoint leaves run concurrently;
+        // outcomes land in per-shard records, not in shared state. With
+        // stealing on, leaves deal heaviest-first over per-worker deques
+        // and idle workers steal — which moves work, never results.
+        if steal {
+            leaf_weights.clear();
+            leaf_weights.extend(leaves.iter().map(|l| l.ops.len() as u64));
+            par_for_each_mut_balanced(
+                &mut leaves,
+                threads,
+                &leaf_weights,
+                Some(&pool_stats),
+                |_, shard| shard.run_batch(batch, &plan, mode),
+            );
+        } else {
+            par_for_each_mut(&mut leaves, threads, |_, shard| {
+                shard.run_batch(batch, &plan, mode);
             });
         }
 
@@ -1249,10 +1724,11 @@ fn run_batches<C: CttConsumer>(
         // other observable) is thread-count-independent. No events are
         // emitted for the aborted batch.
         let mut first_error: Option<(u32, u32, DcartError)> = None;
-        for (b, shard) in shards.iter_mut().enumerate() {
+        for shard in leaves.iter_mut() {
             if let Some((pos, e)) = shard.error.take() {
-                if first_error.as_ref().is_none_or(|(p, fb, _)| (pos, b as u32) < (*p, *fb)) {
-                    first_error = Some((pos, b as u32, e));
+                let b = shard.bucket as u32;
+                if first_error.as_ref().is_none_or(|(p, fb, _)| (pos, b) < (*p, *fb)) {
+                    first_error = Some((pos, b, e));
                 }
             }
         }
@@ -1260,18 +1736,29 @@ fn run_batches<C: CttConsumer>(
             return Err(e);
         }
 
-        resolve_scans(&mut shards, batch, &mut scan_scratch);
+        resolve_scans(&mut leaves, batch, &mut scan_scratch);
 
         // Serial replay: walk the records in the canonical round-robin
         // bucket order, so shared consumer-side resources (the Tree buffer
         // above all) see the same mixed access stream the hardware does —
-        // and the stream is identical at any worker count.
+        // and the stream is identical at any worker count. A split
+        // bucket's route table maps each bucket position back to the
+        // sub-shard that recorded it.
         consumer.batch_start(&BatchEvent { index: batch_idx, bucket_sizes: &bucket_sizes });
         stats.batches += 1;
         shortcut_writers.clear();
         for round in 0..combined.max_bucket_len() {
-            for (b, shard) in shards.iter().enumerate() {
-                let Some(record) = shard.records.get(round) else { continue };
+            for g in &groups {
+                let (leaf, rec_idx) = if g.subs == 1 {
+                    (g.start, round)
+                } else {
+                    match g.route.get(round) {
+                        Some(&(sub, idx)) => (g.start + sub as usize, idx as usize),
+                        None => continue,
+                    }
+                };
+                let shard = &leaves[leaf];
+                let Some(record) = shard.records.get(rec_idx) else { continue };
                 let op = &batch[record.op_index as usize];
                 stats.ops += 1;
                 if op.kind.is_write() {
@@ -1283,27 +1770,28 @@ fn run_batches<C: CttConsumer>(
                 if record.generated {
                     // Cross-SOU hash-bucket collisions on the shared
                     // off-chip Shortcut_Table, counted over the canonical
-                    // interleaved order.
+                    // interleaved order. Sub-shards of one bucket share an
+                    // SOU, so they never collide with each other.
                     let hb = u64::from(record.hash_bucket);
                     if let Some(&writer) = shortcut_writers.get(&hb) {
-                        if writer != b {
+                        if writer != g.bucket {
                             stats.shortcut_hash_collisions += 1;
                         }
                     }
-                    shortcut_writers.insert(hb, b);
+                    shortcut_writers.insert(hb, g.bucket);
                 }
                 stats.answer_digest = fold_digest(stats.answer_digest, record.answer);
                 let visits = &shard.visit_arena[record.visits_start as usize
                     ..(record.visits_start + record.visits_len) as usize];
                 consumer.op(&CttOpEvent {
                     batch: batch_idx,
-                    bucket: b,
+                    bucket: g.bucket,
                     kind: op.kind,
                     key_id: record.key_id,
                     shortcut_hit: record.shortcut_hit,
                     visits,
                     matches: record.matches,
-                    bucket_ops: bucket_sizes[b],
+                    bucket_ops: bucket_sizes[g.bucket],
                     generated_shortcut: record.generated,
                     answer: record.answer,
                 });
@@ -1311,11 +1799,19 @@ fn run_batches<C: CttConsumer>(
         }
 
         // Trigger_Operation: one lock per (bucket, target) group, emitted
-        // in bucket order and first-write order within a bucket.
-        for (b, shard) in shards.iter().enumerate() {
-            for &(node, size) in &shard.write_targets {
-                stats.lock_groups += 1;
-                consumer.lock_group(&LockGroup { batch: batch_idx, bucket: b, node, size });
+        // in bucket order (sub-shards in sub order within their bucket)
+        // and first-write order within a leaf.
+        for g in &groups {
+            for shard in &leaves[g.start..g.start + g.subs] {
+                for &(node, size) in &shard.write_targets {
+                    stats.lock_groups += 1;
+                    consumer.lock_group(&LockGroup {
+                        batch: batch_idx,
+                        bucket: g.bucket,
+                        node,
+                        size,
+                    });
+                }
             }
         }
         consumer.batch_end(batch_idx);
@@ -1328,18 +1824,40 @@ fn run_batches<C: CttConsumer>(
         }
     }
 
-    for shard in &shards {
+    let mut load = LoadReport {
+        buckets: Vec::with_capacity(groups.len()),
+        steal_events: pool_stats.steal_events(),
+        shards_stolen: pool_stats.items_stolen(),
+    };
+    for g in &groups {
         // The Traverse counters live on the shard (the shortcut table
-        // never sees traversals); splice them into the shard's stats so
-        // the run-level sum carries both.
-        let mut shard_stats = shard.shortcuts.stats();
-        shard_stats.nodes_visited = shard.nodes_visited;
-        shard_stats.ops_advanced = shard.ops_advanced;
-        stats.shortcut.accumulate(&shard_stats);
-        stats.shortcut_disables += shard.disables;
+        // never sees traversals); splice them into each live leaf's stats,
+        // then add what past splits/merges already retired, so the
+        // run-level sum survives the shard turnover.
+        let mut live_visited = 0u64;
+        for shard in &leaves[g.start..g.start + g.subs] {
+            let mut shard_stats = shard.shortcuts.stats();
+            shard_stats.nodes_visited = shard.nodes_visited;
+            shard_stats.ops_advanced = shard.ops_advanced;
+            stats.shortcut.accumulate(&shard_stats);
+            stats.shortcut_disables += shard.disables;
+            live_visited += shard.nodes_visited;
+        }
+        stats.shortcut.accumulate(&g.retired);
+        stats.shortcut_disables += g.retired_disables;
+        stats.shard_splits += g.splits;
+        stats.shard_merges += g.merges;
+        load.buckets.push(BucketLoad {
+            bucket: g.bucket,
+            ops: g.ops_routed,
+            nodes_visited: g.retired.nodes_visited + live_visited,
+            splits: g.splits,
+            merges: g.merges,
+            subs_at_end: g.subs,
+        });
     }
-    let art = merge_shard_trees(&shards)?;
-    Ok((art, stats))
+    let art = merge_shard_trees(&leaves)?;
+    Ok((art, stats, load))
 }
 
 #[cfg(test)]
@@ -1685,5 +2203,113 @@ mod tests {
         assert_eq!(stats.shortcut_disables, 0);
         assert_eq!(stats.shortcut.corruptions_injected, 0);
         assert_eq!(stats.shortcut.corruption_fallbacks, 0);
+    }
+
+    #[test]
+    fn sub_zero_namespace_matches_the_unsplit_layout() {
+        // Default (never-split) runs must keep their exact historical node
+        // ids: sub 0 reproduces the pre-split `bucket << 24` packing.
+        let node = NodeId::from_index(12_345);
+        assert_eq!(namespaced(9, 0, node).index(), (9 << SHARD_NODE_BITS) | 12_345);
+        // And the full (bucket, sub) grid never aliases.
+        let mut seen = std::collections::HashSet::new();
+        for sub in 0..SPLIT_FANOUT {
+            for bucket in 0..MAX_SPLIT_BUCKETS {
+                assert!(seen.insert(namespaced(bucket, sub, node).index()), "{bucket}/{sub}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_splitting_preserves_answers_and_tree() {
+        // Sub-shards partition each bucket's key space, so splitting is an
+        // execution strategy: answers and the final tree must match the
+        // never-split run exactly, for any threshold.
+        let keys = Workload::Ipgeo.generate(3_000, 5);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 12_000, mix: Mix::E, ..Default::default() },
+        );
+        let base = DcartConfig::default().with_auto_prefix_skip(&keys);
+        let run = |threshold: f64| {
+            let cfg = DcartConfig { split_threshold: Some(threshold), ..base };
+            let opts = ExecOpts { threads: 1, mode: TraverseMode::LevelWise, steal: false };
+            let (tree, stats, load) =
+                try_execute_ctt_profiled(&keys, &ops, &cfg, 1024, &opts, &mut Collector::default())
+                    .expect("runs clean");
+            (tree_digest(&tree), stats, load)
+        };
+        let (never_tree, never_stats, never_load) = run(1.0);
+        let (split_tree, split_stats, split_load) = run(0.02);
+        assert_eq!(never_stats.shard_splits, 0, "threshold 1.0 never splits");
+        assert!(split_stats.shard_splits > 0, "aggressive threshold splits: {split_load:?}");
+        assert_eq!(split_tree, never_tree, "final tree split-invariant");
+        assert_eq!(split_stats.answer_digest, never_stats.answer_digest, "answers split-invariant");
+        assert_eq!(split_stats.ops, never_stats.ops);
+        // The deterministic half of the load report is threshold-independent.
+        let ops_of = |load: &LoadReport| load.buckets.iter().map(|b| b.ops).collect::<Vec<_>>();
+        assert_eq!(ops_of(&split_load), ops_of(&never_load), "routing histogram identical");
+    }
+
+    #[test]
+    fn hot_buckets_split_then_remerge_after_cooling() {
+        let keys = Workload::Ipgeo.generate(2_000, 3);
+        let hot = keys.keys[0].clone();
+        // Two all-hot batches (one bucket takes everything), then four
+        // spread batches that let the bucket cool past MERGE_PATIENCE.
+        let mut ops: Vec<Op> = Vec::new();
+        for _ in 0..512 {
+            ops.push(Op { kind: OpKind::Read, key: hot.clone(), value: 0 });
+        }
+        for i in 0..1024 {
+            let key = keys.keys[i % keys.keys.len()].clone();
+            ops.push(Op { kind: OpKind::Read, key, value: 0 });
+        }
+        let cfg = DcartConfig { split_threshold: Some(0.5), ..DcartConfig::default() }
+            .with_auto_prefix_skip(&keys);
+        let opts = ExecOpts { threads: 2, mode: TraverseMode::LevelWise, steal: true };
+        let (_, stats, load) =
+            try_execute_ctt_profiled(&keys, &ops, &cfg, 256, &opts, &mut Collector::default())
+                .expect("runs clean");
+        assert!(stats.shard_splits >= 1, "hot bucket split: {load:?}");
+        assert!(stats.shard_merges >= 1, "cooled bucket re-merged: {load:?}");
+        let hottest = load.buckets.iter().max_by_key(|b| b.ops).expect("non-empty");
+        assert!(hottest.splits >= 1, "the hottest bucket is the one that split");
+        assert_eq!(hottest.subs_at_end, 1, "merged back to one leaf by run end");
+    }
+
+    #[test]
+    fn splitting_runs_are_identical_across_threads_and_stealing() {
+        // The tentpole invariant at full strength: with an aggressive split
+        // threshold, stats, the event stream, and the final tree must be
+        // byte-identical across worker counts and steal settings — the
+        // split schedule reads op counts, never the schedule.
+        let keys = Workload::Ipgeo.generate(3_000, 5);
+        let ops = generate_ops(
+            &keys,
+            &OpStreamConfig { count: 12_000, mix: Mix::E, ..Default::default() },
+        );
+        let cfg = DcartConfig { split_threshold: Some(0.05), ..DcartConfig::default() }
+            .with_auto_prefix_skip(&keys);
+        let mut runs =
+            [(1usize, false), (2, false), (2, true), (8, true)].map(|(threads, steal)| {
+                let mut d = StreamDigest::default();
+                let opts = ExecOpts { threads, mode: TraverseMode::LevelWise, steal };
+                let (tree, stats, load) =
+                    try_execute_ctt_profiled(&keys, &ops, &cfg, 1024, &opts, &mut d)
+                        .expect("runs clean");
+                assert!(stats.shard_splits > 0, "the aggressive threshold actually splits");
+                if !steal {
+                    assert_eq!(load.steal_events, 0, "no steals with stealing off");
+                }
+                (format!("{stats:?}"), d.h, tree_digest(&tree))
+            });
+        let (base_stats, base_digest, base_tree) = std::mem::take(&mut runs[0]);
+        assert!(base_digest != 0, "stream digest actually folded events");
+        for (stats, digest, tree) in runs.iter().skip(1) {
+            assert_eq!(*stats, base_stats, "stats identical across threads × stealing");
+            assert_eq!(*digest, base_digest, "event stream identical across threads × stealing");
+            assert_eq!(*tree, base_tree, "final tree identical across threads × stealing");
+        }
     }
 }

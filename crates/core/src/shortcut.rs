@@ -30,6 +30,19 @@ pub struct ShortcutEntry {
 /// bandwidth modelling: key id + two 8-byte addresses.
 pub const ENTRY_BYTES: u32 = 24;
 
+/// Hash buckets of the off-chip Shortcut_Table. Two SOUs generating
+/// entries into the same bucket within a batch must synchronize — the
+/// executor counts those cross-SOU collisions as DCART's residual
+/// contention source (Fig. 7).
+pub(crate) const HASH_BUCKETS: u64 = 1 << 16;
+
+/// The off-chip table's hash bucket for a Key_ID (used by the executor's
+/// collision accounting; sub-shards of one combining bucket share the SOU
+/// and therefore never collide with each other).
+pub(crate) fn hash_bucket(key_id: u64) -> u32 {
+    (key_id % HASH_BUCKETS) as u32
+}
+
 /// Hit/miss statistics of a [`ShortcutTable`].
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct ShortcutStats {

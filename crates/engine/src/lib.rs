@@ -10,9 +10,12 @@
 //!   queueing for throughput–latency curves (paper Fig. 10);
 //! * [`EventQueue`] / [`NonBlockingUnit`] — discrete-event primitives that
 //!   validate the accelerator's closed-form SOU timing;
-//! * [`par_for_each_mut`] — a scoped worker pool over disjoint `&mut`
-//!   shards, used by the CTT executor to run prefix-disjoint buckets on
-//!   host threads with deterministic (thread-count-independent) outcomes;
+//! * [`par_for_each_mut`] / [`par_for_each_mut_balanced`] — scoped worker
+//!   pools over disjoint `&mut` shards, used by the CTT executor to run
+//!   prefix-disjoint buckets on host threads with deterministic
+//!   (thread-count-independent) outcomes; the balanced variant adds
+//!   per-worker [`StealQueue`] deques with steal-half load balancing for
+//!   skewed shard costs;
 //! * [`faults`] — deterministic seed-driven fault injection
 //!   ([`FaultPlan`], [`FaultInjector`]), bounded retry ([`RetryPolicy`]),
 //!   graceful degradation ([`DegradationController`]), recovery
@@ -45,6 +48,6 @@ pub use faults::{
     FaultSite, RecoveryStats, RetryOutcome, RetryPolicy,
 };
 pub use pipeline::{Pipeline, PipelineRun};
-pub use pool::par_for_each_mut;
-pub use queueing::{mdc_wait, BoundedQueue, LatencyRecorder};
+pub use pool::{par_for_each_mut, par_for_each_mut_balanced, PoolStats};
+pub use queueing::{mdc_wait, BoundedQueue, LatencyRecorder, StealQueue};
 pub use wal::{WalBatch, WalError, WalScan, WalWriter};

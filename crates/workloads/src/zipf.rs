@@ -26,26 +26,52 @@ use rand::Rng;
 pub struct Zipfian {
     n: u64,
     theta: f64,
-    alpha: f64,
-    zetan: f64,
-    eta: f64,
+    method: Method,
+}
+
+/// How samples are drawn: Gray's closed form covers `theta < 1` (the YCSB
+/// regime) in constant space; at `theta >= 1` that form's exponent
+/// `1 / (1 - theta)` blows up, so the sampler falls back to an explicit
+/// cumulative table and inverts it by binary search — `O(n)` memory,
+/// `O(log n)` per sample, any positive skew.
+#[derive(Clone, Debug)]
+enum Method {
+    Gray { alpha: f64, zetan: f64, eta: f64 },
+    Table { cdf: Vec<f64> },
 }
 
 impl Zipfian {
     /// Creates a sampler over `n` ranks with skew `theta` (YCSB default
-    /// 0.99; larger = more skewed; must be in `(0, 1)`).
+    /// 0.99; larger = more skewed). Any positive finite `theta` is
+    /// accepted; `theta >= 1` switches to a tabulated inverse CDF that
+    /// costs `O(n)` memory.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    /// Panics if `n == 0` or `theta` is not positive and finite.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "domain must be non-empty");
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
-        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
-        let zeta2 = 1.0 + 0.5f64.powf(theta);
-        let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta }
+        assert!(theta > 0.0 && theta.is_finite(), "theta must be positive and finite");
+        let method = if theta < 1.0 {
+            let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let zeta2 = 1.0 + 0.5f64.powf(theta);
+            let alpha = 1.0 / (1.0 - theta);
+            let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+            Method::Gray { alpha, zetan, eta }
+        } else {
+            let mut cdf: Vec<f64> = Vec::with_capacity(n as usize);
+            let mut acc = 0.0f64;
+            for i in 1..=n {
+                acc += 1.0 / (i as f64).powf(theta);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            Method::Table { cdf }
+        };
+        Zipfian { n, theta, method }
     }
 
     /// Number of ranks.
@@ -56,15 +82,23 @@ impl Zipfian {
     /// Draws one rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
-        let uz = u * self.zetan;
-        if uz < 1.0 {
-            return 0;
+        match &self.method {
+            Method::Gray { alpha, zetan, eta } => {
+                let uz = u * zetan;
+                if uz < 1.0 {
+                    return 0;
+                }
+                if uz < 1.0 + 0.5f64.powf(self.theta) {
+                    return 1;
+                }
+                let rank = (self.n as f64 * (eta * u - eta + 1.0).powf(*alpha)) as u64;
+                rank.min(self.n - 1)
+            }
+            Method::Table { cdf } => {
+                let rank = cdf.partition_point(|&c| c < u) as u64;
+                rank.min(self.n - 1)
+            }
         }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
-            return 1;
-        }
-        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
-        rank.min(self.n - 1)
     }
 }
 
@@ -123,7 +157,45 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "theta")]
-    fn theta_one_rejected() {
-        let _ = Zipfian::new(10, 1.0);
+    fn nonpositive_theta_rejected() {
+        let _ = Zipfian::new(10, 0.0);
+    }
+
+    #[test]
+    fn theta_at_and_above_one_uses_the_table_path() {
+        // theta >= 1 breaks Gray's closed form; the tabulated inverse CDF
+        // must keep sampling in range with the right head concentration.
+        let mut rng = StdRng::seed_from_u64(6);
+        for theta in [1.0, 1.2, 2.0] {
+            let z = Zipfian::new(1000, theta);
+            let mut counts = vec![0u64; 1000];
+            for _ in 0..50_000 {
+                counts[z.sample(&mut rng) as usize] += 1;
+            }
+            let max = *counts.iter().max().expect("non-empty");
+            assert_eq!(counts[0], max, "rank 0 most popular at theta={theta}");
+        }
+        // Steeper theta concentrates more mass on the head.
+        let head = |theta: f64, rng: &mut StdRng| {
+            let z = Zipfian::new(1000, theta);
+            (0..50_000).filter(|_| z.sample(rng) < 10).count()
+        };
+        let at_one = head(1.0, &mut rng);
+        let steep = head(1.2, &mut rng);
+        assert!(steep > at_one, "{steep} vs {at_one}");
+    }
+
+    #[test]
+    fn gray_and_table_agree_near_the_boundary() {
+        // The two methods approximate the same distribution: just below
+        // and just above theta=1 the top-rank share must be close.
+        let share = |theta: f64, seed: u64| {
+            let z = Zipfian::new(1000, theta);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100_000).filter(|_| z.sample(&mut rng) < 10).count() as f64 / 100_000.0
+        };
+        let below = share(0.999, 8);
+        let above = share(1.001, 9);
+        assert!((below - above).abs() < 0.05, "{below} vs {above}");
     }
 }

@@ -7,12 +7,39 @@
 //! that contract on the three tier-1 workloads, fault-free and under
 //! injected shortcut corruption.
 
-use dcart::{execute_ctt_threaded, CttConsumer, CttStats, DcartConfig, FaultPlan};
+use dcart::{
+    execute_ctt_threaded, fold_digest, tree_digest, try_execute_ctt_profiled, CttConsumer,
+    CttOpEvent, CttStats, DcartConfig, ExecOpts, FaultPlan, LoadReport, TraverseMode,
+};
 use dcart_art::Key;
 use dcart_workloads::{generate_ops, Mix, OpStreamConfig, Workload};
 
 struct Sink;
 impl CttConsumer for Sink {}
+
+/// Folds every op event into one digest: any schedule-dependence in the
+/// event stream (order, resolution path, answers) changes this value.
+#[derive(Default)]
+struct StreamDigest {
+    h: u64,
+}
+
+impl CttConsumer for StreamDigest {
+    fn op(&mut self, ev: &CttOpEvent<'_>) {
+        for x in [
+            ev.batch as u64,
+            ev.bucket as u64,
+            ev.key_id,
+            u64::from(ev.shortcut_hit),
+            ev.visits.len() as u64,
+            ev.matches,
+            u64::from(ev.bucket_ops),
+            ev.answer,
+        ] {
+            self.h = fold_digest(self.h, x);
+        }
+    }
+}
 
 /// One full execution: serialized stats JSON plus the final tree contents.
 fn run(
@@ -75,6 +102,84 @@ fn fault_injection_stays_deterministic_and_correct_under_threading() {
             let (json, _, tree) = run(workload, threads, plan);
             assert_eq!(json, base_json, "{workload:?}: faulted stats differ at {threads} threads");
             assert_eq!(tree, base_tree);
+        }
+    }
+}
+
+/// One profiled execution with an explicit split threshold and pool
+/// schedule, digesting the full event stream.
+fn run_cell(
+    workload: Workload,
+    faults: FaultPlan,
+    split: f64,
+    threads: usize,
+    steal: bool,
+) -> (String, u64, u64, LoadReport, CttStats) {
+    let keys = workload.generate(3_000, 17);
+    let ops =
+        generate_ops(&keys, &OpStreamConfig { count: 8_000, mix: Mix::E, theta: 0.99, seed: 17 });
+    let mut cfg = DcartConfig::default().with_auto_prefix_skip(&keys);
+    cfg.faults = faults;
+    cfg.split_threshold = Some(split);
+    let opts = ExecOpts { threads, mode: TraverseMode::LevelWise, steal };
+    let mut sink = StreamDigest::default();
+    let (tree, stats, load) = try_execute_ctt_profiled(&keys, &ops, &cfg, 1_024, &opts, &mut sink)
+        .expect("these fault plans never kill the run");
+    let json = serde_json::to_string_pretty(&stats).expect("stats serialize");
+    (json, sink.h, tree_digest(&tree), load, stats)
+}
+
+/// The pool schedules whose observables must all coincide: serial, static
+/// 2-thread, stealing 2-thread, stealing 8-thread.
+const SCHEDULES: [(usize, bool); 4] = [(1, false), (2, false), (2, true), (8, true)];
+
+#[test]
+fn split_schedules_are_pinned_across_threads_and_stealing() {
+    // For a FIXED split threshold, every observable — stats JSON, the full
+    // event stream, the final tree — is pinned across thread counts and
+    // stealing, fault-free and under chaos. Across DIFFERENT thresholds
+    // the event stream legitimately differs (fresh sub-shard shortcut
+    // tables resolve ops differently), but answers and the final tree are
+    // split-invariant: sub-trees partition the bucket's key space.
+    let chaos = FaultPlan { seed: 99, shortcut_corrupt_rate: 0.05, ..FaultPlan::none() };
+    for workload in WORKLOADS {
+        for faults in [FaultPlan::none(), chaos] {
+            let mut per_split = Vec::new();
+            // 1.0 never splits; 0.02 splits any bucket above 2 % of a batch.
+            for split in [1.0f64, 0.02] {
+                let (base_json, base_stream, base_tree, _, base_stats) =
+                    run_cell(workload, faults, split, 1, false);
+                if split < 0.5 {
+                    assert!(
+                        base_stats.shard_splits > 0,
+                        "{workload:?}: the aggressive threshold must actually split"
+                    );
+                } else {
+                    assert_eq!(base_stats.shard_splits, 0);
+                }
+                for (threads, steal) in SCHEDULES {
+                    let (json, stream, tree, load, _) =
+                        run_cell(workload, faults, split, threads, steal);
+                    assert_eq!(
+                        json, base_json,
+                        "{workload:?} split {split}: stats differ at {threads} threads"
+                    );
+                    assert_eq!(
+                        stream, base_stream,
+                        "{workload:?} split {split}: event stream differs at \
+                         {threads} threads (steal {steal})"
+                    );
+                    assert_eq!(tree, base_tree, "{workload:?} split {split}: tree differs");
+                    if !steal {
+                        assert_eq!(load.steal_events, 0, "stealing off means zero steals");
+                    }
+                }
+                per_split.push((base_tree, base_stats.answer_digest));
+            }
+            assert_eq!(
+                per_split[0], per_split[1],
+                "{workload:?}: answers and final tree are split-invariant"
+            );
         }
     }
 }
