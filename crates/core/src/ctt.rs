@@ -293,6 +293,11 @@ fn namespaced(bucket: usize, sub: usize, node: NodeId) -> NodeId {
 pub struct CttOpEvent<'a> {
     /// Batch index.
     pub batch: usize,
+    /// Index of the operation within its batch slice. Events arrive in
+    /// canonical round-robin *bucket* order, not submission order — this
+    /// is how a consumer that owes each submitter an answer (the serving
+    /// layer) maps an event back to its request.
+    pub op_index: u32,
     /// Bucket (= SOU) index within the batch.
     pub bucket: usize,
     /// Operation kind.
@@ -318,6 +323,14 @@ pub struct CttOpEvent<'a> {
     /// operation resolves (shortcut vs. traversal) but never this digest —
     /// the chaos experiment's differential invariant.
     pub answer: u64,
+    /// The operation's concrete result, for consumers that serve answers
+    /// back to a caller (the online serving layer) rather than just
+    /// auditing digests: the value read (`None` on a miss), the previous
+    /// value displaced by an update/insert/remove, or the number of items
+    /// a scan returned. Folding this through [`digest_option`] (scans:
+    /// always `Some`) is *not* required to reproduce [`answer`] — `answer`
+    /// also folds scan contents — so treat it as payload, not provenance.
+    pub value: Option<u64>,
 }
 
 /// A coalesced lock: `size` operations of one bucket targeting one node
@@ -427,6 +440,8 @@ struct OpRecord {
     key_id: u64,
     /// Answer digest (see [`CttOpEvent::answer`]).
     answer: u64,
+    /// Concrete result (see [`CttOpEvent::value`]).
+    value: Option<u64>,
     /// Partial-key comparisons charged to this op.
     matches: u64,
     /// Fresh-visit range into the shard's visit arena.
@@ -634,6 +649,7 @@ impl BucketShard {
                     op_index: op_i,
                     key_id: kid,
                     answer: 0,
+                    value: None,
                     matches: 0,
                     visits_start: 0,
                     visits_len: 0,
@@ -703,6 +719,7 @@ impl BucketShard {
                     op_index: op_i,
                     key_id: kid,
                     answer: 0,
+                    value: None,
                     matches: 0,
                     visits_start: 0,
                     visits_len: 0,
@@ -729,10 +746,8 @@ impl BucketShard {
                     self.visit_arena.push(NodeVisit { node: target, ..v });
                 }
                 let mut locks = 0u32;
-                let answer = match op.kind {
-                    OpKind::Read => {
-                        digest_option(self.art.read_leaf(entry.target, &op.key).copied())
-                    }
+                let value = match op.kind {
+                    OpKind::Read => self.art.read_leaf(entry.target, &op.key).copied(),
                     OpKind::Update => {
                         let prev = self
                             .art
@@ -744,7 +759,7 @@ impl BucketShard {
                             target,
                         );
                         locks = 1;
-                        digest_option(Some(prev))
+                        Some(prev)
                     }
                     _ => unreachable!("shortcuts only serve reads/updates"),
                 };
@@ -752,7 +767,8 @@ impl BucketShard {
                 OpRecord {
                     op_index: op_i,
                     key_id: kid,
-                    answer,
+                    answer: digest_option(value),
+                    value,
                     matches: u64::from(visits_len),
                     visits_start,
                     visits_len,
@@ -765,13 +781,11 @@ impl BucketShard {
                 // Traverse_Tree: full (but coalesced-by-bucket) search of
                 // the shard's subtree.
                 self.tracer.clear();
-                let answer = match op.kind {
-                    OpKind::Read => {
-                        digest_option(self.art.get_traced(&op.key, &mut self.tracer).copied())
-                    }
+                let value = match op.kind {
+                    OpKind::Read => self.art.get_traced(&op.key, &mut self.tracer).copied(),
                     OpKind::Update | OpKind::Insert => {
                         match self.art.insert_traced(op.key.clone(), op.value, &mut self.tracer) {
-                            Ok(prev) => digest_option(prev),
+                            Ok(prev) => prev,
                             Err(e) => {
                                 self.error = Some((pos, DcartError::from(e)));
                                 break 'ops;
@@ -781,7 +795,7 @@ impl BucketShard {
                     OpKind::Remove => {
                         let prev = self.art.remove_traced(&op.key, &mut self.tracer);
                         self.shortcuts.invalidate(&op.key);
-                        digest_option(prev)
+                        prev
                     }
                     OpKind::Scan => unreachable!("scans are deferred above"),
                 };
@@ -851,7 +865,8 @@ impl BucketShard {
                 OpRecord {
                     op_index: op_i,
                     key_id: kid,
-                    answer,
+                    answer: digest_option(value),
+                    value,
                     matches,
                     visits_start,
                     visits_len,
@@ -920,10 +935,11 @@ impl BucketShard {
                             self.art.visit_for(target).expect("probe validated the target as live");
                         self.visit_arena.push(NodeVisit { node: namespaced_target, ..v });
                     }
-                    let answer = digest_option(self.art.read_leaf(target, &op.key).copied());
+                    let value = self.art.read_leaf(target, &op.key).copied();
                     let visits_len = self.visit_arena.len() as u32 - visits_start;
                     let rec = &mut self.records[rec_idx];
-                    rec.answer = answer;
+                    rec.answer = digest_option(value);
+                    rec.value = value;
                     rec.matches = u64::from(visits_len);
                     rec.visits_start = visits_start;
                     rec.visits_len = visits_len;
@@ -933,9 +949,7 @@ impl BucketShard {
                     let w = miss_i;
                     miss_i += 1;
                     let target = self.lw_scratch.target(w);
-                    let answer = digest_option(
-                        target.and_then(|(t, _)| self.art.read_leaf(t, &op.key).copied()),
-                    );
+                    let value = target.and_then(|(t, _)| self.art.read_leaf(t, &op.key).copied());
                     let mut generated = false;
                     let mut hash_bucket = u32::MAX;
                     if gen_allowed {
@@ -962,7 +976,8 @@ impl BucketShard {
                     let visits_len = self.visit_arena.len() as u32 - visits_start;
                     let total_visits = path.len().max(1) as u64;
                     let rec = &mut self.records[rec_idx];
-                    rec.answer = answer;
+                    rec.answer = digest_option(value);
+                    rec.value = value;
                     rec.matches = self.lw_scratch.pkm(w) * u64::from(visits_len) / total_visits;
                     rec.visits_start = visits_start;
                     rec.visits_len = visits_len;
@@ -994,8 +1009,8 @@ struct ScanScratch {
     /// `(visit count, partial-key matches)` per contributing shard.
     segments: Vec<(usize, u64)>,
     /// Per-scan merge outcome awaiting commit:
-    /// `(answer, segments range start, segments range len)`.
-    resolved: Vec<(u64, u32, u32)>,
+    /// `(answer, items returned, segments range start, segments range len)`.
+    resolved: Vec<(u64, u64, u32, u32)>,
     tracer: RecordingTracer,
 }
 
@@ -1085,14 +1100,19 @@ fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScr
                 .segments
                 .push((scratch.visit_buf.len() - before, scratch.tracer.trace.partial_key_matches));
         }
-        scratch.resolved.push((answer, seg_start, scratch.segments.len() as u32 - seg_start));
+        scratch.resolved.push((
+            answer,
+            scratch.items.len() as u64,
+            seg_start,
+            scratch.segments.len() as u32 - seg_start,
+        ));
     }
 
     // Pass 2 — commit, in the same scan order: dedup each scan's visits
     // against the owning shard's batch-local visited set (coalescing
     // applies to scans too) and complete the placeholder records.
     let mut off = 0usize;
-    for (&(_, _, leaf32, rec), &(answer, seg_start, seg_len)) in
+    for (&(_, _, leaf32, rec), &(answer, count, seg_start, seg_len)) in
         scratch.order.iter().zip(&scratch.resolved)
     {
         let shard = &mut shards[leaf32 as usize];
@@ -1112,6 +1132,7 @@ fn resolve_scans(shards: &mut [BucketShard], batch: &[Op], scratch: &mut ScanScr
         }
         let record = &mut shard.records[rec as usize];
         record.answer = answer;
+        record.value = Some(count);
         record.matches = matches;
         record.visits_start = visits_start;
         record.visits_len = shard.visit_arena.len() as u32 - visits_start;
@@ -1665,7 +1686,8 @@ pub struct LoadReport {
 
 /// The batch loop shared by the fresh and resumed entry points: Combine,
 /// adapt + route, Traverse + Trigger on the worker pool, serial replay,
-/// batch-end merge.
+/// batch-end merge. A thin driver over [`CttSession`] — one
+/// `execute_batch` per fixed-size chunk, then `finish`.
 fn run_batches<C: CttConsumer>(
     shards: Vec<BucketShard>,
     ops: &[Op],
@@ -1674,47 +1696,170 @@ fn run_batches<C: CttConsumer>(
     initial_digest: u64,
     consumer: &mut C,
 ) -> Result<(Art<u64>, CttStats, LoadReport), DcartError> {
-    let RunKnobs { batch_size, threads, mode, steal } = knobs;
-    let plan = config.faults;
-    let policy = SplitPolicy::resolve(config, batch_size);
-    let mut stats = CttStats { answer_digest: initial_digest, ..CttStats::default() };
-    // The leaf vector starts as one shard per bucket; splits and merges
-    // reshape it between batches. `groups` tracks each bucket's slice.
-    let mut leaves = shards;
-    let mut groups: Vec<BucketGroup> = (0..config.buckets()).map(BucketGroup::new).collect();
-    let pool_stats = PoolStats::default();
-    // Whole-run scratch, reused across batches.
-    let mut combined = CombinedBatch { buckets: Vec::new(), scanned: 0 };
-    let mut bucket_sizes: Vec<u32> = Vec::new();
-    let mut leaf_weights: Vec<u64> = Vec::new();
-    let mut shortcut_writers: FxHashMap<u64, usize> = FxHashMap::default();
-    let mut scan_scratch = ScanScratch::default();
+    let batch_size = knobs.batch_size;
+    let mut session = CttSession::from_shards(shards, config, knobs, initial_digest);
+    for batch in ops.chunks(batch_size) {
+        session.execute_batch(batch, consumer)?;
+        if consumer.abort() {
+            // The consumer can no longer make further batches durable
+            // (crash, dead log): stop here rather than execute work whose
+            // effects would be lost. Everything up to and including this
+            // batch is already reflected in the shards and stats.
+            break;
+        }
+    }
+    session.finish()
+}
 
-    for (batch_idx, batch) in ops.chunks(batch_size).enumerate() {
-        combine_batch_into(config, batch, &mut combined);
-        bucket_sizes.clear();
-        bucket_sizes.extend(combined.buckets.iter().map(|b| b.len() as u32));
+/// A resumable, incrementally-driven CTT execution: the seam the online
+/// serving layer coalesces requests onto.
+///
+/// The one-shot entry points ([`try_execute_ctt_profiled`] and friends)
+/// chunk a known op slice into fixed-size batches and drive this struct to
+/// completion. A server cannot do that — its batches materialize one at a
+/// time (flushed on size or linger deadline) and vary in size — so the
+/// session exposes the loop body directly: construct once over the
+/// recovered tree state, call [`execute_batch`](CttSession::execute_batch)
+/// per coalesced batch, snapshot [`tree`](CttSession::tree) /
+/// [`answer_digest`](CttSession::answer_digest) for checkpoints whenever
+/// convenient, and [`finish`](CttSession::finish) at drain.
+///
+/// Determinism contract: driving a session with the same sequence of
+/// batch slices produces byte-identical events, digests, and stats as the
+/// one-shot entry points fed the concatenated ops at the same batch
+/// boundaries — `run_batches` *is* this struct. (The split policy is
+/// resolved once from the construction-time `batch_size`, so a server's
+/// variable-size flushes keep a stable split schedule input.)
+pub struct CttSession {
+    config: DcartConfig,
+    policy: SplitPolicy,
+    threads: usize,
+    mode: TraverseMode,
+    steal: bool,
+    stats: CttStats,
+    /// The leaf vector starts as one shard per bucket; splits and merges
+    /// reshape it between batches. `groups` tracks each bucket's slice.
+    leaves: Vec<BucketShard>,
+    groups: Vec<BucketGroup>,
+    pool_stats: PoolStats,
+    // Whole-run scratch, reused across batches.
+    combined: CombinedBatch,
+    bucket_sizes: Vec<u32>,
+    leaf_weights: Vec<u64>,
+    shortcut_writers: FxHashMap<u64, usize>,
+    scan_scratch: ScanScratch,
+    batch_idx: usize,
+}
+
+impl CttSession {
+    /// Opens a session over an explicit tree state (`pairs`, routed by the
+    /// same combining prefixes as a bulk load), continuing the answer
+    /// digest from `initial_digest` — the serving layer's recovery seam,
+    /// mirroring [`try_execute_ctt_resumed`].
+    ///
+    /// `batch_size` is the *nominal* batch size: it only seeds the split
+    /// policy (and must be positive); actual batches are whatever slices
+    /// are passed to [`execute_batch`](CttSession::execute_batch).
+    ///
+    /// # Errors
+    ///
+    /// * [`DcartError::InvalidBatchSize`] when `batch_size == 0`;
+    /// * [`DcartError::Art`] when `pairs` violates the tree's prefix-free
+    ///   requirement.
+    pub fn from_pairs(
+        pairs: &[(Key, u64)],
+        config: &DcartConfig,
+        opts: &ExecOpts,
+        batch_size: usize,
+        initial_digest: u64,
+    ) -> Result<Self, DcartError> {
+        if batch_size == 0 {
+            return Err(DcartError::InvalidBatchSize);
+        }
+        let shards = load_shards(config, pairs.iter().map(|(k, v)| (k, *v)))?;
+        let knobs =
+            RunKnobs { batch_size, threads: opts.threads, mode: opts.mode, steal: opts.steal };
+        Ok(Self::from_shards(shards, config, knobs, initial_digest))
+    }
+
+    fn from_shards(
+        shards: Vec<BucketShard>,
+        config: &DcartConfig,
+        knobs: RunKnobs,
+        initial_digest: u64,
+    ) -> Self {
+        let RunKnobs { batch_size, threads, mode, steal } = knobs;
+        CttSession {
+            config: *config,
+            policy: SplitPolicy::resolve(config, batch_size),
+            threads,
+            mode,
+            steal,
+            stats: CttStats { answer_digest: initial_digest, ..CttStats::default() },
+            leaves: shards,
+            groups: (0..config.buckets()).map(BucketGroup::new).collect(),
+            pool_stats: PoolStats::default(),
+            combined: CombinedBatch { buckets: Vec::new(), scanned: 0 },
+            bucket_sizes: Vec::new(),
+            leaf_weights: Vec::new(),
+            shortcut_writers: FxHashMap::default(),
+            scan_scratch: ScanScratch::default(),
+            batch_idx: 0,
+        }
+    }
+
+    /// Executes one coalesced batch end to end: Combine, adapt + route,
+    /// Traverse + Trigger on the worker pool, scan resolution, serial
+    /// replay into `consumer`. The one-shot loop body, verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`DcartError::Art`] when an insert violates the tree's prefix-free
+    /// requirement (deterministically the first failure a serial sweep
+    /// would hit). An erring session holds a partially-executed batch —
+    /// discard it and rebuild from durable state; further calls are not
+    /// meaningful.
+    pub fn execute_batch<C: CttConsumer>(
+        &mut self,
+        batch: &[Op],
+        consumer: &mut C,
+    ) -> Result<(), DcartError> {
+        let batch_idx = self.batch_idx;
+        self.batch_idx += 1;
+        let config = &self.config;
+        let plan = config.faults;
+        combine_batch_into(config, batch, &mut self.combined);
+        self.bucket_sizes.clear();
+        self.bucket_sizes.extend(self.combined.buckets.iter().map(|b| b.len() as u32));
 
         // Adapt + route: split hot buckets / re-merge cooled ones (from op
         // counts alone), then deal every op into its leaf's slice.
-        adapt_and_route(&mut groups, &mut leaves, &combined, batch, config, &policy)?;
+        adapt_and_route(
+            &mut self.groups,
+            &mut self.leaves,
+            &self.combined,
+            batch,
+            config,
+            &self.policy,
+        )?;
 
         // Traverse + Trigger: the key-disjoint leaves run concurrently;
         // outcomes land in per-shard records, not in shared state. With
         // stealing on, leaves deal heaviest-first over per-worker deques
         // and idle workers steal — which moves work, never results.
-        if steal {
-            leaf_weights.clear();
-            leaf_weights.extend(leaves.iter().map(|l| l.ops.len() as u64));
+        let mode = self.mode;
+        if self.steal {
+            self.leaf_weights.clear();
+            self.leaf_weights.extend(self.leaves.iter().map(|l| l.ops.len() as u64));
             par_for_each_mut_balanced(
-                &mut leaves,
-                threads,
-                &leaf_weights,
-                Some(&pool_stats),
+                &mut self.leaves,
+                self.threads,
+                &self.leaf_weights,
+                Some(&self.pool_stats),
                 |_, shard| shard.run_batch(batch, &plan, mode),
             );
         } else {
-            par_for_each_mut(&mut leaves, threads, |_, shard| {
+            par_for_each_mut(&mut self.leaves, self.threads, |_, shard| {
                 shard.run_batch(batch, &plan, mode);
             });
         }
@@ -1724,7 +1869,7 @@ fn run_batches<C: CttConsumer>(
         // other observable) is thread-count-independent. No events are
         // emitted for the aborted batch.
         let mut first_error: Option<(u32, u32, DcartError)> = None;
-        for shard in leaves.iter_mut() {
+        for shard in self.leaves.iter_mut() {
             if let Some((pos, e)) = shard.error.take() {
                 let b = shard.bucket as u32;
                 if first_error.as_ref().is_none_or(|(p, fb, _)| (pos, b) < (*p, *fb)) {
@@ -1736,7 +1881,7 @@ fn run_batches<C: CttConsumer>(
             return Err(e);
         }
 
-        resolve_scans(&mut leaves, batch, &mut scan_scratch);
+        resolve_scans(&mut self.leaves, batch, &mut self.scan_scratch);
 
         // Serial replay: walk the records in the canonical round-robin
         // bucket order, so shared consumer-side resources (the Tree buffer
@@ -1744,11 +1889,11 @@ fn run_batches<C: CttConsumer>(
         // and the stream is identical at any worker count. A split
         // bucket's route table maps each bucket position back to the
         // sub-shard that recorded it.
-        consumer.batch_start(&BatchEvent { index: batch_idx, bucket_sizes: &bucket_sizes });
-        stats.batches += 1;
-        shortcut_writers.clear();
-        for round in 0..combined.max_bucket_len() {
-            for g in &groups {
+        consumer.batch_start(&BatchEvent { index: batch_idx, bucket_sizes: &self.bucket_sizes });
+        self.stats.batches += 1;
+        self.shortcut_writers.clear();
+        for round in 0..self.combined.max_bucket_len() {
+            for g in &self.groups {
                 let (leaf, rec_idx) = if g.subs == 1 {
                     (g.start, round)
                 } else {
@@ -1757,43 +1902,45 @@ fn run_batches<C: CttConsumer>(
                         None => continue,
                     }
                 };
-                let shard = &leaves[leaf];
+                let shard = &self.leaves[leaf];
                 let Some(record) = shard.records.get(rec_idx) else { continue };
                 let op = &batch[record.op_index as usize];
-                stats.ops += 1;
+                self.stats.ops += 1;
                 if op.kind.is_write() {
-                    stats.writes += 1;
+                    self.stats.writes += 1;
                 } else {
-                    stats.reads += 1;
+                    self.stats.reads += 1;
                 }
-                stats.per_op_locks += u64::from(record.locks);
+                self.stats.per_op_locks += u64::from(record.locks);
                 if record.generated {
                     // Cross-SOU hash-bucket collisions on the shared
                     // off-chip Shortcut_Table, counted over the canonical
                     // interleaved order. Sub-shards of one bucket share an
                     // SOU, so they never collide with each other.
                     let hb = u64::from(record.hash_bucket);
-                    if let Some(&writer) = shortcut_writers.get(&hb) {
+                    if let Some(&writer) = self.shortcut_writers.get(&hb) {
                         if writer != g.bucket {
-                            stats.shortcut_hash_collisions += 1;
+                            self.stats.shortcut_hash_collisions += 1;
                         }
                     }
-                    shortcut_writers.insert(hb, g.bucket);
+                    self.shortcut_writers.insert(hb, g.bucket);
                 }
-                stats.answer_digest = fold_digest(stats.answer_digest, record.answer);
+                self.stats.answer_digest = fold_digest(self.stats.answer_digest, record.answer);
                 let visits = &shard.visit_arena[record.visits_start as usize
                     ..(record.visits_start + record.visits_len) as usize];
                 consumer.op(&CttOpEvent {
                     batch: batch_idx,
+                    op_index: record.op_index,
                     bucket: g.bucket,
                     kind: op.kind,
                     key_id: record.key_id,
                     shortcut_hit: record.shortcut_hit,
                     visits,
                     matches: record.matches,
-                    bucket_ops: bucket_sizes[g.bucket],
+                    bucket_ops: self.bucket_sizes[g.bucket],
                     generated_shortcut: record.generated,
                     answer: record.answer,
+                    value: record.value,
                 });
             }
         }
@@ -1801,10 +1948,10 @@ fn run_batches<C: CttConsumer>(
         // Trigger_Operation: one lock per (bucket, target) group, emitted
         // in bucket order (sub-shards in sub order within their bucket)
         // and first-write order within a leaf.
-        for g in &groups {
-            for shard in &leaves[g.start..g.start + g.subs] {
+        for g in &self.groups {
+            for shard in &self.leaves[g.start..g.start + g.subs] {
                 for &(node, size) in &shard.write_targets {
-                    stats.lock_groups += 1;
+                    self.stats.lock_groups += 1;
                     consumer.lock_group(&LockGroup {
                         batch: batch_idx,
                         bucket: g.bucket,
@@ -1815,49 +1962,84 @@ fn run_batches<C: CttConsumer>(
             }
         }
         consumer.batch_end(batch_idx);
-        if consumer.abort() {
-            // The consumer can no longer make further batches durable
-            // (crash, dead log): stop here rather than execute work whose
-            // effects would be lost. Everything up to and including this
-            // batch is already reflected in the shards and stats.
-            break;
-        }
+        Ok(())
     }
 
-    let mut load = LoadReport {
-        buckets: Vec::with_capacity(groups.len()),
-        steal_events: pool_stats.steal_events(),
-        shards_stolen: pool_stats.items_stolen(),
-    };
-    for g in &groups {
-        // The Traverse counters live on the shard (the shortcut table
-        // never sees traversals); splice them into each live leaf's stats,
-        // then add what past splits/merges already retired, so the
-        // run-level sum survives the shard turnover.
-        let mut live_visited = 0u64;
-        for shard in &leaves[g.start..g.start + g.subs] {
-            let mut shard_stats = shard.shortcuts.stats();
-            shard_stats.nodes_visited = shard.nodes_visited;
-            shard_stats.ops_advanced = shard.ops_advanced;
-            stats.shortcut.accumulate(&shard_stats);
-            stats.shortcut_disables += shard.disables;
-            live_visited += shard.nodes_visited;
-        }
-        stats.shortcut.accumulate(&g.retired);
-        stats.shortcut_disables += g.retired_disables;
-        stats.shard_splits += g.splits;
-        stats.shard_merges += g.merges;
-        load.buckets.push(BucketLoad {
-            bucket: g.bucket,
-            ops: g.ops_routed,
-            nodes_visited: g.retired.nodes_visited + live_visited,
-            splits: g.splits,
-            merges: g.merges,
-            subs_at_end: g.subs,
-        });
+    /// The cumulative answer digest after every batch executed so far —
+    /// what a checkpoint written *now* must record.
+    pub fn answer_digest(&self) -> u64 {
+        self.stats.answer_digest
     }
-    let art = merge_shard_trees(&leaves)?;
-    Ok((art, stats, load))
+
+    /// Batches executed so far.
+    pub fn batches_executed(&self) -> u64 {
+        self.stats.batches
+    }
+
+    /// The running stats. Per-batch counters (ops, locks, digest) are
+    /// current; the shortcut/traverse totals folded in from live shards at
+    /// [`finish`](CttSession::finish) are *not* yet included.
+    pub fn stats_so_far(&self) -> &CttStats {
+        &self.stats
+    }
+
+    /// Merges the live shard subtrees into one logical tree *without*
+    /// ending the session — the checkpoint path: snapshot the tree, keep
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// [`DcartError::Art`] if the merged key set violates the prefix-free
+    /// invariant (cannot happen for key sets the shards accepted).
+    pub fn tree(&self) -> Result<Art<u64>, DcartError> {
+        merge_shard_trees(&self.leaves)
+    }
+
+    /// Ends the session: folds the per-shard traverse/shortcut counters
+    /// into the stats, builds the per-bucket load report, and merges the
+    /// final tree.
+    ///
+    /// # Errors
+    ///
+    /// [`DcartError::Art`] if the final merge fails (cannot happen for key
+    /// sets the shards accepted).
+    pub fn finish(self) -> Result<(Art<u64>, CttStats, LoadReport), DcartError> {
+        let CttSession { mut stats, leaves, groups, pool_stats, .. } = self;
+        let mut load = LoadReport {
+            buckets: Vec::with_capacity(groups.len()),
+            steal_events: pool_stats.steal_events(),
+            shards_stolen: pool_stats.items_stolen(),
+        };
+        for g in &groups {
+            // The Traverse counters live on the shard (the shortcut table
+            // never sees traversals); splice them into each live leaf's
+            // stats, then add what past splits/merges already retired, so
+            // the run-level sum survives the shard turnover.
+            let mut live_visited = 0u64;
+            for shard in &leaves[g.start..g.start + g.subs] {
+                let mut shard_stats = shard.shortcuts.stats();
+                shard_stats.nodes_visited = shard.nodes_visited;
+                shard_stats.ops_advanced = shard.ops_advanced;
+                stats.shortcut.accumulate(&shard_stats);
+                stats.shortcut_disables += shard.disables;
+                live_visited += shard.nodes_visited;
+            }
+            stats.shortcut.accumulate(&g.retired);
+            stats.shortcut_disables += g.retired_disables;
+            stats.shard_splits += g.splits;
+            stats.shard_merges += g.merges;
+            load.buckets.push(BucketLoad {
+                bucket: g.bucket,
+                ops: g.ops_routed,
+                nodes_visited: g.retired.nodes_visited + live_visited,
+                splits: g.splits,
+                merges: g.merges,
+                subs_at_end: g.subs,
+            });
+        }
+        let art = merge_shard_trees(&leaves)?;
+        Ok((art, stats, load))
+    }
 }
 
 #[cfg(test)]

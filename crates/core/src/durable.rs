@@ -227,8 +227,16 @@ fn encode_checkpoint(next_seq: u64, digest: u64, tree: &Art<u64>) -> Result<Vec<
 }
 
 /// Installs a checkpoint with the temp-file + atomic-rename protocol,
-/// exercising the three checkpoint crash sites.
-fn write_checkpoint(
+/// exercising the three checkpoint crash sites. Public for the serving
+/// layer, which checkpoints a live [`CttSession`](crate::CttSession)
+/// snapshot on drain and during recovery.
+///
+/// # Errors
+///
+/// I/O failures, snapshot-encoding failures, or an injected crash from
+/// `crash` at one of the three checkpoint sites (the crash site surfaces
+/// as [`WalError::InjectedCrash`]).
+pub fn write_checkpoint(
     dir: &Path,
     next_seq: u64,
     digest: u64,
@@ -268,8 +276,14 @@ fn write_checkpoint(
 }
 
 /// Loads the live checkpoint, if present:
-/// `(next_seq, cumulative digest, tree)`.
-fn read_checkpoint(dir: &Path) -> Result<Option<(u64, u64, Art<u64>)>, DcartError> {
+/// `(next_seq, cumulative digest, tree)`. Public for the serving layer's
+/// restart path.
+///
+/// # Errors
+///
+/// I/O failures other than the file being absent, or
+/// [`DcartError::Recovery`] on a malformed/corrupt checkpoint.
+pub fn read_checkpoint(dir: &Path) -> Result<Option<(u64, u64, Art<u64>)>, DcartError> {
     let path = dir.join(CHECKPOINT_FILE);
     let bytes = match fs::read(&path) {
         Ok(b) => b,

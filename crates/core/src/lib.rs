@@ -57,12 +57,15 @@ pub use ctt::{
     set_split_threshold, set_traverse_mode, set_work_stealing, sou_threads, split_threshold,
     traverse_mode, tree_digest, try_execute_ctt, try_execute_ctt_profiled, try_execute_ctt_resumed,
     try_execute_ctt_threaded, try_execute_ctt_with, work_stealing, BatchEvent, BucketLoad,
-    CttConsumer, CttOpEvent, CttStats, ExecOpts, LoadReport, LockGroup, TraverseMode,
+    CttConsumer, CttOpEvent, CttSession, CttStats, ExecOpts, LoadReport, LockGroup, TraverseMode,
     MERGE_PATIENCE, SPLIT_FANOUT,
 };
 pub use dcart_engine::{CrashInjector, CrashPlan, CrashSite, FaultPlan, RecoveryStats, WalError};
 pub use dcart_mem::PersistStats;
-pub use durable::{recover, run_durable, DurabilityConfig, DurableOutcome, RecoveredState};
+pub use durable::{
+    read_checkpoint, recover, run_durable, write_checkpoint, DurabilityConfig, DurableOutcome,
+    RecoveredState,
+};
 pub use error::DcartError;
 pub use shortcut::{ShortcutEntry, ShortcutStats, ShortcutTable, ENTRY_BYTES};
 pub use software::{DcartSoftware, SoftwareOverheads};

@@ -24,7 +24,11 @@
 //!   and durability models;
 //! * [`wal`] — a write-ahead log with length-prefixed, checksummed batch
 //!   records and torn-tail detection, the persistence substrate of the
-//!   durable executor in `crates/core`.
+//!   durable executor in `crates/core`;
+//! * [`time`] — the monotonic [`time::Clock`] trait the serving layer's
+//!   deadlines are written against ([`time::TestClock`] everywhere except
+//!   the server binary, which injects the real clock), and
+//!   [`RejectReason`] — the typed admission-control rejection vocabulary.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +43,7 @@ pub mod faults;
 mod pipeline;
 mod pool;
 mod queueing;
+pub mod time;
 pub mod wal;
 
 pub use clock::Clock;
@@ -49,5 +54,5 @@ pub use faults::{
 };
 pub use pipeline::{Pipeline, PipelineRun};
 pub use pool::{par_for_each_mut, par_for_each_mut_balanced, PoolStats};
-pub use queueing::{mdc_wait, BoundedQueue, LatencyRecorder, StealQueue};
+pub use queueing::{mdc_wait, BoundedQueue, LatencyRecorder, RejectReason, StealQueue};
 pub use wal::{WalBatch, WalError, WalScan, WalWriter};

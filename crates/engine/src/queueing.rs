@@ -218,6 +218,64 @@ pub fn mdc_wait(rate: f64, service: f64, servers: f64) -> Option<f64> {
     Some(rho * service / (2.0 * (1.0 - rho)))
 }
 
+/// Why an admission controller turned a request away. The serving layer
+/// returns these to clients verbatim (with a bounded retry hint), so the
+/// set is a wire-visible contract: variants are appended, never reordered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The admission queue was full; retry after the hinted backoff.
+    Overloaded,
+    /// The request's deadline expired (or its budget could not survive
+    /// the configured queueing delay) — executing it would only produce
+    /// an answer nobody is waiting for.
+    DeadlineExceeded,
+    /// Graceful degradation under sustained overload sheds scans first:
+    /// they are the widest operations and no client has been promised one.
+    ShedScan,
+    /// The second degradation stage sheds point reads too. Writes are
+    /// never shed once admitted — an acknowledged write is durable.
+    ShedRead,
+    /// The server is draining (SIGINT or a shutdown frame): in-flight
+    /// batches flush, new work is turned away.
+    Draining,
+}
+
+impl RejectReason {
+    /// Stable wire code (`u8`), appended-only.
+    pub fn code(self) -> u8 {
+        match self {
+            RejectReason::Overloaded => 0,
+            RejectReason::DeadlineExceeded => 1,
+            RejectReason::ShedScan => 2,
+            RejectReason::ShedRead => 3,
+            RejectReason::Draining => 4,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(RejectReason::Overloaded),
+            1 => Some(RejectReason::DeadlineExceeded),
+            2 => Some(RejectReason::ShedScan),
+            3 => Some(RejectReason::ShedRead),
+            4 => Some(RejectReason::Draining),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (report JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::Overloaded => "overloaded",
+            RejectReason::DeadlineExceeded => "deadline_exceeded",
+            RejectReason::ShedScan => "shed_scan",
+            RejectReason::ShedRead => "shed_read",
+            RejectReason::Draining => "draining",
+        }
+    }
+}
+
 /// A bounded FIFO occupancy model with overflow accounting, used to model
 /// queue-overflow backpressure: arrivals beyond the free space are rejected
 /// and must be re-offered after the queue drains, costing stall cycles.
@@ -278,6 +336,23 @@ impl BoundedQueue {
     /// Total items rejected across all offers.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Admits exactly one arrival, or reports why it cannot: the typed
+    /// single-request front door the serving layer's admission control is
+    /// built on. Equivalent to `offer(1)` with a [`RejectReason`] instead
+    /// of an overflow count.
+    pub fn admit_one(&mut self) -> Result<(), RejectReason> {
+        if self.offer(1) == 0 {
+            Ok(())
+        } else {
+            Err(RejectReason::Overloaded)
+        }
+    }
+
+    /// Capacity the queue was created with.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
     }
 }
 

@@ -1,0 +1,27 @@
+//! The one real clock in the whole workspace.
+//!
+//! Library code is written against `dcart_engine::time::Clock`; this
+//! binary (inside the xtask D2 whitelist) is the only place the trait is
+//! backed by actual time. Monotonic by construction: `Instant` never
+//! goes backwards, and the origin is process start.
+
+use std::time::Instant;
+
+use dcart_engine::time::Clock;
+
+/// Wall-clock time source for the server binary.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}

@@ -1,0 +1,267 @@
+//! `dcart-server` — the DCART online serving binary.
+//!
+//! ```text
+//! dcart-server serve  --addr HOST:PORT [--data-dir DIR] [--sou-threads N]
+//!                     [--steal] [--batch-size N] [--linger-us N]
+//!                     [--checkpoint-every N] [--queue-capacity N] [--no-sync]
+//! dcart-server bench  [--out FILE] [--seed S] [--sou-threads N] [--steal]
+//!                     [--data-dir DIR]
+//! dcart-server load   --addr HOST:PORT [--qps N] [--ops N] [--seed S]
+//!                     [--pattern uniform|bursty] [--insert-pct P]
+//!                     [--remove-pct P] [--scan-pct P] [--budget-us N]
+//!                     [--acked-log FILE]
+//! dcart-server verify-acked --addr HOST:PORT --log FILE
+//! ```
+//!
+//! `serve` runs until SIGINT or a `shutdown` wire request, then drains
+//! gracefully (stop accepting, flush, checkpoint) and exits 0. `bench`
+//! writes the overload/chaos/determinism proof to `BENCH_serve.json`.
+//! `load` drives a remote server with a seeded open-loop schedule and can
+//! log acknowledged insert keys; `verify-acked` audits that log after a
+//! crash+restart — it exits nonzero if any acknowledged write is missing.
+
+mod bench_cmd;
+mod client;
+mod clock;
+mod loadgen;
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dcart_engine::time::Clock;
+use dcart_server::wire::{Request, RequestKind};
+use dcart_server::{serve, signal, ServerConfig};
+use dcart_workloads::ArrivalPattern;
+
+use bench_cmd::BenchOpts;
+use client::{request_sync, write_acked_log};
+use clock::WallClock;
+use loadgen::LoadConfig;
+
+fn print_usage() {
+    eprintln!(
+        "usage: dcart-server <serve|bench|load|verify-acked> [options]\n\
+         serve        --addr HOST:PORT [--data-dir DIR] [--sou-threads N] [--steal]\n\
+         \x20            [--batch-size N] [--linger-us N] [--checkpoint-every N]\n\
+         \x20            [--queue-capacity N] [--no-sync]\n\
+         bench        [--out FILE] [--seed S] [--sou-threads N] [--steal] [--data-dir DIR]\n\
+         load         --addr HOST:PORT [--qps N] [--ops N] [--seed S]\n\
+         \x20            [--pattern uniform|bursty] [--insert-pct P] [--remove-pct P]\n\
+         \x20            [--scan-pct P] [--budget-us N] [--acked-log FILE]\n\
+         verify-acked --addr HOST:PORT --log FILE"
+    );
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("dcart-server: {msg}");
+    print_usage();
+    ExitCode::FAILURE
+}
+
+/// Tiny flag reader: `value_of` finds `--flag V`, `has` finds `--flag`.
+struct Flags {
+    args: Vec<String>,
+}
+
+impl Flags {
+    fn parse_u64(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.value_of(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag} wants an integer, got '{v}'")),
+        }
+    }
+
+    fn value_of(&self, flag: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+}
+
+fn cmd_serve(flags: &Flags) -> ExitCode {
+    let Some(addr) = flags.value_of("--addr") else {
+        return fail("serve needs --addr HOST:PORT");
+    };
+    let mut config = ServerConfig::default();
+    match (|| -> Result<(), String> {
+        config.threads = flags.parse_u64("--sou-threads", 1)? as usize;
+        config.steal = flags.has("--steal");
+        config.batch_size = flags.parse_u64("--batch-size", 64)?.max(1) as usize;
+        config.linger_ns = flags.parse_u64("--linger-us", 2_000)? * 1_000;
+        config.checkpoint_every = flags.parse_u64("--checkpoint-every", 64)?.max(1);
+        config.sync_commits = !flags.has("--no-sync");
+        config.admission.queue_capacity = flags.parse_u64("--queue-capacity", 1_024)?.max(1);
+        config.data_dir = flags.value_of("--data-dir").map(PathBuf::from);
+        Ok(())
+    })() {
+        Ok(()) => {}
+        Err(e) => return fail(&e),
+    }
+    signal::install_sigint_handler();
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let handle = match serve(config, addr, clock) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dcart-server: serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("dcart-server: listening on {}", handle.local_addr());
+    match handle.join() {
+        Ok(report) => {
+            println!(
+                "dcart-server: drained cleanly (answer digest {:#018x}, tree digest {:#018x})",
+                report.answer_digest, report.tree_digest
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dcart-server: core failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_bench(flags: &Flags) -> ExitCode {
+    let opts = match (|| -> Result<BenchOpts, String> {
+        Ok(BenchOpts {
+            seed: flags.parse_u64("--seed", 42)?,
+            sou_threads: flags.parse_u64("--sou-threads", 2)? as usize,
+            steal: flags.has("--steal"),
+            out: PathBuf::from(flags.value_of("--out").unwrap_or("reports/BENCH_serve.json")),
+            data_dir: PathBuf::from(
+                flags.value_of("--data-dir").unwrap_or("reports/serve_chaos_data"),
+            ),
+        })
+    })() {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    match bench_cmd::run_bench(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dcart-server: bench failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_load(flags: &Flags) -> ExitCode {
+    let Some(addr) = flags.value_of("--addr") else {
+        return fail("load needs --addr HOST:PORT");
+    };
+    let cfg = match (|| -> Result<LoadConfig, String> {
+        let mut cfg = LoadConfig {
+            seed: flags.parse_u64("--seed", 42)?,
+            qps: flags.parse_u64("--qps", 20_000)?.max(1),
+            ops: flags.parse_u64("--ops", 10_000)?,
+            budget_ns: flags.parse_u64("--budget-us", 0)? * 1_000,
+            ..LoadConfig::default()
+        };
+        cfg.insert_pct = flags.parse_u64("--insert-pct", 40)?.min(100) as u8;
+        cfg.remove_pct = flags.parse_u64("--remove-pct", 5)?.min(100) as u8;
+        cfg.scan_pct = flags.parse_u64("--scan-pct", 5)?.min(100) as u8;
+        cfg.pattern = match flags.value_of("--pattern") {
+            None | Some("uniform") => ArrivalPattern::Uniform,
+            Some("bursty") => ArrivalPattern::Bursty,
+            Some(p) => return Err(format!("unknown pattern '{p}' (want uniform or bursty)")),
+        };
+        Ok(cfg)
+    })() {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+    let (summary, acked_keys) = match loadgen::run_load(addr, &cfg, clock, Duration::from_secs(5)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dcart-server: load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(log) = flags.value_of("--acked-log") {
+        if let Err(e) = write_acked_log(std::path::Path::new(log), &acked_keys) {
+            eprintln!("dcart-server: writing acked log: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match serde_json::to_string_pretty(&summary) {
+        Ok(json) => println!("{json}"),
+        Err(e) => eprintln!("dcart-server: summary serialize: {e}"),
+    }
+    // A dead/killed server mid-load is an expected outcome for the chaos
+    // smoke: the summary still prints; exit reflects only local failures.
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify_acked(flags: &Flags) -> ExitCode {
+    let (Some(addr), Some(log)) = (flags.value_of("--addr"), flags.value_of("--log")) else {
+        return fail("verify-acked needs --addr HOST:PORT and --log FILE");
+    };
+    let text = match std::fs::read_to_string(log) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dcart-server: reading {log}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let keys: Vec<u64> = text.lines().filter_map(|l| l.trim().parse().ok()).collect();
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dcart-server: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut missing = 0u64;
+    for (i, &key) in keys.iter().enumerate() {
+        let req = Request {
+            req_id: i as u64 + 1,
+            kind: RequestKind::Get,
+            budget_ns: 10_000_000_000,
+            key,
+            value: 0,
+        };
+        match request_sync(&mut stream, &req) {
+            Some(resp) if resp.value.is_some() => {}
+            _ => {
+                missing += 1;
+                eprintln!("dcart-server: acked key {key} missing after recovery");
+            }
+        }
+    }
+    println!("dcart-server: verified {} acked writes, {missing} missing", keys.len());
+    if missing == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return fail("missing subcommand");
+    };
+    let flags = Flags { args: args[1..].to_vec() };
+    match cmd.as_str() {
+        "serve" => cmd_serve(&flags),
+        "bench" => cmd_bench(&flags),
+        "load" => cmd_load(&flags),
+        "verify-acked" => cmd_verify_acked(&flags),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown subcommand '{other}'")),
+    }
+}

@@ -1,0 +1,588 @@
+//! The coalescing core: one thread that turns queued requests into CTT
+//! batches, makes them durable, and answers every submitter.
+//!
+//! The paper's Combine stage *is* request coalescing — this loop is where
+//! the serving layer meets it. Connection threads enqueue admitted
+//! requests into a shared inbox; the core drains the inbox into a batch
+//! when either the batch-size watermark or the max-linger deadline is
+//! reached, then runs the batch through the resumable executor seam
+//! ([`CttSession`]) with the same WAL-before-acknowledge protocol the
+//! PR-4 durability layer pins:
+//!
+//! 1. append the batch record to the WAL;
+//! 2. execute the batch (collecting each op's concrete answer);
+//! 3. append + fsync the commit mark (the durability point);
+//! 4. only then send acknowledgements.
+//!
+//! A crash between 1 and 3 loses only *unacknowledged* requests — the
+//! chaos cell's invariant. Checkpoints (tree snapshot + WAL reset) run
+//! every [`ServerConfig::checkpoint_every`] batches and at drain.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use dcart::durable::{decode_ops, encode_ops, CHECKPOINT_TMP, WAL_FILE};
+use dcart::{
+    read_checkpoint, write_checkpoint, CttConsumer, CttOpEvent, CttSession, DcartConfig,
+    DcartError, ExecOpts, TraverseMode,
+};
+use dcart_art::Key;
+use dcart_engine::time::Clock;
+use dcart_engine::{wal, CrashInjector, CrashPlan, WalWriter};
+use dcart_mem::PersistStats;
+use dcart_workloads::{Op, OpKind};
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::stats::{CoreSnapshot, ServerStats};
+use crate::wire::{Request, RequestKind, Response};
+
+/// Everything the server needs to know to run.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Executor configuration (bucket count, shortcuts, split threshold,
+    /// and — for server-side chaos — the fault plan in `dcart.faults`).
+    pub dcart: DcartConfig,
+    /// SOU worker threads for the shard pool.
+    pub threads: usize,
+    /// Work stealing in the shard pool.
+    pub steal: bool,
+    /// Flush watermark: a batch executes as soon as this many requests
+    /// are queued. Also the nominal batch size seeding the split policy.
+    pub batch_size: usize,
+    /// Max linger: a non-empty inbox flushes after this long even below
+    /// the watermark, bounding the queueing delay a request can accrue.
+    pub linger_ns: u64,
+    /// Durability directory; `None` serves from memory only (acks then
+    /// mean "executed", not "durable").
+    pub data_dir: Option<PathBuf>,
+    /// Batches between checkpoints.
+    pub checkpoint_every: u64,
+    /// Fsync every commit mark.
+    pub sync_commits: bool,
+    /// Admission tunables.
+    pub admission: AdmissionConfig,
+    /// Planned durability-layer crash (chaos cell); `None` in production.
+    pub crash: Option<CrashPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            dcart: DcartConfig::default(),
+            threads: 1,
+            steal: false,
+            batch_size: 64,
+            linger_ns: 2_000_000, // 2 ms
+            data_dir: None,
+            checkpoint_every: 64,
+            sync_commits: true,
+            admission: AdmissionConfig::default(),
+            crash: None,
+        }
+    }
+}
+
+/// An admitted request waiting in the inbox.
+pub struct PendingReq {
+    /// The decoded request.
+    pub req: Request,
+    /// When the request was admitted — the linger clock starts here.
+    pub arrival_ns: u64,
+    /// Absolute deadline (clock origin), already clamped by admission.
+    pub deadline_ns: u64,
+    /// Where the answer goes (the submitting connection's writer).
+    pub resp: Sender<Response>,
+}
+
+/// State shared between connection threads and the core loop.
+pub struct ServerShared {
+    inbox: Mutex<VecDeque<PendingReq>>,
+    cond: Condvar,
+    admission: Mutex<Admission>,
+    snapshot: Mutex<CoreSnapshot>,
+    shutdown: AtomicBool,
+    dead: AtomicBool,
+    clock: Arc<dyn Clock>,
+}
+
+impl ServerShared {
+    /// Fresh shared state around `clock`.
+    pub fn new(admission: AdmissionConfig, clock: Arc<dyn Clock>) -> Arc<Self> {
+        Arc::new(ServerShared {
+            inbox: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            admission: Mutex::new(Admission::new(admission)),
+            snapshot: Mutex::new(CoreSnapshot::default()),
+            shutdown: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            clock,
+        })
+    }
+
+    /// The injected clock's current instant.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Submits one decoded request. `None` means the request was admitted
+    /// and its answer will arrive on `resp`; `Some` is an immediate
+    /// response (rejection, stats, shutdown ack, or server-dead error).
+    pub fn submit(&self, req: Request, resp: &Sender<Response>) -> Option<Response> {
+        match req.kind {
+            RequestKind::Stats => {
+                let mut r = Response::ok(req.req_id, None);
+                r.payload = self.stats().to_json();
+                return Some(r);
+            }
+            RequestKind::Shutdown => {
+                self.request_shutdown();
+                return Some(Response::ok(req.req_id, None));
+            }
+            _ => {}
+        }
+        if self.dead.load(Ordering::Acquire) {
+            return Some(Response::error(req.req_id));
+        }
+        let now = self.now_ns();
+        let deadline_ns = {
+            let mut adm = self.admission.lock().unwrap_or_else(|e| e.into_inner());
+            let deadline = now.saturating_add(adm.effective_budget_ns(req.budget_ns));
+            if let Err((reason, retry)) = adm.admit(req.kind, now, deadline) {
+                return Some(Response::rejected(req.req_id, reason, retry));
+            }
+            deadline
+        };
+        {
+            let mut inbox = self.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            inbox.push_back(PendingReq { req, arrival_ns: now, deadline_ns, resp: resp.clone() });
+        }
+        self.cond.notify_one();
+        None
+    }
+
+    /// Initiates graceful drain: admission bounces new work, the acceptor
+    /// stops, the core flushes what is queued and checkpoints.
+    pub fn request_shutdown(&self) {
+        self.admission.lock().unwrap_or_else(|e| e.into_inner()).start_drain();
+        self.shutdown.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    /// Whether drain has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Whether the core died (durability failure / injected crash): the
+    /// server can no longer make progress and answers errors.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Assembles the full stats snapshot (admission + core).
+    pub fn stats(&self) -> ServerStats {
+        let adm = self.admission.lock().unwrap_or_else(|e| e.into_inner());
+        let core = *self.snapshot.lock().unwrap_or_else(|e| e.into_inner());
+        ServerStats {
+            admission: adm.counters(),
+            queue_depth: adm.queue_depth(),
+            queue_capacity: adm.queue_capacity(),
+            scan_latch_tripped: adm.scan_latch_tripped(),
+            read_latch_tripped: adm.read_latch_tripped(),
+            draining: adm.is_draining(),
+            core,
+        }
+    }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+}
+
+/// Collects each operation's concrete answer during a batch, indexed by
+/// the op's position in the batch slice (events arrive in round-robin
+/// bucket order, not submission order).
+struct ValueCollector {
+    values: Vec<Option<u64>>,
+}
+
+impl CttConsumer for ValueCollector {
+    fn op(&mut self, ev: &CttOpEvent<'_>) {
+        if let Some(slot) = self.values.get_mut(ev.op_index as usize) {
+            *slot = ev.value;
+        }
+    }
+}
+
+/// Replay sink for recovery: events are discarded, only the session's
+/// digest matters (verified against each commit record).
+struct NoopConsumer;
+impl CttConsumer for NoopConsumer {}
+
+fn op_of(req: &Request) -> Op {
+    let kind = match req.kind {
+        RequestKind::Get => OpKind::Read,
+        RequestKind::Insert => OpKind::Insert,
+        RequestKind::Remove => OpKind::Remove,
+        RequestKind::Scan => OpKind::Scan,
+        // Stats/shutdown never reach the inbox (answered at submit).
+        RequestKind::Stats | RequestKind::Shutdown => OpKind::Read,
+    };
+    Op { kind, key: Key::from_u64(req.key), value: req.value }
+}
+
+/// The core loop's owned state: session, WAL, crash injector, counters.
+pub struct ServerCore {
+    shared: Arc<ServerShared>,
+    config: ServerConfig,
+    session: CttSession,
+    wal: Option<WalWriter>,
+    crash: CrashInjector,
+    persist: PersistStats,
+    next_seq: u64,
+    batches_since_ckpt: u64,
+    snapshot: CoreSnapshot,
+    /// First durability failure, kept for the report.
+    error: Option<DcartError>,
+}
+
+impl ServerCore {
+    /// Opens the serving state: recovers from `data_dir` when it holds a
+    /// WAL/checkpoint, otherwise seeds a fresh session from
+    /// `initial_pairs`. The recovered replay is digest-verified batch by
+    /// batch, exactly like the offline recovery path.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, corrupt durable state, or a replay digest mismatch.
+    pub fn open(
+        config: ServerConfig,
+        shared: Arc<ServerShared>,
+        initial_pairs: &[(Key, u64)],
+    ) -> Result<Self, DcartError> {
+        let opts = ExecOpts {
+            threads: config.threads,
+            mode: TraverseMode::LevelWise,
+            steal: config.steal,
+        };
+        let mut persist = PersistStats::default();
+        let mut snapshot = CoreSnapshot::default();
+        let (session, next_seq, wal) = match &config.data_dir {
+            None => {
+                let session = CttSession::from_pairs(
+                    initial_pairs,
+                    &config.dcart,
+                    &opts,
+                    config.batch_size,
+                    0,
+                )?;
+                (session, 0, None)
+            }
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                // Crash residue: a temp checkpoint never renamed is dead.
+                match std::fs::remove_file(dir.join(CHECKPOINT_TMP)) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+                let (start_seq, start_digest, pairs) = match read_checkpoint(dir)? {
+                    Some((seq, digest, tree)) => {
+                        (seq, digest, tree.iter().map(|(k, &v)| (k.clone(), v)).collect())
+                    }
+                    None => (0, 0, initial_pairs.to_vec()),
+                };
+                let mut session = CttSession::from_pairs(
+                    &pairs,
+                    &config.dcart,
+                    &opts,
+                    config.batch_size,
+                    start_digest,
+                )?;
+                let wal_path = dir.join(WAL_FILE);
+                let writer = if wal_path.exists() {
+                    let scan = wal::recover(&wal_path)?;
+                    persist.torn_bytes_truncated += scan.torn_bytes;
+                    // Batches the checkpoint already absorbed are skipped;
+                    // the rest must extend it contiguously, and each must
+                    // replay to exactly the digest its commit promised.
+                    // Unlike the offline path, server batches vary in
+                    // size, so each WAL record replays as ONE executor
+                    // batch — identical boundaries to the live run.
+                    let mut replayed = 0u64;
+                    for b in scan.batches.iter().filter(|b| b.seq >= start_seq) {
+                        if b.seq != start_seq + replayed {
+                            return Err(DcartError::Recovery(format!(
+                                "WAL batch sequence gap: expected {}, found {}",
+                                start_seq + replayed,
+                                b.seq
+                            )));
+                        }
+                        let ops = decode_ops(&b.payload)?;
+                        session.execute_batch(&ops, &mut NoopConsumer)?;
+                        if session.answer_digest() != b.digest {
+                            return Err(DcartError::Recovery(format!(
+                                "replayed batch {} produced digest {:#x}, commit promised {:#x}",
+                                b.seq,
+                                session.answer_digest(),
+                                b.digest
+                            )));
+                        }
+                        replayed += 1;
+                    }
+                    persist.replayed_batches += replayed;
+                    snapshot.replayed_batches = replayed;
+                    snapshot.batches = replayed;
+                    let writer = WalWriter::open_append(&wal_path, scan.valid_len)?;
+                    (start_seq + replayed, writer)
+                } else {
+                    (start_seq, WalWriter::create(&wal_path, config.batch_size as u32)?)
+                };
+                let (seq, writer) = writer;
+                (session, seq, Some(writer))
+            }
+        };
+        snapshot.answer_digest = session.answer_digest();
+        *shared.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = snapshot;
+        Ok(ServerCore {
+            crash: match config.crash {
+                Some(plan) => CrashInjector::for_plan(plan),
+                None => CrashInjector::counting(),
+            },
+            shared,
+            config,
+            session,
+            wal,
+            persist,
+            next_seq,
+            batches_since_ckpt: 0,
+            snapshot,
+            error: None,
+        })
+    }
+
+    /// The blocking core loop: coalesce, flush, repeat — until drain
+    /// completes or the durability layer dies. Returns the first
+    /// durability error, if any (injected crashes land here too).
+    pub fn run(&mut self) -> Option<DcartError> {
+        loop {
+            let batch = {
+                let mut inbox = self.shared.inbox.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if self.shared.is_dead() {
+                        // Dead servers still drain the inbox below so
+                        // every queued submitter gets an error, then stop.
+                        break;
+                    }
+                    let shutdown = self.shared.is_shutdown();
+                    if inbox.len() >= self.config.batch_size || (shutdown && !inbox.is_empty()) {
+                        break;
+                    }
+                    if !inbox.is_empty() {
+                        // Linger bound: flush once the oldest request has
+                        // waited `linger_ns` since admission, regardless
+                        // of its (possibly much longer) deadline budget.
+                        let oldest = inbox.front().map_or(u64::MAX, |p| p.arrival_ns);
+                        let now = self.shared.now_ns();
+                        if now >= oldest.saturating_add(self.config.linger_ns) {
+                            break;
+                        }
+                    }
+                    if shutdown && inbox.is_empty() {
+                        break;
+                    }
+                    // Fixed 1 ms poll tick: re-checks clock + flags. (A
+                    // TestClock never advances during the wait, so tests
+                    // drive flushes via watermark or `flush_now`.)
+                    let (guard, _) = self
+                        .shared
+                        .cond
+                        .wait_timeout(inbox, Duration::from_millis(1))
+                        .unwrap_or_else(|e| e.into_inner());
+                    inbox = guard;
+                }
+                let take = inbox.len().min(self.config.batch_size);
+                inbox.drain(..take).collect::<Vec<_>>()
+            };
+            if batch.is_empty() {
+                if self.shared.is_shutdown() || self.shared.is_dead() {
+                    break;
+                }
+                continue;
+            }
+            self.execute(batch);
+        }
+        // Drain complete: park a final checkpoint so restart needs no
+        // replay.
+        if !self.shared.is_dead() {
+            if let Err(e) = self.checkpoint() {
+                self.error.get_or_insert(e);
+            }
+        }
+        self.error.take()
+    }
+
+    /// Flushes up to one batch immediately, bypassing the wait loop —
+    /// the deterministic test hook.
+    pub fn flush_now(&mut self) {
+        let batch = {
+            let mut inbox = self.shared.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            let take = inbox.len().min(self.config.batch_size);
+            inbox.drain(..take).collect::<Vec<_>>()
+        };
+        if !batch.is_empty() {
+            self.execute(batch);
+        }
+    }
+
+    /// The cumulative answer digest (for tests and reports).
+    pub fn answer_digest(&self) -> u64 {
+        self.session.answer_digest()
+    }
+
+    /// Consumes the core and returns the final merged tree digest.
+    ///
+    /// # Errors
+    ///
+    /// [`DcartError::Art`] if the final shard merge fails.
+    pub fn into_tree_digest(self) -> Result<u64, DcartError> {
+        let (tree, _, _) = self.session.finish()?;
+        Ok(dcart::tree_digest(&tree))
+    }
+
+    fn execute(&mut self, batch: Vec<PendingReq>) {
+        let now = self.shared.now_ns();
+        // Expired-in-queue requests are answered without executing: their
+        // submitter stopped waiting, and running them anyway would spend
+        // capacity the deadline already wrote off.
+        let (live, expired): (Vec<_>, Vec<_>) =
+            batch.into_iter().partition(|p| p.deadline_ns > now);
+        let released = (live.len() + expired.len()) as u64;
+        for p in &expired {
+            let _ = p.resp.send(Response::rejected(
+                p.req.req_id,
+                dcart_engine::RejectReason::DeadlineExceeded,
+                0,
+            ));
+            self.snapshot.expired_in_queue += 1;
+        }
+        {
+            let mut adm = self.shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..expired.len() {
+                adm.note_expired_in_queue();
+            }
+            adm.release(released);
+        }
+        if !expired.is_empty() {
+            *self.shared.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = self.snapshot;
+        }
+        if self.shared.is_dead() {
+            for p in &live {
+                let _ = p.resp.send(Response::error(p.req.req_id));
+            }
+            return;
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        let ops: Vec<Op> = live.iter().map(|p| op_of(&p.req)).collect();
+
+        // 1. WAL the batch before any effect becomes visible.
+        if let Some(writer) = &mut self.wal {
+            let payload = encode_ops(&ops);
+            self.persist.payload_bytes += payload.len() as u64;
+            let before = writer.len();
+            if let Err(e) = writer.append_batch(self.next_seq, &payload, &mut self.crash) {
+                return self.die(&live, e.into());
+            }
+            self.persist.wal_bytes += writer.len() - before;
+            self.persist.wal_batches += 1;
+        }
+
+        // 2. Execute, collecting each op's concrete answer.
+        let mut collector = ValueCollector { values: vec![None; ops.len()] };
+        if let Err(e) = self.session.execute_batch(&ops, &mut collector) {
+            // With fixed-width wire keys this cannot be a prefix
+            // violation; anything here means the session is torn.
+            return self.die(&live, e);
+        }
+
+        // 3. Commit mark + fsync: the durability point. An injected crash
+        // here is the chaos cell's kill — the batch was executed but
+        // never acknowledged, and recovery must not surface it.
+        if let Some(writer) = &mut self.wal {
+            let before = writer.len();
+            if let Err(e) = writer.commit(
+                self.next_seq,
+                self.session.answer_digest(),
+                ops.len() as u32,
+                self.config.sync_commits,
+                &mut self.crash,
+            ) {
+                return self.die(&live, e.into());
+            }
+            self.persist.wal_bytes += writer.len() - before;
+            self.persist.wal_commits += 1;
+        }
+
+        // 4. Acknowledge.
+        for (p, value) in live.iter().zip(&collector.values) {
+            let _ = p.resp.send(Response::ok(p.req.req_id, *value));
+            if p.req.kind.is_write() {
+                self.snapshot.acked_writes += 1;
+            }
+        }
+        self.next_seq += 1;
+        self.batches_since_ckpt += 1;
+        self.snapshot.batches += 1;
+        self.snapshot.ops += ops.len() as u64;
+        self.snapshot.answer_digest = self.session.answer_digest();
+        self.snapshot.persist = self.persist;
+        *self.shared.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = self.snapshot;
+
+        if self.wal.is_some() && self.batches_since_ckpt >= self.config.checkpoint_every {
+            if let Err(e) = self.checkpoint() {
+                self.error.get_or_insert(e);
+                self.shared.mark_dead();
+            }
+        }
+    }
+
+    /// Snapshot the merged tree, install it atomically, reset the WAL.
+    fn checkpoint(&mut self) -> Result<(), DcartError> {
+        let Some(dir) = self.config.data_dir.clone() else { return Ok(()) };
+        let tree = self.session.tree()?;
+        write_checkpoint(
+            &dir,
+            self.next_seq,
+            self.session.answer_digest(),
+            &tree,
+            &mut self.crash,
+            &mut self.persist,
+        )?;
+        if let Some(writer) = &mut self.wal {
+            writer.reset()?;
+        }
+        self.batches_since_ckpt = 0;
+        self.snapshot.persist = self.persist;
+        *self.shared.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = self.snapshot;
+        Ok(())
+    }
+
+    /// Durability failed mid-batch: answer errors (the batch was never
+    /// acknowledged, so clients know its outcome is void), latch the
+    /// error, and mark the server dead.
+    fn die(&mut self, batch: &[PendingReq], e: DcartError) {
+        for p in batch {
+            let _ = p.resp.send(Response::error(p.req.req_id));
+        }
+        self.error.get_or_insert(e);
+        self.shared.mark_dead();
+    }
+}

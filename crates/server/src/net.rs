@@ -1,0 +1,230 @@
+//! The TCP front end: a polling acceptor feeding thread-per-connection
+//! readers, all funneling into the single coalescing core loop.
+//!
+//! Per connection there are two threads: a *reader* that deframes,
+//! decodes, and submits requests, and a *writer* that owns the socket's
+//! write half and serializes every response for that connection — both
+//! immediate answers (rejections, stats) and core acknowledgements
+//! arrive through one mpsc channel, so response frames never interleave.
+//!
+//! Nothing here blocks indefinitely: the acceptor is non-blocking with a
+//! poll tick, and connection reads carry a timeout, so SIGINT or a
+//! `shutdown` wire request drains the whole stack promptly.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dcart::DcartError;
+use dcart_art::Key;
+use dcart_engine::time::Clock;
+
+use crate::core_loop::{ServerConfig, ServerCore, ServerShared};
+use crate::signal;
+use crate::wire::{decode_request, read_frame, write_frame, WireError};
+
+/// Poll tick for the non-blocking acceptor and idle connection reads.
+const POLL: Duration = Duration::from_millis(25);
+
+/// What the core loop produced by the time it drained.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreReport {
+    /// Cumulative answer digest over every executed batch.
+    pub answer_digest: u64,
+    /// Digest of the final merged tree.
+    pub tree_digest: u64,
+}
+
+/// A running server: the bound address plus handles to join at drain.
+pub struct ServeHandle {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    core: JoinHandle<Result<CoreReport, DcartError>>,
+}
+
+impl ServeHandle {
+    /// The address the listener actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (stats, shutdown flag).
+    pub fn shared(&self) -> &Arc<ServerShared> {
+        &self.shared
+    }
+
+    /// Requests graceful drain and blocks until the acceptor and core
+    /// have exited, returning the core's final report.
+    ///
+    /// # Errors
+    ///
+    /// The first durability error the core hit (an injected crash
+    /// surfaces here), or [`DcartError::Recovery`] if a worker panicked.
+    pub fn shutdown_and_join(self) -> Result<CoreReport, DcartError> {
+        self.shared.request_shutdown();
+        self.join()
+    }
+
+    /// Blocks until the server drains on its own (SIGINT or a `shutdown`
+    /// wire request), returning the core's final report.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::shutdown_and_join`].
+    pub fn join(self) -> Result<CoreReport, DcartError> {
+        let _ = self.acceptor.join();
+        match self.core.join() {
+            Ok(report) => report,
+            Err(_) => Err(DcartError::Recovery("server core panicked".to_string())),
+        }
+    }
+}
+
+/// Binds `addr`, opens (or recovers) the serving state, and starts the
+/// acceptor and core threads. Returns once the server is ready to accept
+/// connections. `clock` is the deadline time source — the real wall
+/// clock only in the binary (D2 whitelist); tests inject a `TestClock`.
+///
+/// # Errors
+///
+/// Bind/listen failures, or any recovery error from the durable state in
+/// `config.data_dir`.
+pub fn serve(
+    config: ServerConfig,
+    addr: &str,
+    clock: Arc<dyn Clock>,
+) -> Result<ServeHandle, DcartError> {
+    serve_seeded(config, addr, clock, &[])
+}
+
+/// [`serve`], but with initial tree contents for a fresh (non-recovered)
+/// server — the deterministic-test and bench entry point.
+///
+/// # Errors
+///
+/// Same conditions as [`serve`].
+pub fn serve_seeded(
+    config: ServerConfig,
+    addr: &str,
+    clock: Arc<dyn Clock>,
+    initial_pairs: &[(Key, u64)],
+) -> Result<ServeHandle, DcartError> {
+    let shared = ServerShared::new(config.admission, clock);
+    let mut core = ServerCore::open(config, Arc::clone(&shared), initial_pairs)?;
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+
+    let core_shared = Arc::clone(&shared);
+    let core_thread = std::thread::spawn(move || {
+        let err = core.run();
+        // Dead or drained either way; make sure waiters wake.
+        core_shared.request_shutdown();
+        match err {
+            Some(e) => Err(e),
+            None => {
+                let answer_digest = core.answer_digest();
+                let tree_digest = core.into_tree_digest()?;
+                Ok(CoreReport { answer_digest, tree_digest })
+            }
+        }
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let acceptor = std::thread::spawn(move || {
+        accept_loop(&listener, &accept_shared);
+    });
+
+    Ok(ServeHandle { shared, addr: bound, acceptor, core: core_thread })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        if signal::sigint_received() {
+            shared.request_shutdown();
+        }
+        if shared.is_shutdown() || shared.is_dead() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    // A failed spawn-side setup just drops the stream;
+                    // the client sees a clean close.
+                    let _ = handle_conn(stream, &conn_shared);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. aborted handshake): keep
+                // serving other connections.
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<ServerShared>) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL))?;
+    let mut write_half = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel();
+
+    // Writer: sole owner of the socket's write half; exits when every
+    // Sender (this reader + any PendingReq the core still holds) is gone.
+    let writer = std::thread::spawn(move || {
+        let mut sink_broken = false;
+        while let Ok(resp) = rx.recv() {
+            if sink_broken {
+                continue; // peer gone: keep draining so senders never block
+            }
+            if write_frame(&mut write_half, &crate::wire::encode_response(&resp)).is_err() {
+                sink_broken = true;
+            }
+        }
+    });
+
+    let mut read_half = stream;
+    let result = reader_loop(&mut read_half, shared, &tx);
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+fn reader_loop(
+    stream: &mut TcpStream,
+    shared: &Arc<ServerShared>,
+    tx: &mpsc::Sender<crate::wire::Response>,
+) -> Result<(), WireError> {
+    loop {
+        let body = match read_frame(stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(()), // clean EOF at a frame boundary
+            Err(WireError::Io(kind))
+                if kind == ErrorKind::WouldBlock || kind == ErrorKind::TimedOut =>
+            {
+                // Idle tick: nothing was consumed, framing is intact.
+                if shared.is_shutdown() || shared.is_dead() {
+                    return Ok(());
+                }
+                continue;
+            }
+            // Corrupt or truncated input: close this connection. The
+            // error is typed all the way here — no panic on hostile bytes.
+            Err(e) => return Err(e),
+        };
+        let req = decode_request(&body)?;
+        if let Some(immediate) = shared.submit(req, tx) {
+            if tx.send(immediate).is_err() {
+                return Ok(()); // writer gone, peer closed
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Observability: the stats snapshot served by the `stats` wire request
+//! and embedded in `BENCH_serve.json` — queue depth, shed counts, latch
+//! state, and storage traffic, so overload behavior is observable rather
+//! than inferred from latency curves.
+
+use dcart_mem::PersistStats;
+use serde::Serialize;
+
+use crate::admission::AdmissionCounters;
+
+/// What the core loop has durably done so far (updated once per flush,
+/// read by connection threads under a mutex).
+#[derive(Clone, Copy, Default, Debug, Serialize)]
+pub struct CoreSnapshot {
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Operations executed (accepted requests that reached the executor).
+    pub ops: u64,
+    /// Writes acknowledged (durable in WAL-backed mode).
+    pub acked_writes: u64,
+    /// Cumulative answer digest — the value a checkpoint written now
+    /// would record, and the cross-check for the determinism test.
+    pub answer_digest: u64,
+    /// Requests that expired waiting in the queue (admitted, never
+    /// executed; answered `DeadlineExceeded`).
+    pub expired_in_queue: u64,
+    /// Batches replayed from the WAL at startup.
+    pub replayed_batches: u64,
+    /// Storage-traffic accounting (WAL bytes, checkpoints, torn tails).
+    pub persist: PersistStats,
+}
+
+/// The full stats answer: admission-side counters plus the core snapshot.
+#[derive(Clone, Copy, Default, Debug, Serialize)]
+pub struct ServerStats {
+    /// Admission counters (accepted/rejected by reason).
+    pub admission: AdmissionCounters,
+    /// Requests currently queued or in flight.
+    pub queue_depth: u64,
+    /// Queue capacity.
+    pub queue_capacity: u64,
+    /// Whether the scan-shedding latch has tripped.
+    pub scan_latch_tripped: bool,
+    /// Whether the read-shedding latch has tripped.
+    pub read_latch_tripped: bool,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Core-loop snapshot.
+    pub core: CoreSnapshot,
+}
+
+impl ServerStats {
+    /// Serializes the snapshot as the `stats` response payload.
+    pub fn to_json(&self) -> Vec<u8> {
+        // A Serialize derive over plain integers/bools cannot fail.
+        serde_json::to_string(self).map(String::into_bytes).unwrap_or_default()
+    }
+}

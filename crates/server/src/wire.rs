@@ -1,0 +1,472 @@
+//! The `DCARTNET` wire protocol: length-prefixed, checksummed binary
+//! frames over a byte stream.
+//!
+//! # Frame layout
+//!
+//! Every frame — request or response — is:
+//!
+//! ```text
+//! magic    8 bytes   b"DCARTNET"
+//! len      u32 LE    body length in bytes (capped at MAX_BODY)
+//! body     len bytes
+//! crc64    u64 LE    wal::checksum over body
+//! ```
+//!
+//! Request body (fixed width):
+//!
+//! ```text
+//! req_id      u64 LE   caller-chosen correlation id, echoed in the response
+//! kind        u8       0 get · 1 insert · 2 remove · 3 scan · 4 stats · 5 shutdown
+//! budget_ns   u64 LE   deadline budget from arrival (0 = server default)
+//! key         8 bytes  big-endian u64 key (fixed width — see below)
+//! value       u64 LE   insert value / scan limit; 0 otherwise
+//! ```
+//!
+//! Response body:
+//!
+//! ```text
+//! req_id          u64 LE
+//! status          u8      0 ok · 1 rejected · 2 error
+//! reject_code     u8      RejectReason::code when rejected, 0xFF otherwise
+//! retry_after_ns  u64 LE  bounded retry hint (0 = don't retry)
+//! value_present   u8      1 when `value` is meaningful
+//! value           u64 LE  read result / displaced value / scan count
+//! payload_len     u32 LE  trailing payload (stats JSON); 0 for ops
+//! payload         bytes
+//! ```
+//!
+//! # Why keys are fixed-width
+//!
+//! The executor's tree requires a *prefix-free* key set, and a violating
+//! insert aborts the whole in-flight batch — unacceptable when the
+//! violator is one misbehaving client among many. Equal-length keys are
+//! prefix-free by construction, so the protocol pins `KEY_WIDTH` and the
+//! decoder rejects anything else before it can reach the executor.
+//!
+//! Corruption anywhere (bad magic, truncated frame, flipped bit, absurd
+//! length) is a typed [`WireError`], never a panic — pinned by the
+//! proptest corruption suite.
+
+use std::io::{self, Read, Write};
+
+use dcart_engine::{wal, RejectReason};
+
+/// Magic bytes opening every DCARTNET frame (the protocol's only on-wire
+/// magic; rule F1 pins its definition to this module).
+pub const NET_MAGIC: [u8; 8] = *b"DCARTNET";
+
+/// Fixed key width: 8-byte big-endian u64 keys, the synthetic workloads'
+/// encoding. Equal widths keep the key set prefix-free (see module docs).
+pub const KEY_WIDTH: usize = 8;
+
+/// Upper bound on a frame body; anything larger is corruption, not data
+/// (requests are 34 bytes; stats payloads are small JSON).
+pub const MAX_BODY: usize = 1 << 20;
+
+const REQ_BODY: usize = 8 + 1 + 8 + KEY_WIDTH + 8;
+const RESP_FIXED: usize = 8 + 1 + 1 + 8 + 1 + 8 + 4;
+
+/// What a request asks the server to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RequestKind {
+    /// Point read of `key`.
+    Get,
+    /// Insert/overwrite `key` with `value` (acknowledged only after the
+    /// batch is durable in WAL-backed mode).
+    Insert,
+    /// Remove `key`.
+    Remove,
+    /// Range scan: up to `value` items starting at `key`.
+    Scan,
+    /// Server/stats snapshot (answered outside the batch path).
+    Stats,
+    /// Graceful drain: stop accepting, flush, checkpoint, exit.
+    Shutdown,
+}
+
+impl RequestKind {
+    /// The wire byte for this kind.
+    pub fn code(self) -> u8 {
+        match self {
+            RequestKind::Get => 0,
+            RequestKind::Insert => 1,
+            RequestKind::Remove => 2,
+            RequestKind::Scan => 3,
+            RequestKind::Stats => 4,
+            RequestKind::Shutdown => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(RequestKind::Get),
+            1 => Some(RequestKind::Insert),
+            2 => Some(RequestKind::Remove),
+            3 => Some(RequestKind::Scan),
+            4 => Some(RequestKind::Stats),
+            5 => Some(RequestKind::Shutdown),
+            _ => None,
+        }
+    }
+
+    /// Whether this request mutates the tree (and therefore must be
+    /// durable before acknowledgement, and is never shed).
+    pub fn is_write(self) -> bool {
+        matches!(self, RequestKind::Insert | RequestKind::Remove)
+    }
+}
+
+/// A decoded request frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed back verbatim.
+    pub req_id: u64,
+    /// Operation.
+    pub kind: RequestKind,
+    /// Deadline budget in nanoseconds from server-side arrival
+    /// (0 = use the server's default budget).
+    pub budget_ns: u64,
+    /// The key, as a u64 (encoded big-endian on the wire).
+    pub key: u64,
+    /// Insert value or scan limit.
+    pub value: u64,
+}
+
+/// Response status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Executed; `value` carries the result.
+    Ok,
+    /// Admission control rejected the request; `reject` says why.
+    Rejected,
+    /// Server-side failure (I/O, recovery) — request outcome unknown.
+    Error,
+}
+
+/// A decoded response frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// Echo of the request's correlation id.
+    pub req_id: u64,
+    /// Outcome class.
+    pub status: Status,
+    /// Rejection reason when `status == Rejected`.
+    pub reject: Option<RejectReason>,
+    /// Bounded retry hint: retry after this many nanoseconds (0 = the
+    /// server advises not to retry — e.g. draining).
+    pub retry_after_ns: u64,
+    /// The operation's result: read value, displaced value, scan count.
+    pub value: Option<u64>,
+    /// Stats JSON for stats requests; empty for ops.
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// An `Ok` response carrying an operation result.
+    pub fn ok(req_id: u64, value: Option<u64>) -> Self {
+        Response {
+            req_id,
+            status: Status::Ok,
+            reject: None,
+            retry_after_ns: 0,
+            value,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A rejection with a bounded retry hint.
+    pub fn rejected(req_id: u64, reason: RejectReason, retry_after_ns: u64) -> Self {
+        Response {
+            req_id,
+            status: Status::Rejected,
+            reject: Some(reason),
+            retry_after_ns,
+            value: None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A server-side error (outcome unknown to the client).
+    pub fn error(req_id: u64) -> Self {
+        Response {
+            req_id,
+            status: Status::Error,
+            reject: None,
+            retry_after_ns: 0,
+            value: None,
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// Every way a frame can fail to parse. Corrupt input must land here —
+/// never in a panic — because the peer is untrusted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The 8 magic bytes were wrong.
+    BadMagic,
+    /// The stream ended inside a frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_BODY`].
+    FrameTooLarge(u32),
+    /// The crc64 over the body did not match.
+    ChecksumMismatch,
+    /// Body shorter/longer than its layout demands.
+    BadLength,
+    /// Unknown request-kind byte.
+    UnknownKind(u8),
+    /// Unknown status byte.
+    UnknownStatus(u8),
+    /// `status == Rejected` but the reject code is not a known reason.
+    UnknownReject(u8),
+    /// Underlying transport failure.
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "frame does not start with DCARTNET"),
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::FrameTooLarge(n) => write!(f, "frame body of {n} bytes exceeds the cap"),
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WireError::BadLength => write!(f, "frame body length does not match its layout"),
+            WireError::UnknownKind(c) => write!(f, "unknown request kind {c}"),
+            WireError::UnknownStatus(c) => write!(f, "unknown response status {c}"),
+            WireError::UnknownReject(c) => write!(f, "unknown rejection code {c}"),
+            WireError::Io(k) => write!(f, "transport error: {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.kind())
+        }
+    }
+}
+
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + body.len() + 8);
+    out.extend_from_slice(&NET_MAGIC);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&wal::checksum(body).to_le_bytes());
+    out
+}
+
+/// Encodes a request as one wire frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut body = Vec::with_capacity(REQ_BODY);
+    body.extend_from_slice(&req.req_id.to_le_bytes());
+    body.push(req.kind.code());
+    body.extend_from_slice(&req.budget_ns.to_le_bytes());
+    body.extend_from_slice(&req.key.to_be_bytes());
+    body.extend_from_slice(&req.value.to_le_bytes());
+    frame(&body)
+}
+
+/// Encodes a response as one wire frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = Vec::with_capacity(RESP_FIXED + resp.payload.len());
+    body.extend_from_slice(&resp.req_id.to_le_bytes());
+    body.push(match resp.status {
+        Status::Ok => 0,
+        Status::Rejected => 1,
+        Status::Error => 2,
+    });
+    body.push(resp.reject.map_or(0xFF, RejectReason::code));
+    body.extend_from_slice(&resp.retry_after_ns.to_le_bytes());
+    body.push(u8::from(resp.value.is_some()));
+    body.extend_from_slice(&resp.value.unwrap_or(0).to_le_bytes());
+    body.extend_from_slice(&(resp.payload.len() as u32).to_le_bytes());
+    body.extend_from_slice(&resp.payload);
+    frame(&body)
+}
+
+fn le_u64(b: &[u8], off: usize) -> Result<u64, WireError> {
+    b.get(off..off + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or(WireError::BadLength)
+}
+
+/// Decodes a request body (the de-framed bytes).
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    if body.len() != REQ_BODY {
+        return Err(WireError::BadLength);
+    }
+    let req_id = le_u64(body, 0)?;
+    let kind = RequestKind::from_code(body[8]).ok_or(WireError::UnknownKind(body[8]))?;
+    let budget_ns = le_u64(body, 9)?;
+    let key = body
+        .get(17..17 + KEY_WIDTH)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_be_bytes)
+        .ok_or(WireError::BadLength)?;
+    let value = le_u64(body, 17 + KEY_WIDTH)?;
+    Ok(Request { req_id, kind, budget_ns, key, value })
+}
+
+/// Decodes a response body (the de-framed bytes).
+pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
+    if body.len() < RESP_FIXED {
+        return Err(WireError::BadLength);
+    }
+    let req_id = le_u64(body, 0)?;
+    let status = match body[8] {
+        0 => Status::Ok,
+        1 => Status::Rejected,
+        2 => Status::Error,
+        c => return Err(WireError::UnknownStatus(c)),
+    };
+    let reject = match (status, body[9]) {
+        (Status::Rejected, c) => {
+            Some(RejectReason::from_code(c).ok_or(WireError::UnknownReject(c))?)
+        }
+        _ => None,
+    };
+    let retry_after_ns = le_u64(body, 10)?;
+    let value = match body[18] {
+        0 => None,
+        _ => Some(le_u64(body, 19)?),
+    };
+    let payload_len = body
+        .get(27..31)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or(WireError::BadLength)? as usize;
+    let payload = body.get(RESP_FIXED..).ok_or(WireError::BadLength)?;
+    if payload.len() != payload_len {
+        return Err(WireError::BadLength);
+    }
+    Ok(Response { req_id, status, reject, retry_after_ns, value, payload: payload.to_vec() })
+}
+
+/// Reads one de-framed body from a byte stream, verifying magic, length
+/// cap, and checksum. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between frames).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
+    let mut magic = [0u8; 8];
+    // A clean EOF before any magic byte is a closed connection, not an
+    // error; EOF after the first byte is a torn frame.
+    let mut filled = 0usize;
+    while filled < magic.len() {
+        match r.read(&mut magic[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if magic != NET_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4);
+    if len as usize > MAX_BODY {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut crc8 = [0u8; 8];
+    r.read_exact(&mut crc8)?;
+    if wal::checksum(&body) != u64::from_le_bytes(crc8) {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(Some(body))
+}
+
+/// Writes pre-encoded frame bytes to a stream.
+pub fn write_frame<W: Write>(w: &mut W, bytes: &[u8]) -> Result<(), WireError> {
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            req_id: 0xDEAD_BEEF,
+            kind: RequestKind::Insert,
+            budget_ns: 5_000_000,
+            key: 42,
+            value: 7,
+        };
+        let framed = encode_request(&req);
+        let body = read_frame(&mut framed.as_slice()).expect("valid frame").expect("not EOF");
+        assert_eq!(decode_request(&body).expect("decodes"), req);
+    }
+
+    #[test]
+    fn response_roundtrip_with_payload() {
+        let resp = Response {
+            req_id: 9,
+            status: Status::Ok,
+            reject: None,
+            retry_after_ns: 0,
+            value: Some(123),
+            payload: br#"{"queue_depth":3}"#.to_vec(),
+        };
+        let framed = encode_response(&resp);
+        let body = read_frame(&mut framed.as_slice()).expect("valid frame").expect("not EOF");
+        assert_eq!(decode_response(&body).expect("decodes"), resp);
+    }
+
+    #[test]
+    fn rejection_roundtrip() {
+        let resp = Response::rejected(4, RejectReason::ShedScan, 1_000_000);
+        let framed = encode_response(&resp);
+        let body = read_frame(&mut framed.as_slice()).expect("valid frame").expect("not EOF");
+        let back = decode_response(&body).expect("decodes");
+        assert_eq!(back.reject, Some(RejectReason::ShedScan));
+        assert_eq!(back.retry_after_ns, 1_000_000);
+    }
+
+    #[test]
+    fn clean_eof_is_none_torn_frame_is_truncated() {
+        assert_eq!(read_frame(&mut [].as_slice()).expect("clean EOF"), None);
+        let framed = encode_request(&Request {
+            req_id: 1,
+            kind: RequestKind::Get,
+            budget_ns: 0,
+            key: 1,
+            value: 0,
+        });
+        let torn = &framed[..framed.len() - 3];
+        assert_eq!(read_frame(&mut &torn[..]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn flipped_bit_is_checksum_mismatch() {
+        let mut framed = encode_request(&Request {
+            req_id: 1,
+            kind: RequestKind::Get,
+            budget_ns: 0,
+            key: 1,
+            value: 0,
+        });
+        let mid = 8 + 4 + 2; // inside the body
+        framed[mid] ^= 0x40;
+        assert_eq!(read_frame(&mut framed.as_slice()), Err(WireError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&NET_MAGIC);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(read_frame(&mut bytes.as_slice()), Err(WireError::FrameTooLarge(u32::MAX)));
+    }
+}

@@ -15,6 +15,7 @@
 // explicit, justified `allow`. Test code (cfg(test)) is exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
+pub mod arrivals;
 pub mod dict;
 pub mod email;
 pub mod ipgeo;
@@ -25,6 +26,7 @@ pub mod synth;
 mod trace_io;
 mod zipf;
 
+pub use arrivals::{ArrivalPattern, Arrivals};
 pub use keyset::KeySet;
 pub use ops::{batches, generate_ops, Mix, Op, OpKind, OpStreamConfig};
 pub use spec::Workload;

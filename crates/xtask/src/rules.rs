@@ -51,8 +51,8 @@ pub const RULE_IDS: [&str; 5] = ["D1", "D2", "P1", "F1", "O1"];
 /// no-print rule (O1). `bench` and `xtask` are the human-facing harness
 /// surface: printing tables is their job and a panic is their
 /// error-reporting strategy of last resort.
-pub const LIB_CRATES: [&str; 7] =
-    ["art", "mem", "engine", "core", "baselines", "indexes", "workloads"];
+pub const LIB_CRATES: [&str; 8] =
+    ["art", "mem", "engine", "core", "baselines", "indexes", "workloads", "server"];
 
 /// The only files where the `unsafe` keyword is permitted: the reviewed
 /// `std::arch` SIMD kernel module. Everything else in the workspace is
@@ -63,23 +63,25 @@ pub const LIB_CRATES: [&str; 7] =
 /// is a reviewed change to this table — the P1 check below deliberately
 /// ignores `dcart_lint::allow` markers and `#[cfg(test)]` regions for the
 /// `unsafe` token.
-pub const UNSAFE_SANCTIONED: [&str; 1] = ["crates/art/src/simd.rs"];
+pub const UNSAFE_SANCTIONED: [&str; 2] = ["crates/art/src/simd.rs", "crates/server/src/signal.rs"];
 
 /// Files (path prefixes) where wall-clock and environment reads are the
 /// point: the bench timing harness and the CLI front-ends.
-pub const D2_WHITELIST: [&str; 4] = [
+pub const D2_WHITELIST: [&str; 5] = [
     "crates/bench/src/perf.rs",
     "crates/bench/src/parallel.rs",
     "crates/bench/src/bin/",
+    "crates/server/src/bin/",
     "crates/xtask/src/",
 ];
 
 /// Single source of truth for each on-disk format magic: the literal may
 /// appear (outside tests) only in its defining module.
-pub const F1_MAGICS: [(&str, &str); 3] = [
+pub const F1_MAGICS: [(&str, &str); 4] = [
     ("DCARTWAL", "crates/engine/src/wal.rs"),
     ("DCARTCKP", "crates/core/src/durable.rs"),
     ("DCARTSNP", "crates/art/src/serde_impl.rs"),
+    ("DCARTNET", "crates/server/src/wire.rs"),
 ];
 
 /// Paths never scanned for F1 (the lint's own rule tables name the magics).
@@ -317,6 +319,13 @@ pub fn p1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
             }
         }
     }
+    // Binary front-ends under `src/bin/` are the human-facing CLI surface
+    // of a LIB_CRATES member: panics and prints are their error-reporting
+    // strategy, exactly like the `bench` crate's binaries. The unsafe
+    // confinement above still applies to them.
+    if ctx.path.contains("/src/bin/") {
+        return;
+    }
     for (i, l) in ctx.lines.iter().enumerate() {
         for col in ident_cols(&l.code, "unwrap") {
             let end = col - 1 + "unwrap".len();
@@ -426,6 +435,10 @@ pub fn f1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 /// writers; a stray `println!` bypasses both and corrupts piped reports.
 pub fn o1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     if !LIB_CRATES.contains(&ctx.crate_name()) {
+        return;
+    }
+    // Binaries print; that is their job (same carve-out as P1).
+    if ctx.path.contains("/src/bin/") {
         return;
     }
     for (i, l) in ctx.lines.iter().enumerate() {

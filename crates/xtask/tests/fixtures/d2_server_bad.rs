@@ -1,0 +1,11 @@
+// Fixture: D2 must fire on wall-clock reads in the *server library* —
+// deadlines there are written against the injected `time::Clock` trait,
+// and a stray real-clock read would silently break every TestClock test.
+use std::time::Instant;
+
+pub fn deadline_from_real_clock(budget_ns: u64) -> u64 {
+    let now = Instant::now();
+    let epoch = std::time::SystemTime::now();
+    let _ = epoch;
+    now.elapsed().as_nanos() as u64 + budget_ns
+}

@@ -1,0 +1,9 @@
+// Fixture: the identical wall-clock reads are sanctioned in the server
+// *binary* (`crates/server/src/bin/`), the one place the real clock is
+// injected — the rules_fire suite lints this file at that path.
+use std::time::Instant;
+
+pub fn wall_clock_origin() -> u64 {
+    let origin = Instant::now();
+    origin.elapsed().as_nanos() as u64
+}

@@ -116,3 +116,31 @@ fn per_rule_allow_markers_silence_bad_fixtures() {
         assert!(!rules.contains(rule), "allow_file({rule}) did not silence {fixture}");
     }
 }
+
+#[test]
+fn d2_fires_in_the_server_library_but_not_its_binary() {
+    // The serving layer's whole determinism story rests on this scoping:
+    // wall-clock reads are banned in `crates/server/src/` (deadlines go
+    // through the injected `time::Clock`) and sanctioned only under
+    // `crates/server/src/bin/`, where the real clock is constructed.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let bad = std::fs::read_to_string(dir.join("d2_server_bad.rs")).expect("fixture readable");
+    let good = std::fs::read_to_string(dir.join("d2_server_good.rs")).expect("fixture readable");
+
+    let in_lib: BTreeSet<&str> = xtask::lint_source("crates/server/src/core_loop.rs", &bad)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect();
+    assert!(in_lib.contains("D2"), "wall-clock reads in the server library must fire D2");
+
+    let in_bin = xtask::lint_source("crates/server/src/bin/dcart-server/clock.rs", &good);
+    assert!(in_bin.is_empty(), "the server binary is D2-whitelisted: {in_bin:?}");
+
+    // And the whitelist is exactly the bin directory: the same good
+    // fixture still fires when placed one level up, in the library.
+    let good_in_lib: BTreeSet<&str> = xtask::lint_source("crates/server/src/clock.rs", &good)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect();
+    assert!(good_in_lib.contains("D2"), "only src/bin is whitelisted, not the server lib");
+}
