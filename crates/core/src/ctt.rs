@@ -113,11 +113,13 @@ static SOU_THREADS: AtomicUsize = AtomicUsize::new(1);
 /// changes. Tests that need a specific count without racing on the global
 /// should call [`execute_ctt_threaded`] instead.
 pub fn set_sou_threads(n: usize) {
+    // dcart_lint::atomic(config knob set before workers spawn; read once per execution)
     SOU_THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
 /// The current SOU worker-thread count.
 pub fn sou_threads() -> usize {
+    // dcart_lint::atomic(config knob; any torn-free read is fine, result is thread-count independent)
     SOU_THREADS.load(Ordering::Relaxed)
 }
 
@@ -149,11 +151,13 @@ static TRAVERSE_MODE: AtomicUsize = AtomicUsize::new(0);
 /// specific mode without racing on the global should call
 /// [`execute_ctt_with`] instead.
 pub fn set_traverse_mode(mode: TraverseMode) {
+    // dcart_lint::atomic(config knob; both modes are byte-identical, no ordering with data needed)
     TRAVERSE_MODE.store(matches!(mode, TraverseMode::PerOp) as usize, Ordering::Relaxed);
 }
 
 /// The current process-global [`TraverseMode`].
 pub fn traverse_mode() -> TraverseMode {
+    // dcart_lint::atomic(config knob read once at execution start; no data depends on it)
     if TRAVERSE_MODE.load(Ordering::Relaxed) == 0 {
         TraverseMode::LevelWise
     } else {
@@ -174,11 +178,13 @@ static WORK_STEALING: AtomicUsize = AtomicUsize::new(0);
 /// without racing on the global should call [`try_execute_ctt_profiled`]
 /// with explicit [`ExecOpts`] instead.
 pub fn set_work_stealing(on: bool) {
+    // dcart_lint::atomic(config knob; stealing changes placement only, results byte-identical)
     WORK_STEALING.store(usize::from(on), Ordering::Relaxed);
 }
 
 /// The current process-global work-stealing setting.
 pub fn work_stealing() -> bool {
+    // dcart_lint::atomic(config knob read once per execution; no ordering with shard data)
     WORK_STEALING.load(Ordering::Relaxed) != 0
 }
 
@@ -198,12 +204,14 @@ static SPLIT_THRESHOLD_MILLIONTHS: AtomicU64 = AtomicU64::new(1_000_000);
 /// byte-identical across thread counts and steal settings.
 pub fn set_split_threshold(fraction: f64) {
     let clamped = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 1.0 };
+    // dcart_lint::atomic(config knob; split schedule is a pure function of the op stream)
     SPLIT_THRESHOLD_MILLIONTHS.store((clamped * 1e6).round() as u64, Ordering::Relaxed);
 }
 
 /// The current process-global split threshold as a fraction of the batch
 /// size.
 pub fn split_threshold() -> f64 {
+    // dcart_lint::atomic(config knob read once per execution start; racy reads see old or new value)
     SPLIT_THRESHOLD_MILLIONTHS.load(Ordering::Relaxed) as f64 / 1e6
 }
 

@@ -57,6 +57,7 @@ where
     thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(|| loop {
+                // dcart_lint::atomic(work-claim ticket; the Mutex below synchronizes slot data)
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -88,16 +89,20 @@ pub struct PoolStats {
 impl PoolStats {
     /// Successful steal-half grabs by idle workers.
     pub fn steal_events(&self) -> u64 {
+        // dcart_lint::atomic(advisory scheduling counter, read after scope join)
         self.steal_events.load(Ordering::Relaxed)
     }
 
     /// Work items transferred by those grabs.
     pub fn items_stolen(&self) -> u64 {
+        // dcart_lint::atomic(advisory scheduling counter, read after scope join)
         self.items_stolen.load(Ordering::Relaxed)
     }
 
     fn record_steal(&self, items: u64) {
+        // dcart_lint::atomic(monotonic advisory counters; scope join orders the final read)
         self.steal_events.fetch_add(1, Ordering::Relaxed);
+        // dcart_lint::atomic(monotonic advisory counter, same contract as steal_events)
         self.items_stolen.fetch_add(items, Ordering::Relaxed);
     }
 }

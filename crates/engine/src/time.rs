@@ -61,18 +61,21 @@ impl TestClock {
 
     /// Moves time forward by `delta_ns`.
     pub fn advance(&self, delta_ns: u64) {
+        // dcart_lint::atomic(test clock: SeqCst totally orders advances so time never runs backwards)
         self.now.fetch_add(delta_ns, Ordering::SeqCst);
     }
 
     /// Jumps to `now_ns` (monotonicity is the caller's contract; tests
     /// that jump backwards are testing their own bugs).
     pub fn set(&self, now_ns: u64) {
+        // dcart_lint::atomic(test clock: same total-order contract as advance())
         self.now.store(now_ns, Ordering::SeqCst);
     }
 }
 
 impl Clock for TestClock {
     fn now_ns(&self) -> u64 {
+        // dcart_lint::atomic(test clock: reads join the advance/set total order)
         self.now.load(Ordering::SeqCst)
     }
 }

@@ -1,11 +1,24 @@
 //! # xtask — workspace automation for the DCART reproduction
 //!
-//! The entry point is `cargo run -p xtask -- lint`: a static-analysis pass
-//! over every workspace crate enforcing the invariants the reproduction's
-//! guarantees rest on but clippy cannot express (see [`rules`] for the
-//! rule table). The pass is pure std — the build environment is offline,
-//! so instead of `syn` it runs over the surface lexer in [`lexer`], which
-//! is precise enough for identifier-level matching with real source spans.
+//! Two entry points:
+//!
+//! * `cargo run -p xtask -- lint` — the fast lexical pass: five per-file
+//!   rules (D1 D2 P1 F1 O1) over the surface lexer in [`lexer`], plus S1
+//!   stale-marker tracking for those rules. Results are content-hash
+//!   cached ([`cache`]) and the scan is parallel, so the in-`cargo test`
+//!   `workspace_lint_is_clean` check stays fast as rules grow.
+//! * `cargo run -p xtask -- analyze` — everything lint does, plus the
+//!   flow-aware pass: the item parser in [`parse`] builds per-function
+//!   flow trees, [`graph`] assembles a conservative workspace call graph,
+//!   and [`flow`] checks the protocol call-order automata (O2), the lock
+//!   acquisition graph (C1), and [`rules::a1`] audits atomic orderings
+//!   (A1).
+//!
+//! The pass is pure std — the build environment is offline, so instead of
+//! `syn` the analysis runs over a hand-rolled lexer/parser that is precise
+//! enough for identifier-level matching with real source spans. Both
+//! commands emit deterministically sorted diagnostics, as human text or
+//! SARIF ([`sarif`]) for CI annotation upload.
 //!
 //! The library surface exists so the fixture suite under `tests/` can
 //! prove every rule ID fires on a known-bad snippet and stays quiet on a
@@ -14,17 +27,25 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-pub use rules::{Diagnostic, RULE_IDS};
+pub use rules::{Diagnostic, FLOW_RULE_IDS, LINT_RULE_IDS, RULE_IDS};
 
 /// Lints one file's source as if it lived at workspace-relative `path`
 /// (the path decides rule scoping: crate name, whitelists, definition
-/// sites). Cross-file checks (magic-definition presence, crate-root
-/// attributes) are the workspace driver's job.
+/// sites). Runs the lexical rules plus S1 over their markers; cross-file
+/// checks (magic-definition presence, crate-root attributes) are the
+/// workspace driver's job and the flow rules are [`analyze_source`]'s.
 pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
     let lines = lexer::scan(source);
     let ctx = rules::FileCtx::new(path, &lines);
@@ -34,15 +55,64 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
     rules::p1(&ctx, &mut out);
     rules::f1(&ctx, &mut out);
     rules::o1(&ctx, &mut out);
+    rules::s1(&ctx, &LINT_RULE_IDS, &mut out);
+    out.sort();
     out
 }
 
-/// Lints the whole workspace rooted at `root`.
+/// Full analysis of a set of files as one unit: the lexical rules per
+/// file, then the flow rules (O2, C1, A1) over the joint call graph, then
+/// S1 over every marker. Hermetic — no filesystem access, no
+/// workspace-presence checks — which is what the fixture and mutation
+/// tests build on.
+pub fn analyze_sources(inputs: &[(String, String)]) -> Vec<Diagnostic> {
+    // Parallel lex + parse (the dominant cost); everything after shares
+    // per-file marker state and runs on this thread.
+    let prepared = par_map(inputs, |(path, source)| {
+        let lines = lexer::scan(source);
+        let parsed = parse::parse(&parse::tokenize(&lines));
+        let in_test = rules::test_regions(&lines);
+        (path.clone(), lines, parsed, in_test)
+    });
+    let files: Vec<(String, parse::ParsedFile, Vec<bool>)> = prepared
+        .iter()
+        .map(|(path, _, parsed, in_test)| (path.clone(), parsed.clone(), in_test.clone()))
+        .collect();
+    let ctxs: Vec<rules::FileCtx> =
+        prepared.iter().map(|(path, lines, _, _)| rules::FileCtx::new(path, lines)).collect();
+
+    let mut out = Vec::new();
+    for ctx in &ctxs {
+        rules::d1(ctx, &mut out);
+        rules::d2(ctx, &mut out);
+        rules::p1(ctx, &mut out);
+        rules::f1(ctx, &mut out);
+        rules::o1(ctx, &mut out);
+        rules::a1(ctx, &mut out);
+    }
+    let g = graph::Graph::build(&files);
+    flow::o2(&ctxs, &files, &mut out);
+    flow::c1(&ctxs, &files, &g, &mut out);
+    for ctx in &ctxs {
+        rules::s1(ctx, &RULE_IDS, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// [`analyze_sources`] for a single file.
+pub fn analyze_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    analyze_sources(&[(path.to_string(), source.to_string())])
+}
+
+/// Lints the whole workspace rooted at `root` (the lexical rules only —
+/// see [`analyze_workspace`] for the flow rules).
 ///
 /// Scans `crates/*/src/**/*.rs` (unit tests inside those files are
 /// excluded by the `#[cfg(test)]` region tracker; integration tests,
-/// benches and fixtures are not scanned at all), then runs the
-/// workspace-level checks:
+/// benches and fixtures are not scanned at all) in parallel with
+/// content-hash caching, then runs the workspace-level checks:
 ///
 /// * every [`rules::LIB_CRATES`] root carries `#![forbid(unsafe_code)]`
 ///   — or, for the crate owning a [`rules::UNSAFE_SANCTIONED`] kernel
@@ -53,9 +123,43 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
 /// * every [`rules::F1_MAGICS`] literal is actually defined at its single
 ///   source of truth.
 ///
-/// Returns diagnostics sorted by (path, line, col) and the number of
-/// files scanned.
+/// Returns diagnostics sorted by (path, line, col, rule) and the number
+/// of files scanned.
 pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let inputs = read_workspace(root)?;
+    let per_file = par_map(&inputs, |(rel, source)| {
+        let k = cache::key(rel, source);
+        match cache::load(root, k) {
+            Some(diags) => diags,
+            None => {
+                let diags = lint_source(rel, source);
+                cache::store(root, k, &diags);
+                diags
+            }
+        }
+    });
+    let mut out: Vec<Diagnostic> = per_file.into_iter().flatten().collect();
+    workspace_checks(root, &inputs, &mut out)?;
+    out.sort();
+    Ok((out, inputs.len()))
+}
+
+/// Analyzes the whole workspace: everything [`lint_workspace`] checks plus
+/// the flow rules over the joint call graph. Not cached — the flow pass is
+/// cross-file by construction — but still parallel where the work is
+/// per-file.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let inputs = read_workspace(root)?;
+    let mut out = analyze_sources(&inputs);
+    workspace_checks(root, &inputs, &mut out)?;
+    out.sort();
+    out.dedup();
+    Ok((out, inputs.len()))
+}
+
+/// Reads every scanned workspace file as (workspace-relative path, source),
+/// sorted by path.
+fn read_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     for entry in std::fs::read_dir(&crates_dir)? {
@@ -65,22 +169,22 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> 
         }
     }
     files.sort();
-
-    let mut out = Vec::new();
-    let mut magic_defined = vec![false; rules::F1_MAGICS.len()];
+    let mut inputs = Vec::with_capacity(files.len());
     for file in &files {
-        let source = std::fs::read_to_string(file)?;
-        let rel = rel_path(root, file);
-        out.extend(lint_source(&rel, &source));
-        for (k, (magic, def)) in rules::F1_MAGICS.iter().enumerate() {
-            if rel == *def && source.contains(magic) {
-                magic_defined[k] = true;
-            }
-        }
+        inputs.push((rel_path(root, file), std::fs::read_to_string(file)?));
     }
+    Ok(inputs)
+}
 
-    for (k, (magic, def)) in rules::F1_MAGICS.iter().enumerate() {
-        if !magic_defined[k] {
+/// The cross-file presence checks shared by both workspace drivers.
+fn workspace_checks(
+    root: &Path,
+    inputs: &[(String, String)],
+    out: &mut Vec<Diagnostic>,
+) -> std::io::Result<()> {
+    for (magic, def) in rules::F1_MAGICS {
+        let defined = inputs.iter().any(|(rel, source)| rel == def && source.contains(magic));
+        if !defined {
             out.push(Diagnostic {
                 path: def.to_string(),
                 line: 1,
@@ -120,9 +224,36 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> 
             ));
         }
     }
+    Ok(())
+}
 
-    out.sort();
-    Ok((out, files.len()))
+/// Order-preserving parallel map over a slice (scoped threads, shared
+/// cursor; falls back to serial for tiny inputs).
+fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    if threads <= 1 || items.len() < 8 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                slots.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+            });
+        }
+    });
+    let mut collected = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
 }
 
 fn root_diag(rel: &str, msg: &str) -> Diagnostic {
@@ -171,6 +302,7 @@ mod tests {
     fn clean_snippet_produces_no_diagnostics() {
         let src = "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n";
         assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+        assert!(analyze_source("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -185,6 +317,7 @@ mod tests {
     fn cfg_test_regions_are_exempt() {
         let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let _: HashMap<u8, u8> = HashMap::new(); }\n}\n";
         assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+        assert!(analyze_source("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -193,6 +326,25 @@ mod tests {
         let diags = lint_source("crates/core/src/x.rs", src);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn stale_markers_are_flagged_and_suppressible() {
+        // The D1 marker silences nothing: S1.
+        let src = "// dcart_lint::allow(D1) -- stale\nuse std::collections::BTreeMap;\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "S1");
+        // Unknown rule IDs are S1 too.
+        let src = "// dcart_lint::allow(Z9) -- typo\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", src)[0].rule, "S1");
+        // An atomic marker is only S1-checked when A1 runs: quiet under
+        // lint, stale under analyze (no atomic on the next line).
+        let src = "// dcart_lint::atomic(orphaned)\nfn f() {}\n";
+        assert!(lint_source("crates/engine/src/x.rs", src).is_empty());
+        let diags = analyze_source("crates/engine/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "S1");
     }
 
     #[test]
@@ -205,6 +357,21 @@ mod tests {
         assert!(
             diags.is_empty(),
             "dcart-lint found {} violation(s):\n{}",
+            diags.len(),
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn workspace_analyze_is_clean() {
+        // Same bar for the flow rules: protocol automata, lock graph, and
+        // atomic-ordering audit hold on every commit.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let (diags, files) = analyze_workspace(&root).expect("workspace readable");
+        assert!(files > 50, "expected to scan the whole workspace, got {files} files");
+        assert!(
+            diags.is_empty(),
+            "dcart-analyze found {} violation(s):\n{}",
             diags.len(),
             diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
         );

@@ -1,0 +1,908 @@
+//! An item-level parser for the flow-aware analysis pass.
+//!
+//! Builds on the three-channel [`crate::lexer`]: the tokenizer runs over
+//! the *code* channel only (comments and literal contents are already
+//! blanked), so every token has a real source span and no token ever comes
+//! from a comment or string. The parser recovers just enough structure for
+//! the flow rules:
+//!
+//! * **items** — `fn` definitions (free, `impl`, `trait`, nested), the
+//!   surrounding `impl`/`trait` type so method calls can be resolved, and
+//!   `use` declarations;
+//! * **flow trees** — each function body becomes a tree of [`FlowNode`]s:
+//!   statements (the call expressions they evaluate, in source order),
+//!   alternatives (`if`/`else if`/`else` chains and `match` arms), scoped
+//!   blocks, and loops;
+//! * **call expressions** — callee name, `::`-path qualifier, dotted
+//!   receiver chain (`self.shared.inbox.lock()` → receiver
+//!   `[self, shared, inbox]`, with `[..]` index expressions elided), plus
+//!   the single-identifier first argument (for `drop(guard)`).
+//!
+//! This is deliberately *not* a Rust grammar. Everything the flow rules do
+//! with it is conservative name matching; where the parser cannot tell
+//! (struct literal vs. block, closure body, macro arguments) it degrades to
+//! scanning the region linearly for calls so nothing is silently skipped.
+
+use crate::lexer::LineView;
+
+/// One token from the code channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tok {
+    /// Token text (identifier name, or punctuation like `::`).
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Identifier (or keyword) vs. punctuation/number.
+    pub is_ident: bool,
+}
+
+/// Multi-byte punctuation emitted as single tokens. `::`, `=>` and `->`
+/// carry structure; the rest are listed so their component bytes never get
+/// mistaken for structural punctuation (`|=` is not a closure pipe, `>>`
+/// in an expression is not two generic closers, ...).
+const PUNCT2: [&str; 18] = [
+    "::", "=>", "->", "||", "&&", "..", "<<", ">>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "%=", "^=",
+];
+
+/// Tokenizes the code channel of lexed lines.
+pub fn tokenize(lines: &[LineView]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (li, l) in lines.iter().enumerate() {
+        let b = l.code.as_bytes();
+        let mut i = 0usize;
+        while i < b.len() {
+            let c = b[i];
+            if c.is_ascii_whitespace() {
+                i += 1;
+            } else if c.is_ascii_alphabetic() || c == b'_' {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    text: l.code[start..i].to_string(),
+                    line: li + 1,
+                    col: start + 1,
+                    is_ident: true,
+                });
+            } else if c.is_ascii_digit() {
+                // Numbers are opaque; consume the alphanumeric run so
+                // suffixes (`1u64`) and hex (`0xFF`) don't emit idents.
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // `0..n` — stop before a range so `..` stays punct.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Tok {
+                    text: l.code[start..i].to_string(),
+                    line: li + 1,
+                    col: start + 1,
+                    is_ident: false,
+                });
+            } else if c == b'\'' {
+                // Lifetime tick: swallow the tick and its label.
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            } else {
+                let two = if i + 1 < b.len() { &l.code[i..i + 2] } else { "" };
+                if PUNCT2.contains(&two) {
+                    out.push(Tok {
+                        text: two.to_string(),
+                        line: li + 1,
+                        col: i + 1,
+                        is_ident: false,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Tok {
+                        text: l.code[i..i + 1].to_string(),
+                        line: li + 1,
+                        col: i + 1,
+                        is_ident: false,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A call expression found in a function body.
+#[derive(Clone, Debug)]
+pub struct CallExpr {
+    /// The called name (`lock`, `append_batch`, `ok`, ...).
+    pub callee: String,
+    /// `::`-path segments before the callee (`Response::ok` → `["Response"]`).
+    pub path: Vec<String>,
+    /// Dotted receiver chain before a method call
+    /// (`self.shared.inbox.lock()` → `["self", "shared", "inbox"]`;
+    /// index expressions are elided: `cells[i].lock()` → `["cells"]`).
+    pub recv: Vec<String>,
+    /// The receiver is the result of an earlier call (`x.lock().unwrap()`:
+    /// for `unwrap`, `chained` is true and `recv` is empty).
+    pub chained: bool,
+    /// Single-identifier first argument, if the argument list is exactly
+    /// one identifier (`drop(guard)` → `Some("guard")`).
+    pub first_arg: Option<String>,
+    /// 1-based line of the callee identifier.
+    pub line: usize,
+    /// 1-based byte column of the callee identifier.
+    pub col: usize,
+}
+
+/// One statement's calls, in source order, with the identifiers bound by a
+/// leading `let` pattern (lowercase binders only — `Ok`, `Some` and path
+/// constructors are filtered).
+#[derive(Clone, Debug, Default)]
+pub struct Stmt {
+    /// Call expressions evaluated by the statement.
+    pub calls: Vec<CallExpr>,
+    /// Identifiers bound by the statement's `let` pattern.
+    pub lets: Vec<String>,
+}
+
+/// A node in a function's flow tree.
+#[derive(Clone, Debug)]
+pub enum FlowNode {
+    /// A straight-line statement.
+    Stmt(Stmt),
+    /// Mutually exclusive branches: an `if`/`else if`/`else` chain (with an
+    /// implicit empty branch when there is no `else`) or `match` arms.
+    Alt(Vec<Vec<FlowNode>>),
+    /// A nested `{ }` scope executed once.
+    Block(Vec<FlowNode>),
+    /// A `loop`/`while`/`for` body (executed zero or more times; the flow
+    /// rules treat each iteration as starting fresh).
+    Loop(Vec<FlowNode>),
+}
+
+/// A function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name (`impl Trait for X` → `X`).
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Body flow tree (empty for bodyless declarations).
+    pub body: Vec<FlowNode>,
+}
+
+/// A parsed file: its functions and `use` declarations.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// All function items, including nested and trait-default bodies.
+    pub fns: Vec<FnItem>,
+    /// Raw `use` paths with their 1-based line.
+    pub uses: Vec<(String, usize)>,
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NOT_CALL: [&str; 26] = [
+    "if", "else", "while", "for", "match", "loop", "return", "fn", "let", "mut", "ref", "move",
+    "in", "as", "use", "pub", "impl", "trait", "struct", "enum", "mod", "where", "unsafe", "break",
+    "continue", "Self",
+];
+
+/// Parses tokenized source into items.
+pub fn parse(toks: &[Tok]) -> ParsedFile {
+    let mut p = Parser { toks, pos: 0 };
+    let mut file = ParsedFile::default();
+    p.items(&mut file, None);
+    file
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn is(&self, text: &str) -> bool {
+        self.peek().is_some_and(|t| t.text == text)
+    }
+
+    /// Item-level scan until end of input or a closing `}` (consumed).
+    fn items(&mut self, file: &mut ParsedFile, qual: Option<&str>) {
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "use" => {
+                    let line = t.line;
+                    self.pos += 1;
+                    let mut path = String::new();
+                    while let Some(t) = self.peek() {
+                        if t.text == ";" {
+                            self.pos += 1;
+                            break;
+                        }
+                        path.push_str(&t.text);
+                        self.pos += 1;
+                    }
+                    file.uses.push((path, line));
+                }
+                "impl" | "trait" => {
+                    self.pos += 1;
+                    let q = self.impl_header();
+                    if self.is("{") {
+                        self.pos += 1;
+                        self.items(file, q.as_deref());
+                    }
+                }
+                "mod" => {
+                    self.pos += 1;
+                    self.bump(); // name
+                    if self.is("{") {
+                        self.pos += 1;
+                        self.items(file, None);
+                    } else if self.is(";") {
+                        self.pos += 1;
+                    }
+                }
+                "fn" => {
+                    self.pos += 1;
+                    self.fn_item(file, qual);
+                }
+                "{" => {
+                    // Any other braced item body (enum, static initializer,
+                    // ...): recurse so nested `fn`s are still found.
+                    self.pos += 1;
+                    self.items(file, qual);
+                }
+                "}" => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// After `impl`/`trait`: the implemented-on type name (`impl<T> Foo<T>`
+    /// → `Foo`; `impl Trait for X` → `X`; `trait Name` → `Name`).
+    fn impl_header(&mut self) -> Option<String> {
+        let mut first: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "{" | ";" => break,
+                "<" => {
+                    self.skip_generics();
+                    continue;
+                }
+                "for" => {
+                    saw_for = true;
+                    self.pos += 1;
+                }
+                _ => {
+                    if t.is_ident && t.text != "dyn" && t.text != "where" {
+                        if saw_for {
+                            if after_for.is_none() {
+                                after_for = Some(t.text.clone());
+                            }
+                        } else if first.is_none() {
+                            first = Some(t.text.clone());
+                        }
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        after_for.or(first)
+    }
+
+    /// Skips a balanced `<...>` generic group starting at the current `<`.
+    fn skip_generics(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.bump() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                "{" | ";" => {
+                    // Malformed for our purposes; back off rather than eat
+                    // the body.
+                    self.pos -= 1;
+                    return;
+                }
+                _ => {}
+            }
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// After the `fn` keyword: name, signature, optional body.
+    fn fn_item(&mut self, file: &mut ParsedFile, qual: Option<&str>) {
+        let Some(name_tok) = self.peek() else { return };
+        if !name_tok.is_ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        self.pos += 1;
+        if self.is("<") {
+            self.skip_generics();
+        }
+        // Parameter list.
+        if self.is("(") {
+            let mut depth = 0i32;
+            while let Some(t) = self.bump() {
+                match t.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => {}
+                }
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        // Return type / where clause, up to `{` or `;` at paren depth 0.
+        let mut depth = 0i32;
+        let mut body = Vec::new();
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => {
+                    self.pos += 1;
+                    break;
+                }
+                "{" if depth <= 0 => {
+                    self.pos += 1;
+                    body = self.flow(End::Brace, file, qual);
+                    break;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        file.fns.push(FnItem { name, qual: qual.map(str::to_string), line, body });
+    }
+
+    /// Flow-tree scan of a statement region. `End::Brace` consumes the
+    /// closing `}`; `End::Arm` stops at a depth-0 `,` (consumed) or `}`
+    /// (left for the caller).
+    fn flow(&mut self, end: End, file: &mut ParsedFile, qual: Option<&str>) -> Vec<FlowNode> {
+        let mut nodes: Vec<FlowNode> = Vec::new();
+        let mut stmt = Stmt::default();
+        macro_rules! flush {
+            () => {
+                if !stmt.calls.is_empty() || !stmt.lets.is_empty() {
+                    nodes.push(FlowNode::Stmt(std::mem::take(&mut stmt)));
+                }
+            };
+        }
+        let mut depth = 0i32; // ( and [ nesting within the region
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                ")" | "]" => {
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                ";" => {
+                    self.pos += 1;
+                    if depth <= 0 {
+                        flush!();
+                    }
+                }
+                "," if depth <= 0 && end == End::Arm => {
+                    self.pos += 1;
+                    flush!();
+                    return nodes;
+                }
+                "}" => {
+                    flush!();
+                    match end {
+                        End::Brace => {
+                            self.pos += 1;
+                        }
+                        End::Arm => {}
+                    }
+                    return nodes;
+                }
+                "{" => {
+                    self.pos += 1;
+                    flush!();
+                    nodes.push(FlowNode::Block(self.flow(End::Brace, file, qual)));
+                }
+                "let" => {
+                    self.pos += 1;
+                    // Pattern binders up to `=` (or statement end for
+                    // `let x;`). Uppercase idents are constructors, not
+                    // binders.
+                    while let Some(t) = self.peek() {
+                        match t.text.as_str() {
+                            "=" | ";" | "{" => break,
+                            "mut" | "ref" | "_" => {
+                                self.pos += 1;
+                            }
+                            _ => {
+                                if t.is_ident
+                                    && t.text.chars().next().is_some_and(char::is_lowercase)
+                                    && self.peek_at(1).is_none_or(|n| n.text != "::")
+                                {
+                                    stmt.lets.push(t.text.clone());
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                    }
+                }
+                "if" => {
+                    self.pos += 1;
+                    flush!();
+                    nodes.push(self.if_chain(file, qual));
+                }
+                "match" => {
+                    self.pos += 1;
+                    let head = self.until_open_brace(file, qual);
+                    if !head.calls.is_empty() {
+                        nodes.push(FlowNode::Stmt(head));
+                    }
+                    if self.is("{") {
+                        self.pos += 1;
+                        nodes.push(self.match_arms(file, qual));
+                    }
+                }
+                "loop" | "while" | "for" => {
+                    self.pos += 1;
+                    flush!();
+                    let head = self.until_open_brace(file, qual);
+                    if !head.calls.is_empty() {
+                        nodes.push(FlowNode::Stmt(head));
+                    }
+                    if self.is("{") {
+                        self.pos += 1;
+                        nodes.push(FlowNode::Loop(self.flow(End::Brace, file, qual)));
+                    }
+                }
+                "fn" => {
+                    // Nested function: its body does not flow into ours.
+                    self.pos += 1;
+                    self.fn_item(file, qual);
+                }
+                "|" if self.closure_pipe() => {
+                    // Closure parameter list: skip to the closing pipe; the
+                    // body then flows inline (a `{` body becomes a Block).
+                    self.pos += 1;
+                    while let Some(t) = self.bump() {
+                        if t.text == "|" {
+                            break;
+                        }
+                    }
+                }
+                "||" if self.closure_pipe() => {
+                    self.pos += 1;
+                }
+                _ => {
+                    if t.is_ident
+                        && !NOT_CALL.contains(&t.text.as_str())
+                        && self.peek_at(1).is_some_and(|n| n.text == "(")
+                    {
+                        let call = self.call_at(self.pos);
+                        stmt.calls.push(call);
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        flush!();
+        nodes
+    }
+
+    /// Is the `|`/`||` at the current position a closure opener? Binary
+    /// operators follow a value (identifier, literal, `)`, `]`); closure
+    /// pipes follow anything else (`(`, `,`, `=`, `{`, a keyword, ...).
+    fn closure_pipe(&self) -> bool {
+        match self.pos.checked_sub(1).and_then(|i| self.toks.get(i)) {
+            None => true,
+            Some(prev) => {
+                if prev.is_ident {
+                    // `move |x| ...` and keyword positions still open a
+                    // closure; a value identifier does not.
+                    matches!(prev.text.as_str(), "move" | "return" | "else" | "in")
+                } else {
+                    !matches!(prev.text.as_str(), ")" | "]" | "}")
+                        && !prev.text.chars().next().is_some_and(|c| c.is_ascii_digit())
+                }
+            }
+        }
+    }
+
+    /// Scans up to the next `{` at depth 0 (not consumed), collecting any
+    /// calls (an `if let` / `while let` / `match` head expression).
+    fn until_open_brace(&mut self, file: &mut ParsedFile, _qual: Option<&str>) -> Stmt {
+        let _ = file;
+        let mut stmt = Stmt::default();
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => break,
+                ";" if depth <= 0 => break,
+                "|" if self.closure_pipe() => {
+                    self.pos += 1;
+                    while let Some(t) = self.bump() {
+                        if t.text == "|" {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                "||" if self.closure_pipe() => {
+                    self.pos += 1;
+                    continue;
+                }
+                _ => {
+                    if t.is_ident
+                        && !NOT_CALL.contains(&t.text.as_str())
+                        && self.peek_at(1).is_some_and(|n| n.text == "(")
+                    {
+                        stmt.calls.push(self.call_at(self.pos));
+                    }
+                }
+            }
+            self.pos += 1;
+        }
+        stmt
+    }
+
+    /// `if` chain after the `if` keyword: condition, block, `else if`...,
+    /// with an implicit empty branch when there is no final `else`.
+    fn if_chain(&mut self, file: &mut ParsedFile, qual: Option<&str>) -> FlowNode {
+        let mut branches: Vec<Vec<FlowNode>> = Vec::new();
+        loop {
+            let cond = self.until_open_brace(file, qual);
+            let mut branch = Vec::new();
+            if !cond.calls.is_empty() {
+                branch.push(FlowNode::Stmt(cond));
+            }
+            if self.is("{") {
+                self.pos += 1;
+                branch.extend(self.flow(End::Brace, file, qual));
+            }
+            branches.push(branch);
+            if self.is("else") {
+                self.pos += 1;
+                if self.is("if") {
+                    self.pos += 1;
+                    continue;
+                }
+                if self.is("{") {
+                    self.pos += 1;
+                    branches.push(self.flow(End::Brace, file, qual));
+                }
+                break;
+            }
+            branches.push(Vec::new()); // no else: the skip path
+            break;
+        }
+        FlowNode::Alt(branches)
+    }
+
+    /// Match arms after the opening `{`: each `pattern (if guard) => body`
+    /// becomes one branch (guard calls flow first).
+    fn match_arms(&mut self, file: &mut ParsedFile, qual: Option<&str>) -> FlowNode {
+        let mut branches: Vec<Vec<FlowNode>> = Vec::new();
+        loop {
+            if self.is("}") {
+                self.pos += 1;
+                break;
+            }
+            if self.peek().is_none() {
+                break;
+            }
+            // Pattern + optional guard, up to the depth-0 `=>`.
+            let mut guard = Stmt::default();
+            let mut depth = 0i32;
+            let mut saw_arrow = false;
+            while let Some(t) = self.peek() {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 && t.text == "}" {
+                            break; // trailing `}` of the match
+                        }
+                        depth -= 1;
+                    }
+                    "=>" if depth <= 0 => {
+                        self.pos += 1;
+                        saw_arrow = true;
+                        break;
+                    }
+                    "|" | "||" => {} // pattern alternation
+                    _ => {
+                        // Tuple-struct patterns (`K::B(v)`) look exactly
+                        // like calls; constructors are capitalized, so
+                        // only lowercase names count (guard calls).
+                        if t.is_ident
+                            && !NOT_CALL.contains(&t.text.as_str())
+                            && t.text.chars().next().is_some_and(char::is_lowercase)
+                            && self.peek_at(1).is_some_and(|n| n.text == "(")
+                        {
+                            guard.calls.push(self.call_at(self.pos));
+                        }
+                    }
+                }
+                self.pos += 1;
+            }
+            if !saw_arrow {
+                if self.is("}") {
+                    self.pos += 1;
+                }
+                break;
+            }
+            let mut branch = Vec::new();
+            if !guard.calls.is_empty() {
+                branch.push(FlowNode::Stmt(guard));
+            }
+            if self.is("{") {
+                self.pos += 1;
+                branch.extend(self.flow(End::Brace, file, qual));
+                if self.is(",") {
+                    self.pos += 1;
+                }
+            } else {
+                branch.extend(self.flow(End::Arm, file, qual));
+            }
+            branches.push(branch);
+        }
+        FlowNode::Alt(branches)
+    }
+
+    /// Builds the [`CallExpr`] for the identifier at token index `p`
+    /// (`toks[p]` is the callee, `toks[p + 1]` is `(`).
+    fn call_at(&self, p: usize) -> CallExpr {
+        let t = &self.toks[p];
+        let mut call = CallExpr {
+            callee: t.text.clone(),
+            path: Vec::new(),
+            recv: Vec::new(),
+            chained: false,
+            first_arg: None,
+            line: t.line,
+            col: t.col,
+        };
+        // First argument: exactly one identifier.
+        if let (Some(a), Some(close)) = (self.toks.get(p + 2), self.toks.get(p + 3)) {
+            if a.is_ident && close.text == ")" {
+                call.first_arg = Some(a.text.clone());
+            }
+        }
+        let prev = p.checked_sub(1).map(|i| &self.toks[i]);
+        match prev.map(|t| t.text.as_str()) {
+            Some("::") => {
+                // Walk back `Ident ::` pairs.
+                let mut j = p - 1;
+                while j >= 1 && self.toks[j].text == "::" && self.toks[j - 1].is_ident {
+                    call.path.insert(0, self.toks[j - 1].text.clone());
+                    if j < 2 {
+                        break;
+                    }
+                    j -= 2;
+                }
+            }
+            Some(".") => {
+                // Walk back the dotted receiver chain, eliding `[..]`
+                // index groups and `?` try operators.
+                let mut j = (p - 1) as isize - 1; // token before the `.`
+                while j >= 0 {
+                    let t = &self.toks[j as usize];
+                    match t.text.as_str() {
+                        "?" => j -= 1,
+                        "]" => {
+                            let mut d = 0i32;
+                            while j >= 0 {
+                                match self.toks[j as usize].text.as_str() {
+                                    "]" => d += 1,
+                                    "[" => d -= 1,
+                                    _ => {}
+                                }
+                                j -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        ")" => {
+                            call.chained = true;
+                            break;
+                        }
+                        _ if t.is_ident => {
+                            call.recv.insert(0, t.text.clone());
+                            if j >= 1 && self.toks[j as usize - 1].text == "." {
+                                j -= 2;
+                            } else {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            _ => {}
+        }
+        call
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum End {
+    Brace,
+    Arm,
+}
+
+/// Convenience: lex + tokenize + parse a source string.
+pub fn parse_source(source: &str) -> ParsedFile {
+    let lines = crate::lexer::scan(source);
+    parse(&tokenize(&lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_calls(nodes: &[FlowNode], out: &mut Vec<String>) {
+        for n in nodes {
+            match n {
+                FlowNode::Stmt(s) => out.extend(s.calls.iter().map(|c| c.callee.clone())),
+                FlowNode::Alt(bs) => bs.iter().for_each(|b| flat_calls(b, out)),
+                FlowNode::Block(b) | FlowNode::Loop(b) => flat_calls(b, out),
+            }
+        }
+    }
+
+    #[test]
+    fn fn_items_and_impl_quals() {
+        let f = parse_source(
+            "impl Writer { fn commit(&mut self) {} }\n\
+             impl Drop for Guard { fn drop(&mut self) {} }\n\
+             fn free() {}\n\
+             trait T { fn decl(&self); fn dflt(&self) { helper(); } }\n",
+        );
+        let names: Vec<(String, Option<String>)> =
+            f.fns.iter().map(|f| (f.name.clone(), f.qual.clone())).collect();
+        assert_eq!(names[0], ("commit".into(), Some("Writer".into())));
+        assert_eq!(names[1], ("drop".into(), Some("Guard".into())));
+        assert_eq!(names[2], ("free".into(), None));
+        assert_eq!(names[3], ("decl".into(), Some("T".into())));
+        assert_eq!(names[4], ("dflt".into(), Some("T".into())));
+        assert!(f.fns[3].body.is_empty());
+    }
+
+    #[test]
+    fn receiver_chains_paths_and_indexing() {
+        let f = parse_source(
+            "fn g(&self) { self.shared.inbox.lock().unwrap_or_else(|e| e.into_inner()); \
+             cells[i].lock(); Response::ok(id, v); drop(guard); }\n",
+        );
+        let mut calls = Vec::new();
+        for n in &f.fns[0].body {
+            if let FlowNode::Stmt(s) = n {
+                calls.extend(s.calls.iter().cloned());
+            }
+        }
+        assert_eq!(calls[0].callee, "lock");
+        assert_eq!(calls[0].recv, vec!["self", "shared", "inbox"]);
+        assert_eq!(calls[1].callee, "unwrap_or_else");
+        assert!(calls[1].chained && calls[1].recv.is_empty());
+        assert_eq!(calls[2].callee, "into_inner");
+        assert_eq!(calls[2].recv, vec!["e"]);
+        assert_eq!(calls[3].recv, vec!["cells"]);
+        assert_eq!(calls[4].path, vec!["Response"]);
+        assert_eq!(calls[5].first_arg.as_deref(), Some("guard"));
+    }
+
+    #[test]
+    fn if_chains_become_alternatives() {
+        let f =
+            parse_source("fn g() { if a() { b(); } else if c() { d(); } else { e(); } f(); }\n");
+        let body = &f.fns[0].body;
+        let FlowNode::Alt(branches) = &body[0] else { panic!("expected Alt") };
+        assert_eq!(branches.len(), 3);
+        let mut all = Vec::new();
+        flat_calls(body, &mut all);
+        assert_eq!(all, vec!["a", "b", "c", "d", "e", "f"]);
+    }
+
+    #[test]
+    fn if_without_else_has_implicit_skip_branch() {
+        let f = parse_source("fn g() { if a() { b(); } }\n");
+        let FlowNode::Alt(branches) = &f.fns[0].body[0] else { panic!("expected Alt") };
+        assert_eq!(branches.len(), 2);
+        assert!(branches[1].is_empty());
+    }
+
+    #[test]
+    fn match_arms_and_loops() {
+        let f = parse_source(
+            "fn g(x: K) { match probe(x) { K::A => { a(); } K::B(v) if chk(v) => b(v), _ => {} } \
+             loop { body(); } }\n",
+        );
+        let body = &f.fns[0].body;
+        // Scrutinee call, arms, loop.
+        let FlowNode::Stmt(s) = &body[0] else { panic!("expected scrutinee Stmt") };
+        assert_eq!(s.calls[0].callee, "probe");
+        let FlowNode::Alt(arms) = &body[1] else { panic!("expected Alt") };
+        assert_eq!(arms.len(), 3);
+        let mut armb = Vec::new();
+        flat_calls(&arms[1], &mut armb);
+        assert_eq!(armb, vec!["chk", "b"]);
+        let FlowNode::Loop(lb) = &body[2] else { panic!("expected Loop") };
+        let mut loopc = Vec::new();
+        flat_calls(lb, &mut loopc);
+        assert_eq!(loopc, vec!["body"]);
+    }
+
+    #[test]
+    fn let_binders_and_let_else() {
+        let f = parse_source(
+            "fn g() { let Ok(mut cell) = cells[i].lock() else { break }; \
+             let (a, b) = pair(); }\n",
+        );
+        let FlowNode::Stmt(s) = &f.fns[0].body[0] else { panic!("expected Stmt") };
+        assert_eq!(s.lets, vec!["cell"]);
+        assert_eq!(s.calls[0].callee, "lock");
+    }
+
+    #[test]
+    fn closures_flow_inline_and_uses_are_recorded() {
+        let f = parse_source(
+            "use std::sync::Mutex;\n\
+             fn g() { items.iter().map(|x| x.run()).collect::<Vec<_>>(); }\n",
+        );
+        assert_eq!(f.uses[0].0, "std::sync::Mutex");
+        let mut all = Vec::new();
+        flat_calls(&f.fns[0].body, &mut all);
+        assert!(all.contains(&"run".to_string()));
+    }
+
+    #[test]
+    fn nested_fn_bodies_do_not_flow_into_parent() {
+        let f = parse_source("fn outer() { fn inner() { secret(); } visible(); }\n");
+        let outer = f.fns.iter().find(|f| f.name == "outer").expect("outer parsed");
+        let mut calls = Vec::new();
+        flat_calls(&outer.body, &mut calls);
+        assert_eq!(calls, vec!["visible"]);
+        let inner = f.fns.iter().find(|f| f.name == "inner").expect("inner parsed");
+        let mut ic = Vec::new();
+        flat_calls(&inner.body, &mut ic);
+        assert_eq!(ic, vec!["secret"]);
+    }
+}

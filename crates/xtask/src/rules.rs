@@ -1,9 +1,15 @@
-//! The DCART-specific lint rules.
+//! The DCART-specific lint and analysis rules.
 //!
 //! Each rule has a stable ID, protects one invariant the test suite cannot
 //! cheaply express, and can be silenced per line with a marker comment
 //! (`// dcart_lint::allow(D1) -- reason`) on the offending line or the
 //! line above, or per file with `// dcart_lint::allow_file(D1) -- reason`.
+//! Atomic-ordering sites are justified with a third marker form,
+//! `// dcart_lint::atomic(REASON)`, same placement rules.
+//!
+//! Markers are *tracked*: a marker that silences nothing is itself an S1
+//! error (like `unused_attributes`), so suppressions cannot rot in place
+//! after the code they excused is refactored away.
 //!
 //! | ID | invariant |
 //! |----|-----------|
@@ -16,6 +22,15 @@
 //! |    | `unsafe` keyword is confined to [`UNSAFE_SANCTIONED`] files |
 //! | F1 | on-disk magic strings are defined in exactly one module |
 //! | O1 | no stdout/stderr prints in library crates |
+//! | O2 | protocol call-order automata hold on every path (durable-ack,
+//! |    | checkpoint-install, drain) — see [`crate::flow`] |
+//! | C1 | lock discipline: no acquisition-order cycles, no double-acquire
+//! |    | on any path — see [`crate::flow`] |
+//! | A1 | every `Ordering::Relaxed`/`Ordering::SeqCst` outside
+//! |    | [`A1_SANCTIONED`] carries a `dcart_lint::atomic(REASON)` marker |
+//! | S1 | no stale suppressions: every marker must silence something |
+
+use std::cell::Cell;
 
 use crate::lexer::{followed_by, ident_cols, preceded_by, LineView};
 
@@ -45,7 +60,26 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// All rule IDs, in documentation order.
-pub const RULE_IDS: [&str; 5] = ["D1", "D2", "P1", "F1", "O1"];
+pub const RULE_IDS: [&str; 9] = ["D1", "D2", "P1", "F1", "O1", "O2", "C1", "A1", "S1"];
+
+/// The single-file lexical rules run by `xtask lint`.
+pub const LINT_RULE_IDS: [&str; 5] = ["D1", "D2", "P1", "F1", "O1"];
+
+/// The flow-aware rules added by `xtask analyze`.
+pub const FLOW_RULE_IDS: [&str; 3] = ["O2", "C1", "A1"];
+
+/// One-line summaries per rule, for `--format sarif` metadata.
+pub const RULE_SUMMARIES: [(&str, &str); 9] = [
+    ("D1", "no default-hasher HashMap/HashSet in deterministic code"),
+    ("D2", "no wall-clock, OS-randomness, or environment reads in the functional layer"),
+    ("P1", "uniform panic policy; unsafe confined to sanctioned kernel files"),
+    ("F1", "on-disk magic strings have exactly one definition site"),
+    ("O1", "no stdout/stderr prints in library crates"),
+    ("O2", "protocol call-order automata hold on every path"),
+    ("C1", "lock discipline: no acquisition-order cycles or double-acquires"),
+    ("A1", "Relaxed/SeqCst atomic orderings carry a written justification"),
+    ("S1", "no stale suppression markers"),
+];
 
 /// Crates whose library code must obey the panic policy (P1) and the
 /// no-print rule (O1). `bench` and `xtask` are the human-facing harness
@@ -64,6 +98,13 @@ pub const LIB_CRATES: [&str; 8] =
 /// ignores `dcart_lint::allow` markers and `#[cfg(test)]` regions for the
 /// `unsafe` token.
 pub const UNSAFE_SANCTIONED: [&str; 2] = ["crates/art/src/simd.rs", "crates/server/src/signal.rs"];
+
+/// Files where `Ordering::Relaxed`/`SeqCst` need no per-site marker: the
+/// contention-stats counter block in the sync ART engine, where every
+/// counter is monotonic, advisory, and documented once at module level.
+/// Everywhere else each relaxed/sequential ordering carries its own
+/// `// dcart_lint::atomic(REASON)` (A1).
+pub const A1_SANCTIONED: [&str; 1] = ["crates/art/src/sync.rs"];
 
 /// Files (path prefixes) where wall-clock and environment reads are the
 /// point: the bench timing harness and the CLI front-ends.
@@ -87,6 +128,31 @@ pub const F1_MAGICS: [(&str, &str); 4] = [
 /// Paths never scanned for F1 (the lint's own rule tables name the magics).
 pub const F1_SKIP: [&str; 1] = ["crates/xtask/"];
 
+/// Marker form: per-line allow, per-file allow, or atomic justification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `// dcart_lint::allow(RULE) -- reason` — this line and the next.
+    Allow,
+    /// `// dcart_lint::allow_file(RULE) -- reason` — the whole file.
+    AllowFile,
+    /// `// dcart_lint::atomic(REASON)` — justifies a Relaxed/SeqCst
+    /// ordering on this line or the next.
+    Atomic,
+}
+
+/// One suppression/justification marker, with usage tracking for S1.
+#[derive(Debug)]
+pub struct Marker {
+    /// 0-based line the marker comment sits on.
+    pub line0: usize,
+    /// Marker form.
+    pub kind: MarkerKind,
+    /// Rule ID for allow markers; the justification text for atomic ones.
+    pub arg: String,
+    /// Set once the marker silences or justifies a finding.
+    pub used: Cell<bool>,
+}
+
 /// Per-file context computed once, shared by every rule.
 pub struct FileCtx<'a> {
     /// Workspace-relative path with forward slashes.
@@ -95,33 +161,84 @@ pub struct FileCtx<'a> {
     pub lines: &'a [LineView],
     /// `lines[i]` is inside a `#[cfg(test)]` region.
     pub in_test: Vec<bool>,
-    file_allows: Vec<String>,
-    line_allows: Vec<Vec<String>>,
+    /// All markers in the file, in line order.
+    pub markers: Vec<Marker>,
 }
 
 impl<'a> FileCtx<'a> {
-    /// Builds the context: test-region map and allow markers.
+    /// Builds the context: test-region map and markers.
     pub fn new(path: &'a str, lines: &'a [LineView]) -> Self {
         let in_test = test_regions(lines);
-        let mut file_allows = Vec::new();
-        let mut line_allows = vec![Vec::new(); lines.len()];
+        let mut markers = Vec::new();
         for (i, l) in lines.iter().enumerate() {
-            for rule in parse_marker(&l.comment, "dcart_lint::allow_file(") {
-                file_allows.push(rule);
+            // The lexer strips the `//` opener, so doc comments surface as
+            // `/ ...` or `! ...` in the comment channel. Doc comments
+            // *describe* the marker syntax (this file does, extensively);
+            // only plain `//` comments carry live markers.
+            if l.comment.starts_with('/') || l.comment.starts_with('!') {
+                continue;
             }
-            for rule in parse_marker(&l.comment, "dcart_lint::allow(") {
-                line_allows[i].push(rule.clone());
-                if i + 1 < lines.len() {
-                    line_allows[i + 1].push(rule);
+            for (opener, kind) in [
+                ("dcart_lint::allow_file(", MarkerKind::AllowFile),
+                ("dcart_lint::allow(", MarkerKind::Allow),
+            ] {
+                for rule in parse_marker(&l.comment, opener) {
+                    markers.push(Marker { line0: i, kind, arg: rule, used: Cell::new(false) });
                 }
             }
+            for reason in parse_atomic(&l.comment) {
+                markers.push(Marker {
+                    line0: i,
+                    kind: MarkerKind::Atomic,
+                    arg: reason,
+                    used: Cell::new(false),
+                });
+            }
         }
-        FileCtx { path, lines, in_test, file_allows, line_allows }
+        FileCtx { path, lines, in_test, markers }
     }
 
-    fn allowed(&self, rule: &str, line0: usize) -> bool {
-        self.file_allows.iter().any(|r| r == rule)
-            || self.line_allows.get(line0).is_some_and(|v| v.iter().any(|r| r == rule))
+    /// Is a finding for `rule` on 0-based `line0` suppressed? Marks every
+    /// matching marker used (line-level first; the file-level marker only
+    /// when no line-level one matches).
+    pub(crate) fn allowed(&self, rule: &str, line0: usize) -> bool {
+        let mut hit = false;
+        for m in &self.markers {
+            if m.kind == MarkerKind::Allow
+                && m.arg == rule
+                && (m.line0 == line0 || m.line0 + 1 == line0)
+            {
+                m.used.set(true);
+                hit = true;
+            }
+        }
+        if hit {
+            return true;
+        }
+        for m in &self.markers {
+            if m.kind == MarkerKind::AllowFile && m.arg == rule {
+                m.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Is an atomic-ordering use on 0-based `line0` justified by a
+    /// `dcart_lint::atomic(REASON)` marker with a nonempty reason? Marks
+    /// matching markers used.
+    pub(crate) fn atomic_justified(&self, line0: usize) -> bool {
+        let mut hit = false;
+        for m in &self.markers {
+            if m.kind == MarkerKind::Atomic
+                && !m.arg.is_empty()
+                && (m.line0 == line0 || m.line0 + 1 == line0)
+            {
+                m.used.set(true);
+                hit = true;
+            }
+        }
+        hit
     }
 
     /// The crate name for `crates/<name>/...` paths.
@@ -129,7 +246,7 @@ impl<'a> FileCtx<'a> {
         self.path.strip_prefix("crates/").and_then(|r| r.split('/').next()).unwrap_or("")
     }
 
-    fn emit(
+    pub(crate) fn emit(
         &self,
         out: &mut Vec<Diagnostic>,
         rule: &'static str,
@@ -138,7 +255,7 @@ impl<'a> FileCtx<'a> {
         msg: impl Into<String>,
         help: impl Into<String>,
     ) {
-        if !self.in_test[line0] && !self.allowed(rule, line0) {
+        if !self.in_test.get(line0).copied().unwrap_or(false) && !self.allowed(rule, line0) {
             out.push(Diagnostic {
                 path: self.path.to_string(),
                 line: line0 + 1,
@@ -166,9 +283,27 @@ fn parse_marker(comment: &str, opener: &str) -> Vec<String> {
     out
 }
 
+/// Parses `dcart_lint::atomic(REASON)` markers; the reason runs to the
+/// *last* closing paren so it may itself contain parentheses.
+fn parse_atomic(comment: &str) -> Vec<String> {
+    let opener = "dcart_lint::atomic(";
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(opener) {
+        let tail = &rest[pos + opener.len()..];
+        if let Some(end) = tail.rfind(')') {
+            out.push(tail[..end].trim().to_string());
+        } else {
+            out.push(String::new());
+        }
+        rest = &rest[pos + opener.len()..];
+    }
+    out
+}
+
 /// Marks lines inside `#[cfg(test)] mod ... { }` regions (brace-matched on
 /// the comment/string-stripped code channel).
-fn test_regions(lines: &[LineView]) -> Vec<bool> {
+pub fn test_regions(lines: &[LineView]) -> Vec<bool> {
     let mut out = vec![false; lines.len()];
     let mut depth = 0usize;
     let mut pending = false;
@@ -453,6 +588,126 @@ pub fn o1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                         format!("`{name}!` in a library crate"),
                         "emit through the `Tracer`/report sinks; only the bench harness prints",
                     );
+                }
+            }
+        }
+    }
+}
+
+/// A1 — every `Ordering::Relaxed`/`Ordering::SeqCst` carries a written
+/// justification.
+///
+/// Acquire/Release pairs document themselves: the pairing *is* the
+/// protocol. `Relaxed` claims no synchronization is needed and `SeqCst`
+/// claims the strongest order is — both are load-bearing design decisions
+/// that drift silently under refactors (PR-7's packed head/tail CAS, the
+/// PR-3 shard counters). The marker keeps the reasoning next to the site:
+/// `// dcart_lint::atomic(monotonic stats counter, read racily by design)`.
+pub fn a1(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !LIB_CRATES.contains(&ctx.crate_name()) {
+        return;
+    }
+    if A1_SANCTIONED.contains(&ctx.path) {
+        return;
+    }
+    for (i, l) in ctx.lines.iter().enumerate() {
+        for name in ["Relaxed", "SeqCst"] {
+            for col in ident_cols(&l.code, name) {
+                if !l.code[..col - 1].trim_end().ends_with("Ordering::") {
+                    continue;
+                }
+                if !ctx.atomic_justified(i) {
+                    ctx.emit(
+                        out,
+                        "A1",
+                        i,
+                        col,
+                        format!("`Ordering::{name}` without a written justification"),
+                        "add `// dcart_lint::atomic(<why this ordering is sufficient/required>)` \
+                         on this line or the line above, or move the code into an \
+                         A1_SANCTIONED module (crates/xtask/src/rules.rs)",
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// S1 — stale suppressions.
+///
+/// Run after every other active rule so marker usage is final. A marker
+/// whose rule never fired on its span is dead weight that silently
+/// re-licenses future violations; it must be deleted (or the rule ID fixed,
+/// for markers naming an unknown rule). `active` lists the rule IDs this
+/// invocation actually ran — markers for rules that were *not* run are
+/// left alone, so `xtask lint` never flags the flow-rule markers it cannot
+/// check.
+pub fn s1(ctx: &FileCtx, active: &[&str], out: &mut Vec<Diagnostic>) {
+    // Two passes so `allow(S1)` markers get their usage recorded by pass 1
+    // emissions before pass 2 judges them.
+    for pass in 0..2 {
+        for m in &ctx.markers {
+            let is_s1_allow = m.kind != MarkerKind::Atomic && m.arg == "S1";
+            if (pass == 0) == is_s1_allow || m.used.get() {
+                continue;
+            }
+            if ctx.in_test.get(m.line0).copied().unwrap_or(false) {
+                continue;
+            }
+            match m.kind {
+                MarkerKind::Atomic => {
+                    if !active.contains(&"A1") {
+                        continue;
+                    }
+                    if m.arg.is_empty() {
+                        ctx.emit(
+                            out,
+                            "S1",
+                            m.line0,
+                            1,
+                            "`dcart_lint::atomic()` marker with an empty reason",
+                            "write the justification inside the parentheses: \
+                             `// dcart_lint::atomic(<why this ordering suffices>)`",
+                        );
+                    } else {
+                        ctx.emit(
+                            out,
+                            "S1",
+                            m.line0,
+                            1,
+                            "stale `dcart_lint::atomic(..)` marker: no `Ordering::Relaxed`/\
+                             `SeqCst` on the marked line"
+                                .to_string(),
+                            "delete the marker (the ordering it justified is gone), or move it \
+                             next to the atomic operation it describes",
+                        );
+                    }
+                }
+                MarkerKind::Allow | MarkerKind::AllowFile => {
+                    if !RULE_IDS.contains(&m.arg.as_str()) {
+                        ctx.emit(
+                            out,
+                            "S1",
+                            m.line0,
+                            1,
+                            format!("marker names unknown rule `{}`", m.arg),
+                            format!("known rule IDs: {}", RULE_IDS.join(" ")),
+                        );
+                    } else if active.contains(&m.arg.as_str()) {
+                        let scope = if m.kind == MarkerKind::AllowFile { "file" } else { "span" };
+                        ctx.emit(
+                            out,
+                            "S1",
+                            m.line0,
+                            1,
+                            format!(
+                                "stale suppression: `{}` no longer fires on this {scope}",
+                                m.arg
+                            ),
+                            "delete the marker — a suppression that silences nothing will \
+                             silently re-license the next real violation",
+                        );
+                    }
                 }
             }
         }

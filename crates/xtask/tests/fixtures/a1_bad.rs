@@ -1,0 +1,10 @@
+//! Known-bad: `Relaxed` and `SeqCst` orderings with no written
+//! justification, in a library crate outside the sanctioned sync module.
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn latch(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,16 @@
+//! Known-good twin of `a1_bad.rs`: the Relaxed site carries its
+//! justification marker, and Acquire/Release pairs need none — the
+//! pairing is the documentation.
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // dcart_lint::atomic(monotonic advisory counter, read racily by design)
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+pub fn observe(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,21 @@
+//! Known-bad: two functions acquire the same pair of locks in opposite
+//! orders — an acquisition-order cycle that deadlocks the moment both
+//! run under contention. Analyzed at an `engine` library path.
+
+pub fn forward(&self) -> u64 {
+    let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let total = a.len() as u64 + b.len() as u64;
+    drop(b);
+    drop(a);
+    total
+}
+
+pub fn backward(&self) -> u64 {
+    let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let total = a.len() as u64 + b.len() as u64;
+    drop(a);
+    drop(b);
+    total
+}

@@ -1,0 +1,21 @@
+//! Known-good twin of `c1_bad.rs`: both paths honor the single global
+//! order `alpha` before `beta`, so the acquisition graph stays acyclic
+//! and no path re-acquires a lock it already holds.
+
+pub fn forward(&self) -> u64 {
+    let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let total = a.len() as u64 + b.len() as u64;
+    drop(b);
+    drop(a);
+    total
+}
+
+pub fn backward(&self) -> u64 {
+    let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let total = b.len() as u64 + a.len() as u64;
+    drop(b);
+    drop(a);
+    total
+}

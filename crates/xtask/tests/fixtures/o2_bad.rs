@@ -1,0 +1,13 @@
+//! Known-bad: the durable-ack protocol acknowledges before the fsync
+//! commit. Analyzed as if it were `crates/server/src/core_loop.rs`, the
+//! one place the `durable-ack` automaton is armed.
+
+pub fn serve_one(&mut self, batch: Batch) -> Response {
+    self.writer.append_batch(&batch);
+    let outcome = execute_batch(&mut self.engine, &batch);
+    // Acknowledging here hands the client a durability promise the WAL
+    // has not yet fsynced — exactly the reorder O2 exists to catch.
+    let resp = Response::ok(outcome);
+    self.writer.commit();
+    resp
+}

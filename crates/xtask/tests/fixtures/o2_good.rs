@@ -1,0 +1,15 @@
+//! Known-good twin of `o2_bad.rs`: the durable-ack stages run in
+//! protocol order on every path. The empty-batch branch acknowledges
+//! without touching the later stages, and the serving branch runs the
+//! full sequence in ascending order.
+
+pub fn serve_one(&mut self, batch: Batch) -> Response {
+    if batch.is_empty() {
+        Response::ok(Outcome::default())
+    } else {
+        self.writer.append_batch(&batch);
+        let outcome = execute_batch(&mut self.engine, &batch);
+        self.writer.commit();
+        Response::ok(outcome)
+    }
+}

@@ -1,0 +1,8 @@
+//! Known-bad: a suppression whose rule no longer fires anywhere near it.
+//! The code it once excused was refactored away; the marker now silently
+//! re-licenses the next real violation on this line.
+
+// dcart_lint::allow(D1) -- stale: the map this excused is long gone
+pub fn sum(values: &[u64]) -> u64 {
+    values.iter().sum()
+}

@@ -1,0 +1,10 @@
+//! Known-good twin of `s1_bad.rs`: the suppression is *live* — D1 really
+//! does fire on this file's `HashMap` uses, so the marker is doing work
+//! and S1 leaves it alone.
+
+// dcart_lint::allow_file(D1) -- fixture exercises a justified, live suppression
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}

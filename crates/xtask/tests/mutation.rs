@@ -1,0 +1,132 @@
+//! Mutation self-test: proves the flow rules catch the *real* regressions
+//! they were built for, on the *real* source files they guard. Each case
+//! takes the production source (clean by construction — the workspace
+//! gate pins that), applies the exact mutation the rule exists to stop,
+//! and asserts the rule fires. A rule that passes the fixture tests but
+//! has drifted off the production code's shape fails here.
+
+use std::path::Path;
+
+fn read_real(rel: &str) -> String {
+    // CARGO_MANIFEST_DIR is crates/xtask; the workspace root is two up.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn rules_fired(path: &str, source: &str) -> Vec<&'static str> {
+    xtask::analyze_source(path, source).into_iter().map(|d| d.rule).collect()
+}
+
+/// Swaps the text of two non-overlapping anchored regions. Each region
+/// starts at its anchor line and runs to the start of `end` (exclusive).
+fn swap_regions(source: &str, first: &str, second: &str, end: &str) -> String {
+    let a = source.find(first).expect("first anchor present");
+    let b = source.find(second).expect("second anchor present");
+    let e = source.find(end).expect("end anchor present");
+    assert!(a < b && b < e, "anchors must be ordered: {a} < {b} < {e}");
+    format!("{}{}{}{}", &source[..a], &source[b..e], &source[a..b], &source[e..])
+}
+
+#[test]
+fn ack_before_fsync_reorder_is_caught_by_o2() {
+    let path = "crates/server/src/core_loop.rs";
+    let source = read_real(path);
+    assert!(
+        rules_fired(path, &source).is_empty(),
+        "the production core loop must analyze clean before mutation"
+    );
+
+    // The mutation: move the acknowledge block (stage 4) in front of the
+    // commit+fsync block (stage 3) — the durability bug PR-8's protocol
+    // ordering exists to prevent. The stage comments are load-bearing
+    // anchors; if they are renamed, this test must be updated with them.
+    let mutated = swap_regions(
+        &source,
+        "        // 3. Commit",
+        "        // 4. Acknowledge.",
+        "        self.next_seq += 1;",
+    );
+    let fired = rules_fired(path, &mutated);
+    assert!(fired.contains(&"O2"), "O2 must catch the ack-before-fsync reorder; fired: {fired:?}");
+}
+
+#[test]
+fn lock_order_inversion_is_caught_by_c1() {
+    let path = "crates/server/src/core_loop.rs";
+    let source = read_real(path);
+
+    // The production file establishes admission -> snapshot (stats()
+    // reads the depth under the admission guard, then locks the
+    // snapshot). Appending a path that locks them in the opposite order
+    // creates the classic AB/BA deadlock C1 exists to stop.
+    let mutated = format!(
+        "{source}\n\
+         pub fn inverted_stats(&self) -> u64 {{\n\
+        \x20    let snap = self.shared.snapshot.lock().unwrap_or_else(|e| e.into_inner());\n\
+        \x20    let adm = self.shared.admission.lock().unwrap_or_else(|e| e.into_inner());\n\
+        \x20    let depth = adm.depth() + snap.batches;\n\
+        \x20    drop(adm);\n\
+        \x20    drop(snap);\n\
+        \x20    depth\n\
+         }}\n"
+    );
+    let diags = xtask::analyze_source(path, &mutated);
+    assert!(
+        diags.iter().any(|d| d.rule == "C1" && d.msg.contains("cycle")),
+        "C1 must report the admission/snapshot order cycle; got: {diags:?}"
+    );
+}
+
+#[test]
+fn double_acquire_is_caught_by_c1() {
+    let path = "crates/engine/src/pool.rs";
+    let source = read_real(path);
+    assert!(
+        rules_fired(path, &source).is_empty(),
+        "the production pool must analyze clean before mutation"
+    );
+
+    // The mutation: a path that re-locks a mutex it already holds —
+    // instant self-deadlock on a std (non-reentrant) Mutex.
+    let mutated = format!(
+        "{source}\n\
+         pub fn drain_twice(&self) {{\n\
+        \x20    let first = self.cells.lock().unwrap_or_else(|e| e.into_inner());\n\
+        \x20    let second = self.cells.lock().unwrap_or_else(|e| e.into_inner());\n\
+        \x20    drop(second);\n\
+        \x20    drop(first);\n\
+         }}\n"
+    );
+    let diags = xtask::analyze_source(path, &mutated);
+    assert!(
+        diags.iter().any(|d| d.rule == "C1" && d.msg.contains("already held")),
+        "C1 must report the double acquire; got: {diags:?}"
+    );
+}
+
+#[test]
+fn wal_reset_before_checkpoint_is_caught_by_o2() {
+    let path = "crates/core/src/durable.rs";
+    let source = read_real(path);
+    assert!(
+        rules_fired(path, &source).is_empty(),
+        "the production durability module must analyze clean before mutation"
+    );
+
+    // The checkpoint-install protocol: the checkpoint must be durably in
+    // place before the WAL cursor resets. A function that resets first
+    // leaves a crash window with neither artifact.
+    let mutated = format!(
+        "{source}\n\
+         pub fn install_backwards(&mut self) -> Result<(), WalError> {{\n\
+        \x20    self.writer.reset()?;\n\
+        \x20    write_checkpoint(&self.dir, &self.tree)?;\n\
+        \x20    Ok(())\n\
+         }}\n"
+    );
+    let fired = rules_fired(path, &mutated);
+    assert!(
+        fired.contains(&"O2"),
+        "O2 must catch the reset-before-checkpoint reorder; fired: {fired:?}"
+    );
+}

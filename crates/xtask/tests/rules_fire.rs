@@ -1,18 +1,36 @@
-//! Proves every lint rule ID is live: each rule fires on its known-bad
+//! Proves every rule ID is live: each rule fires on its known-bad
 //! fixture and stays quiet on its known-good twin. A rule that silently
-//! stops matching (lexer regression, scoping typo) fails here before it
-//! fails to protect the workspace.
+//! stops matching (lexer regression, parser scoping typo, automaton
+//! drift) fails here before it fails to protect the workspace.
+//!
+//! The flow rules care *where* a file lives — the O2 automata are armed
+//! on specific workspace paths, C1/A1 only inside library crates — so
+//! each fixture is analyzed at the path its rule watches.
 
 use std::collections::BTreeSet;
 use std::path::Path;
 
-/// Lints a fixture as if it lived in the `core` library crate (in scope
-/// for every per-file rule) and returns the set of rule IDs that fired.
-fn fired(fixture: &str) -> BTreeSet<&'static str> {
+/// The workspace-relative path a rule's fixtures are analyzed at.
+fn analysis_path(rule: &str) -> &'static str {
+    match rule {
+        // The durable-ack automaton is armed on the server core loop.
+        "O2" => "crates/server/src/core_loop.rs",
+        // Lock discipline and atomic-ordering audits run in lib crates;
+        // `engine` is where the real pool/queue locks live.
+        "C1" | "A1" => "crates/engine/src/fixture_under_test.rs",
+        _ => "crates/core/src/fixture_under_test.rs",
+    }
+}
+
+fn read_fixture(fixture: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
-    let source = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
-    xtask::lint_source("crates/core/src/fixture_under_test.rs", &source)
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Analyzes a fixture at `rule`'s watched path and returns the fired IDs.
+fn fired(rule: &str, fixture: &str) -> BTreeSet<&'static str> {
+    xtask::analyze_source(analysis_path(rule), &read_fixture(fixture))
         .into_iter()
         .map(|d| d.rule)
         .collect()
@@ -22,7 +40,7 @@ fn fired(fixture: &str) -> BTreeSet<&'static str> {
 fn every_rule_id_fires_on_its_bad_fixture() {
     for rule in xtask::RULE_IDS {
         let fixture = format!("{}_bad.rs", rule.to_lowercase());
-        let rules = fired(&fixture);
+        let rules = fired(rule, &fixture);
         assert!(rules.contains(rule), "rule {rule} did not fire on {fixture}; fired: {rules:?}");
     }
 }
@@ -31,7 +49,7 @@ fn every_rule_id_fires_on_its_bad_fixture() {
 fn every_rule_stays_quiet_on_its_good_fixture() {
     for rule in xtask::RULE_IDS {
         let fixture = format!("{}_good.rs", rule.to_lowercase());
-        let rules = fired(&fixture);
+        let rules = fired(rule, &fixture);
         assert!(
             !rules.contains(rule),
             "rule {rule} fired on the known-good {fixture}; fired: {rules:?}"
@@ -46,15 +64,25 @@ fn bad_fixtures_fire_only_their_own_rule() {
     // plain std types, so it genuinely only trips P1, etc.)
     for rule in xtask::RULE_IDS {
         let fixture = format!("{}_bad.rs", rule.to_lowercase());
-        let rules = fired(&fixture);
+        let rules = fired(rule, &fixture);
         assert_eq!(rules, BTreeSet::from([rule]), "{fixture} should trip exactly its own rule");
     }
 }
 
 #[test]
+fn good_fixtures_are_fully_clean() {
+    // Stronger than rule-quiet: the good twins model code as it should be
+    // written, so *no* rule may fire on them.
+    for rule in xtask::RULE_IDS {
+        let fixture = format!("{}_good.rs", rule.to_lowercase());
+        let diags = xtask::analyze_source(analysis_path(rule), &read_fixture(&fixture));
+        assert!(diags.is_empty(), "{fixture} should be fully clean: {diags:?}");
+    }
+}
+
+#[test]
 fn diagnostics_carry_real_spans() {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/d1_bad.rs");
-    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let source = read_fixture("d1_bad.rs");
     let diags = xtask::lint_source("crates/core/src/fixture_under_test.rs", &source);
     for d in &diags {
         let line = source.lines().nth(d.line - 1).expect("diagnostic line exists");
@@ -75,8 +103,7 @@ fn unsafe_fires_despite_allow_markers_and_test_regions() {
     // P1: the fixture wraps its `unsafe` blocks in an allow_file marker, a
     // line marker, and a #[cfg(test)] region — all three must fail to
     // silence it.
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/p1_unsafe_bad.rs");
-    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let source = read_fixture("p1_unsafe_bad.rs");
     let diags = xtask::lint_source("crates/core/src/fixture_under_test.rs", &source);
     let unsafe_hits: Vec<_> =
         diags.iter().filter(|d| d.rule == "P1" && d.msg.contains("unsafe")).collect();
@@ -89,9 +116,8 @@ fn unsafe_fires_despite_allow_markers_and_test_regions() {
 
 #[test]
 fn unsafe_is_quiet_in_the_sanctioned_kernel_file() {
-    // The same source lints clean when it lives at a sanctioned path.
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/p1_unsafe_bad.rs");
-    let source = std::fs::read_to_string(path).expect("fixture readable");
+    // The same source lints clean (of unsafe findings) at a sanctioned path.
+    let source = read_fixture("p1_unsafe_bad.rs");
     for sanctioned in xtask::rules::UNSAFE_SANCTIONED {
         let diags = xtask::lint_source(sanctioned, &source);
         assert!(
@@ -105,14 +131,12 @@ fn unsafe_is_quiet_in_the_sanctioned_kernel_file() {
 fn per_rule_allow_markers_silence_bad_fixtures() {
     for rule in xtask::RULE_IDS {
         let fixture = format!("{}_bad.rs", rule.to_lowercase());
-        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(&fixture);
-        let source = std::fs::read_to_string(path).expect("fixture readable");
+        let source = read_fixture(&fixture);
         let allowed = format!("// dcart_lint::allow_file({rule}) -- fixture self-test\n{source}");
-        let rules: BTreeSet<&str> =
-            xtask::lint_source("crates/core/src/fixture_under_test.rs", &allowed)
-                .into_iter()
-                .map(|d| d.rule)
-                .collect();
+        let rules: BTreeSet<&str> = xtask::analyze_source(analysis_path(rule), &allowed)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
         assert!(!rules.contains(rule), "allow_file({rule}) did not silence {fixture}");
     }
 }
@@ -123,9 +147,8 @@ fn d2_fires_in_the_server_library_but_not_its_binary() {
     // wall-clock reads are banned in `crates/server/src/` (deadlines go
     // through the injected `time::Clock`) and sanctioned only under
     // `crates/server/src/bin/`, where the real clock is constructed.
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
-    let bad = std::fs::read_to_string(dir.join("d2_server_bad.rs")).expect("fixture readable");
-    let good = std::fs::read_to_string(dir.join("d2_server_good.rs")).expect("fixture readable");
+    let bad = read_fixture("d2_server_bad.rs");
+    let good = read_fixture("d2_server_good.rs");
 
     let in_lib: BTreeSet<&str> = xtask::lint_source("crates/server/src/core_loop.rs", &bad)
         .into_iter()
@@ -143,4 +166,21 @@ fn d2_fires_in_the_server_library_but_not_its_binary() {
         .map(|d| d.rule)
         .collect();
     assert!(good_in_lib.contains("D2"), "only src/bin is whitelisted, not the server lib");
+}
+
+#[test]
+fn flow_rules_are_scoped_to_their_paths() {
+    // The same bad sources are *quiet* outside the paths their rules
+    // watch: the O2 automaton is not armed in `crates/core/src/lib.rs`,
+    // and C1/A1 do not run in the bench harness (not a LIB_CRATE).
+    let o2 = read_fixture("o2_bad.rs");
+    let diags = xtask::analyze_source("crates/core/src/lib.rs", &o2);
+    assert!(
+        !diags.iter().any(|d| d.rule == "O2"),
+        "O2 must only arm on its automaton files: {diags:?}"
+    );
+
+    let a1 = read_fixture("a1_bad.rs");
+    let diags = xtask::analyze_source("crates/bench/src/lib.rs", &a1);
+    assert!(!diags.iter().any(|d| d.rule == "A1"), "A1 is scoped to lib crates: {diags:?}");
 }
